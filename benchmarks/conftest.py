@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs the *small* scale of the corresponding harness so the
+whole suite stays CI-friendly; the ``--bench-scale`` option switches to the
+larger presets (``default`` or ``paper``) for a faithful regeneration of the
+paper's figures.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=("small", "default", "paper"),
+        help="scale of the figure/ablation benchmarks (default: small)",
+    )
+
+
+@pytest.fixture
+def bench_scale(request) -> str:
+    return request.config.getoption("--bench-scale")

@@ -1,0 +1,41 @@
+"""ABL-alloc / ABL-dht benchmarks: load balance of pages and metadata.
+
+The provider manager must spread pages evenly over data providers
+(Section 3.1) and the DHT must spread tree nodes evenly over metadata
+providers (Section 4.1) — otherwise hot nodes reintroduce the serialization
+the design is built to avoid.
+"""
+
+from repro.bench.ablations import run_ablation_allocation, run_ablation_dht_placement
+
+
+def test_round_robin_and_least_loaded_stay_balanced(benchmark, bench_scale):
+    result = benchmark(run_ablation_allocation, bench_scale)
+    rows = {row["strategy"]: row for row in result.rows}
+    assert rows["round_robin"]["imbalance_max_over_mean"] <= 1.15
+    assert rows["least_loaded"]["imbalance_max_over_mean"] <= 1.15
+    assert rows["round_robin"]["idle_providers"] == 0
+    assert rows["least_loaded"]["idle_providers"] == 0
+    # The random strawman is never better than the deterministic strategies.
+    assert (
+        rows["random"]["imbalance_max_over_mean"]
+        >= rows["round_robin"]["imbalance_max_over_mean"] - 1e-9
+    )
+
+
+def test_every_strategy_stores_the_same_workload(benchmark, bench_scale):
+    result = benchmark(run_ablation_allocation, bench_scale)
+    totals = {row["total_pages"] for row in result.rows}
+    assert len(totals) == 1  # same workload, same number of pages stored
+
+
+def test_dht_placement_spreads_metadata(benchmark, bench_scale):
+    result = benchmark(run_ablation_dht_placement, bench_scale)
+    for row in result.rows:
+        assert row["empty_buckets"] == 0
+        assert row["max_over_mean"] <= 2.0
+        assert row["min_over_mean"] >= 0.3
+    strategies = {row["strategy"] for row in result.rows}
+    assert strategies == {"static", "consistent"}
+    nodes = {row["metadata_nodes"] for row in result.rows}
+    assert len(nodes) == 1  # identical workload across placement schemes

@@ -1,0 +1,33 @@
+"""ABL-meta benchmark: distributed segment tree vs. centralized metadata.
+
+Asserts the two claims DESIGN.md makes for this ablation: (1) under growing
+reader concurrency the DHT-distributed segment tree retains a larger
+fraction of its single-reader bandwidth than a centralized metadata server,
+and (2) the metadata *write* work per update is O(update + log blob) for
+BlobSeer versus O(blob) for a flat centralized table.
+"""
+
+import re
+
+from repro.bench.ablations import run_ablation_metadata
+
+
+def test_centralized_metadata_degrades_faster(benchmark, bench_scale):
+    result = benchmark(run_ablation_metadata, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["readers"])
+    assert rows[0]["readers"] == 1
+    last = rows[-1]
+    # Retention = bandwidth at max concurrency / bandwidth with one reader.
+    assert last["blobseer_retention"] > last["centralized_retention"]
+    # The distributed scheme keeps most of its single-reader bandwidth.
+    assert last["blobseer_retention"] >= 0.55
+
+
+def test_metadata_write_work_is_sublinear(benchmark, bench_scale):
+    result = benchmark(run_ablation_metadata, bench_scale)
+    note = next(note for note in result.notes if "metadata write work" in note)
+    blobseer_nodes, centralized_descriptors = (
+        int(value) for value in re.findall(r"BlobSeer (\d+) tree nodes, "
+                                            r"centralized flat table (\d+)", note)[0]
+    )
+    assert blobseer_nodes * 4 < centralized_descriptors

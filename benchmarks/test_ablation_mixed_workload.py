@@ -1,0 +1,28 @@
+"""ABL-mixed benchmark: readers under concurrent appenders.
+
+The isolation claim (Section 4.3): readers of a published snapshot and
+writers creating new snapshots share only the network, never locks or
+metadata, so per-reader bandwidth must degrade gracefully as appenders are
+added, and every concurrent append must still be published.
+"""
+
+from repro.bench.ablations import run_ablation_mixed_workload
+
+
+def test_readers_keep_most_bandwidth_under_concurrent_appends(benchmark, bench_scale):
+    result = benchmark(run_ablation_mixed_workload, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["writers"])
+    assert rows[0]["writers"] == 0
+    baseline = rows[0]["avg_read_mbps"]
+    most_writers = rows[-1]
+    # Fair sharing with appenders costs something, but far from starvation.
+    assert most_writers["avg_read_mbps"] >= 0.5 * baseline
+    # Appenders also make progress while readers hammer the providers.
+    assert most_writers["avg_append_mbps"] > 0
+
+
+def test_all_concurrent_appends_are_published(benchmark, bench_scale):
+    result = benchmark(run_ablation_mixed_workload, bench_scale)
+    for row in result.rows:
+        assert row["versions_published"] % 2 == 0  # appends_per_writer = 2
+        assert row["versions_published"] == 2 * row["writers"]

@@ -1,0 +1,30 @@
+"""ABL-psize benchmark: page-size sweep.
+
+Larger pages amortize the per-request overheads (higher append/read
+bandwidth), at the cost of proportionally more metadata nodes per byte for
+small pages — the trade-off behind the paper's choice of 64 KB / 256 KB.
+"""
+
+from repro.bench.ablations import run_ablation_page_size
+
+
+def test_larger_pages_amortize_overhead(benchmark, bench_scale):
+    result = benchmark(run_ablation_page_size, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["page_size_kib"])
+    appends = [row["append_mbps"] for row in rows]
+    reads = [row["read_mbps"] for row in rows]
+    assert appends == sorted(appends), "append bandwidth must rise with page size"
+    assert reads == sorted(reads), "read bandwidth must rise with page size"
+
+
+def test_metadata_cost_scales_inversely_with_page_size(benchmark, bench_scale):
+    result = benchmark(run_ablation_page_size, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["page_size_kib"])
+    smallest, largest = rows[0], rows[-1]
+    size_factor = largest["page_size_kib"] / smallest["page_size_kib"]
+    node_factor = (
+        smallest["metadata_nodes_per_append"] / largest["metadata_nodes_per_append"]
+    )
+    # Halving the page size roughly doubles the metadata nodes per update.
+    assert node_factor >= size_factor / 2
+    assert node_factor <= size_factor * 2

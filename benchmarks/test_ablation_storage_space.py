@@ -1,0 +1,35 @@
+"""ABL-space benchmark: storage footprint of page sharing vs. full copy.
+
+The paper's space-efficiency claim: "real space is consumed only by the
+newly generated pages".  After V partial overwrites of a fixed fraction f,
+BlobSeer should store ~(1 + V*f) times the blob size while the full-copy
+baseline stores ~(1 + V) times; the ratio between the two must therefore
+grow with the number of versions.
+"""
+
+from repro.bench.ablations import run_ablation_storage_space
+
+
+def test_storage_space_ratio_grows_with_versions(benchmark, bench_scale):
+    result = benchmark(run_ablation_storage_space, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["version"])
+    assert rows[0]["ratio"] <= 1.5
+    assert rows[-1]["ratio"] > 3.0
+    ratios = [row["ratio"] for row in rows]
+    assert ratios == sorted(ratios), "space advantage must grow monotonically"
+
+
+def test_blobseer_storage_grows_with_bytes_written_only(benchmark, bench_scale):
+    result = benchmark(run_ablation_storage_space, bench_scale)
+    rows = sorted(result.rows, key=lambda row: row["version"])
+    initial = rows[0]["blobseer_bytes"]
+    final = rows[-1]["blobseer_bytes"]
+    versions = rows[-1]["version"] - rows[0]["version"]
+    per_version_growth = (final - initial) / max(versions, 1)
+    # Each version only adds the overwritten fraction, far below a full copy.
+    assert per_version_growth < 0.5 * initial
+    # The full-copy baseline adds a whole blob per version.
+    fullcopy_growth = (rows[-1]["fullcopy_bytes"] - rows[0]["fullcopy_bytes"]) / max(
+        versions, 1
+    )
+    assert fullcopy_growth >= initial * 0.99

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the core library operations (no simulator).
+
+These are regular pytest-benchmark measurements of the in-process library:
+append / write / read latency on an in-memory cluster, and the raw cost of
+the metadata algorithms (tree build and traversal).  They are not figures
+from the paper but keep the library's hot paths observable over time.
+"""
+
+import pytest
+
+from repro import BlobStore, Cluster
+from repro.config import KiB
+from repro.metadata.build import BorderSpec, border_targets, build_nodes
+from repro.metadata.node import InnerNode, LeafNode, NodeRef, PageDescriptor
+from repro.metadata.read_plan import drive_plan, read_plan
+
+PAGE_SIZE = 4 * KiB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.in_memory(
+        num_data_providers=8, num_metadata_providers=8, page_size=PAGE_SIZE
+    )
+
+
+@pytest.fixture
+def store(cluster):
+    return BlobStore(cluster)
+
+
+def test_append_latency(benchmark, store):
+    blob_id = store.create()
+    payload = b"x" * (16 * PAGE_SIZE)
+    benchmark(store.append, blob_id, payload)
+
+
+def test_overwrite_latency(benchmark, store):
+    blob_id = store.create()
+    store.append(blob_id, b"y" * (64 * PAGE_SIZE))
+    payload = b"z" * (8 * PAGE_SIZE)
+    benchmark(store.write, blob_id, payload, 16 * PAGE_SIZE)
+
+
+def test_read_latency(benchmark, store):
+    blob_id = store.create()
+    version = store.append(blob_id, b"r" * (64 * PAGE_SIZE))
+    store.sync(blob_id, version)
+    benchmark(store.read, blob_id, version, 8 * PAGE_SIZE, 32 * PAGE_SIZE)
+
+
+def test_metadata_build_nodes(benchmark):
+    span = 1024
+    pages = 64
+    descriptors = [
+        PageDescriptor(page_index=index, page_id=f"p{index}",
+                       provider_id="data-0000", length=PAGE_SIZE)
+        for index in range(pages)
+    ]
+    needed, dangling = border_targets(0, pages, span, 0)
+    borders = BorderSpec(versions={target: None for target in needed + dangling})
+    benchmark(build_nodes, 1, 0, pages, span, descriptors, borders)
+
+
+def test_metadata_read_plan_traversal(benchmark):
+    span = 1024
+    pages = 64
+    descriptors = [
+        PageDescriptor(page_index=index, page_id=f"p{index}",
+                       provider_id="data-0000", length=PAGE_SIZE)
+        for index in range(span)
+    ]
+    needed, dangling = border_targets(0, span, span, 0)
+    borders = BorderSpec(versions={target: None for target in needed + dangling})
+    build = build_nodes(1, 0, span, span, descriptors, borders)
+    nodes = {(ref.offset, ref.size): node for ref, node in build.nodes}
+
+    def fetch(ref):
+        return nodes[(ref.offset, ref.size)]
+
+    def traverse():
+        return drive_plan(read_plan(1, span, 128, pages), fetch)
+
+    result = benchmark(traverse)
+    assert len(result.descriptors) == pages

@@ -1,0 +1,38 @@
+"""FIG-2a benchmark: append throughput as the blob grows (Figure 2(a)).
+
+Regenerates the figure's data series and asserts its qualitative shape:
+flat bandwidth while the blob grows, larger pages at least as fast, more
+providers never worse.  Absolute MB/s values are reported, not asserted
+(the substrate is a simulator, not Grid'5000).
+"""
+
+from repro.bench.fig2a import run_fig2a, shape_checks
+
+
+def test_fig2a_append_throughput(benchmark, bench_scale):
+    result = benchmark(run_fig2a, bench_scale)
+    checks = shape_checks(result)
+    assert all(checks.values()), f"figure 2(a) shape not reproduced: {checks}"
+    # Every series must contain multiple points along the blob-growth axis.
+    series = {row["series"] for row in result.rows}
+    assert len(series) >= 3
+    assert all(
+        sum(1 for row in result.rows if row["series"] == name) >= 3 for name in series
+    )
+
+
+def test_fig2a_metadata_overhead_grows_logarithmically(benchmark, bench_scale):
+    """The per-append metadata node count must grow like log2(blob pages),
+    which is the mechanism behind the paper's power-of-two dips."""
+    result = benchmark(run_fig2a, bench_scale)
+    rows = [row for row in result.rows if not row["series"].startswith("fine")]
+    by_series = {}
+    for row in rows:
+        by_series.setdefault(row["series"], []).append(row)
+    for series_rows in by_series.values():
+        first, last = series_rows[0], series_rows[-1]
+        growth_factor = last["pages_total"] // first["pages_total"]
+        node_increase = last["metadata_nodes"] - first["metadata_nodes"]
+        # Metadata per append grows by ~log2(growth) nodes, never linearly.
+        assert node_increase <= 2 + growth_factor.bit_length() + 4
+        assert node_increase >= 0

@@ -1,0 +1,116 @@
+"""Cheap branching: explore alternative processing pipelines on one dataset.
+
+The paper motivates BRANCH with "exploring alternative data processing
+algorithms starting from the same blob version" (Section 1).  This example
+stores a dataset of numeric samples in a blob, takes a snapshot, branches it
+twice and lets two different cleaning pipelines evolve independently — one
+clips outliers, the other rescales every record — then compares the results.
+Because branches share unmodified pages with the original and every snapshot
+shares its unmodified pages with the previous one, the whole history of both
+pipelines consumes a small fraction of what naive per-version full copies
+would need.
+
+Run with::
+
+    python examples/branching_pipelines.py
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro import BlobStore, Cluster
+
+SAMPLE = struct.Struct(">d")
+# A small page size keeps the copy-on-write granularity close to one record,
+# so the many single-record overwrites of pipeline A stay cheap.
+PAGE_SIZE = 64
+
+
+def write_dataset(store: BlobStore, samples: list[float]) -> str:
+    """Store samples as fixed-width records in a fresh blob."""
+    blob_id = store.create()
+    payload = b"".join(SAMPLE.pack(value) for value in samples)
+    version = store.append(blob_id, payload)
+    store.sync(blob_id, version)
+    return blob_id
+
+
+def read_dataset(store: BlobStore, blob_id: str, version: int | None = None) -> list[float]:
+    if version is None:
+        version = store.get_recent(blob_id)
+    size = store.get_size(blob_id, version)
+    data = store.read(blob_id, version, 0, size)
+    return [SAMPLE.unpack_from(data, offset)[0] for offset in range(0, size, SAMPLE.size)]
+
+
+def clip_outliers(store: BlobStore, blob_id: str, limit: float) -> int:
+    """Pipeline A: overwrite, in place, every sample above ``limit``."""
+    samples = read_dataset(store, blob_id)
+    version = store.get_recent(blob_id)
+    for index, value in enumerate(samples):
+        if abs(value) > limit:
+            version = store.write(
+                blob_id, SAMPLE.pack(limit if value > 0 else -limit), index * SAMPLE.size
+            )
+    store.sync(blob_id, version)
+    return version
+
+
+def rescale(store: BlobStore, blob_id: str, factor: float) -> int:
+    """Pipeline B: rewrite the whole dataset scaled by ``factor``."""
+    samples = read_dataset(store, blob_id)
+    payload = b"".join(SAMPLE.pack(value * factor) for value in samples)
+    version = store.write(blob_id, payload, 0)
+    store.sync(blob_id, version)
+    return version
+
+
+def main() -> None:
+    cluster = Cluster.in_memory(
+        num_data_providers=8, num_metadata_providers=8, page_size=PAGE_SIZE
+    )
+    store = BlobStore(cluster)
+
+    raw = [float(x) for x in (1, 2, 3, 250, 5, -8, 13, -400, 21, 34, 55, 89)] * 64
+    dataset = write_dataset(store, raw)
+    snapshot = store.get_recent(dataset)
+    print(f"dataset blob {dataset}: {len(raw)} samples at snapshot {snapshot}")
+
+    # Branch the dataset twice; each pipeline evolves its own blob.
+    clipped_branch = store.branch(dataset, snapshot)
+    rescaled_branch = store.branch(dataset, snapshot)
+
+    clip_outliers(store, clipped_branch, limit=100.0)
+    rescale(store, rescaled_branch, factor=0.5)
+
+    original = read_dataset(store, dataset, snapshot)
+    clipped = read_dataset(store, clipped_branch)
+    rescaled = read_dataset(store, rescaled_branch)
+
+    print(f"original  max={max(original):8.1f} mean={sum(original) / len(original):8.2f}")
+    print(f"clipped   max={max(clipped):8.1f} mean={sum(clipped) / len(clipped):8.2f}")
+    print(f"rescaled  max={max(rescaled):8.1f} mean={sum(rescaled) / len(rescaled):8.2f}")
+    assert max(clipped) <= 100.0
+    assert abs(max(rescaled) - max(original) * 0.5) < 1e-9
+    # The original snapshot is untouched by either pipeline.
+    assert read_dataset(store, dataset, snapshot) == original
+
+    # Storage accounting: what would naive versioning (a full copy of the
+    # blob per published snapshot) have stored for the same history?
+    full_copy_bytes = 0
+    for blob_id in (dataset, clipped_branch, rescaled_branch):
+        first_own_version = 1 if blob_id == dataset else snapshot + 1
+        for version in range(first_own_version, store.get_recent(blob_id) + 1):
+            full_copy_bytes += store.get_size(blob_id, version)
+    stored = cluster.storage_bytes_used()
+    versions_total = sum(
+        store.get_recent(blob_id) for blob_id in (dataset, clipped_branch, rescaled_branch)
+    )
+    print(f"{versions_total} snapshots across 3 blobs; physically stored: {stored} bytes; "
+          f"full copies would need {full_copy_bytes} bytes "
+          f"({full_copy_bytes / stored:.1f}x more)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Drive the simulated Grid'5000-like testbed directly from the public API.
+
+This example reproduces, at a reduced scale, both experiments of the paper's
+evaluation (Section 5) and prints the same series the figures show:
+
+* append throughput while a blob grows (Figure 2(a));
+* per-reader read throughput for 1..N concurrent readers (Figure 2(b)).
+
+For the full-scale runs use the benchmark CLI instead::
+
+    blobseer-bench fig2a --scale paper
+    blobseer-bench fig2b --scale paper
+
+Run with::
+
+    python examples/simulated_grid_run.py
+"""
+
+from __future__ import annotations
+
+from repro.config import KiB, MiB
+from repro.sim import (
+    run_append_growth_experiment,
+    run_read_concurrency_experiment,
+)
+
+
+def main() -> None:
+    print("Figure 2(a)-style run: single client appending 8 MiB per APPEND")
+    for page_size in (64 * KiB, 256 * KiB):
+        samples = run_append_growth_experiment(
+            num_provider_nodes=40,
+            page_size=page_size,
+            append_bytes=8 * MiB,
+            num_appends=6,
+        )
+        series = ", ".join(
+            f"{sample.pages_total}p:{sample.bandwidth_mbps:.1f}" for sample in samples
+        )
+        print(f"  {page_size // KiB:>4d} KiB pages  (pages:MB/s)  {series}")
+
+    print()
+    print("Figure 2(b)-style run: concurrent readers on disjoint 8 MiB chunks")
+    samples = run_read_concurrency_experiment(
+        num_provider_nodes=40,
+        page_size=64 * KiB,
+        blob_bytes=512 * MiB,
+        chunk_bytes=8 * MiB,
+        reader_counts=[1, 20, 40],
+    )
+    for sample in samples:
+        print(
+            f"  {sample.readers:>3d} readers  avg {sample.avg_bandwidth_mbps:6.1f} MB/s"
+            f"  aggregate {sample.aggregate_bandwidth_mbps:8.1f} MB/s"
+        )
+    single = samples[0].avg_bandwidth_mbps
+    most = samples[-1].avg_bandwidth_mbps
+    print(f"  per-reader bandwidth retained at full concurrency: {100 * most / single:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

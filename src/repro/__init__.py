@@ -1,0 +1,59 @@
+"""BlobSeer reproduction: versioned large-object storage under heavy
+concurrency (Nicolae, Antoniu, Bougé — EDBT/ICDT workshops 2009).
+
+Quickstart::
+
+    from repro import BlobStore, Cluster
+
+    cluster = Cluster.in_memory(num_data_providers=8, page_size=4096)
+    store = BlobStore(cluster)
+    blob_id = store.create()
+    v1 = store.append(blob_id, b"hello world")
+    print(store.read(blob_id, v1, 0, 11))
+
+Package layout:
+
+* :mod:`repro.core` — client API (CREATE/WRITE/APPEND/READ/SYNC/BRANCH) and
+  in-process cluster wiring.
+* :mod:`repro.metadata` — the distributed segment tree (the paper's core
+  contribution).
+* :mod:`repro.version` — version manager (total order, publication, SYNC).
+* :mod:`repro.providers` — data providers and the provider manager.
+* :mod:`repro.dht` — the custom DHT storing metadata.
+* :mod:`repro.sim` — discrete-event simulator of the Grid'5000-like testbed
+  used for the paper's throughput experiments.
+* :mod:`repro.baselines` — centralized-metadata and full-copy baselines.
+* :mod:`repro.bench` — harnesses regenerating the paper's figures.
+"""
+
+from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
+from .core import Blob, BlobStore, Cluster
+from .errors import (
+    BlobSeerError,
+    ConfigurationError,
+    InvalidRangeError,
+    UnknownBlobError,
+    UpdateAbortedError,
+    VersionNotPublishedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blob",
+    "BlobStore",
+    "Cluster",
+    "BlobSeerConfig",
+    "SimConfig",
+    "GRID5000_PROFILE",
+    "KiB",
+    "MiB",
+    "GiB",
+    "BlobSeerError",
+    "ConfigurationError",
+    "InvalidRangeError",
+    "UnknownBlobError",
+    "UpdateAbortedError",
+    "VersionNotPublishedError",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline systems the paper's design is compared against.
+
+The paper positions its decentralized, segment-tree metadata against two
+classes of related work (Section 1): parallel/distributed file systems and
+archiving systems with *centralized* metadata management, and naive
+versioning that duplicates data per version.  Two baselines make those
+comparisons concrete:
+
+* :mod:`repro.baselines.centralized` — a centralized metadata server holding
+  a flat page table per snapshot version (reads are one RPC, but every
+  update rewrites a full table and all metadata load lands on one node);
+* :mod:`repro.baselines.fullcopy` — versioning by full copy (every snapshot
+  stores the complete blob contents), the storage-space strawman.
+"""
+
+from .centralized import (
+    CentralizedMetadataServer,
+    run_centralized_read_experiment,
+)
+from .fullcopy import FullCopyVersionedStore
+
+__all__ = [
+    "CentralizedMetadataServer",
+    "run_centralized_read_experiment",
+    "FullCopyVersionedStore",
+]

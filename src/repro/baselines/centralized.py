@@ -1,0 +1,210 @@
+"""Centralized-metadata baseline.
+
+Related work cited by the paper (Lustre, PVFS, GFS, archival stores) keeps
+metadata on a centralized server.  This module implements such a baseline:
+
+* :class:`CentralizedMetadataServer` — one server holding, per blob and per
+  snapshot version, a *flat page table* (page index → page id/provider).
+  Publishing a new version copies the previous table and applies the update,
+  so metadata work per update is proportional to the whole blob, and every
+  metadata request — read or write — is served by the single node.
+* :func:`run_centralized_read_experiment` — the Figure 2(b) workload run
+  against the baseline: all metadata lookups converge on one simulated node,
+  which becomes the bottleneck as the reader count grows.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..config import MiB, SimConfig
+from ..errors import UnknownBlobError, VersionNotPublishedError
+from ..metadata.node import PageDescriptor
+from ..sim.deployment import SimDeployment
+from ..sim.engine import Simulator
+from ..sim.network import Network, SimNode
+from ..util.ranges import covering_page_range
+
+
+class CentralizedMetadataServer:
+    """A single-node metadata service with per-version flat page tables."""
+
+    def __init__(self, page_size: int):
+        self.page_size = page_size
+        self._tables: dict[str, dict[int, dict[int, PageDescriptor]]] = {}
+        self._sizes: dict[str, dict[int, int]] = {}
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.descriptor_writes = 0
+
+    # -- blob management -----------------------------------------------------
+    def create_blob(self, blob_id: str) -> None:
+        with self._lock:
+            self._tables[blob_id] = {0: {}}
+            self._sizes[blob_id] = {0: 0}
+
+    def _check_blob(self, blob_id: str) -> None:
+        if blob_id not in self._tables:
+            raise UnknownBlobError(blob_id)
+
+    # -- updates ---------------------------------------------------------------
+    def publish_update(
+        self,
+        blob_id: str,
+        descriptors: list[PageDescriptor],
+        new_size: int,
+    ) -> int:
+        """Publish a new version whose table is the previous table with the
+        given descriptors applied.  Returns the new version number and the
+        number of descriptors that had to be written (the whole table)."""
+        with self._lock:
+            self._check_blob(blob_id)
+            self.requests += 1
+            versions = self._tables[blob_id]
+            latest = max(versions)
+            table = dict(versions[latest])
+            for descriptor in descriptors:
+                table[descriptor.page_index] = descriptor
+            version = latest + 1
+            versions[version] = table
+            self._sizes[blob_id][version] = new_size
+            # A flat scheme rewrites (or at least re-serializes) the whole
+            # table for the new version: count it as metadata write work.
+            self.descriptor_writes += len(table)
+            return version
+
+    # -- lookups ---------------------------------------------------------------
+    def get_size(self, blob_id: str, version: int) -> int:
+        with self._lock:
+            self._check_blob(blob_id)
+            sizes = self._sizes[blob_id]
+            if version not in sizes:
+                raise VersionNotPublishedError(blob_id, version)
+            return sizes[version]
+
+    def latest_version(self, blob_id: str) -> int:
+        with self._lock:
+            self._check_blob(blob_id)
+            return max(self._tables[blob_id])
+
+    def lookup(
+        self, blob_id: str, version: int, offset: int, size: int
+    ) -> list[PageDescriptor]:
+        """Return the descriptors covering a byte range of one version."""
+        with self._lock:
+            self._check_blob(blob_id)
+            self.requests += 1
+            versions = self._tables[blob_id]
+            if version not in versions:
+                raise VersionNotPublishedError(blob_id, version)
+            table = versions[version]
+        first, count = covering_page_range(offset, size, self.page_size)
+        return [table[index] for index in range(first, first + count) if index in table]
+
+    def descriptor_count(self) -> int:
+        """Total descriptors held across all versions (metadata footprint)."""
+        with self._lock:
+            return sum(
+                len(table)
+                for versions in self._tables.values()
+                for table in versions.values()
+            )
+
+
+@dataclass(frozen=True)
+class CentralizedReadSample:
+    """One point of the centralized-metadata read-concurrency curve."""
+
+    readers: int
+    avg_bandwidth_mbps: float
+    aggregate_bandwidth_mbps: float
+    metadata_requests: int
+
+
+def run_centralized_read_experiment(
+    num_provider_nodes: int,
+    page_size: int,
+    blob_bytes: int,
+    chunk_bytes: int,
+    reader_counts: list[int],
+    sim_config: SimConfig | None = None,
+    service_per_descriptor: float = 0.05e-3,
+) -> list[CentralizedReadSample]:
+    """Figure 2(b) workload against the centralized-metadata baseline.
+
+    Data pages are still spread over ``num_provider_nodes`` providers (round
+    robin), but every metadata lookup is an RPC to the single metadata node,
+    whose service time is ``service_per_descriptor`` per descriptor returned
+    (walking and serializing the flat table).  The single server saturates as
+    the reader count grows, which is the contrast with BlobSeer's DHT.
+    """
+    config = sim_config if sim_config is not None else SimConfig()
+    page_count_total = blob_bytes // page_size
+    server = CentralizedMetadataServer(page_size)
+    server.create_blob("blob")
+    descriptors = [
+        PageDescriptor(
+            page_index=index,
+            page_id=f"page-{index}",
+            provider_id=f"data-{index % num_provider_nodes:04d}",
+            length=page_size,
+        )
+        for index in range(page_count_total)
+    ]
+    version = server.publish_update("blob", descriptors, page_count_total * page_size)
+
+    samples: list[CentralizedReadSample] = []
+    for readers in reader_counts:
+        simulator = Simulator()
+        network = Network(simulator, config)
+        metadata_node = SimNode(simulator, "central-metadata")
+        provider_nodes = [
+            SimNode(simulator, f"provider-node-{index:04d}")
+            for index in range(num_provider_nodes)
+        ]
+        outcomes: list[float] = []
+
+        def reader_process(index: int):
+            start = simulator.now
+            offset = index * chunk_bytes
+            client_node = SimNode(simulator, f"client-{index:04d}")
+            # One metadata RPC; the server walks the flat table, so its
+            # service time scales with the number of descriptors returned.
+            pages = chunk_bytes // page_size
+            yield from network.fetch(
+                client_node,
+                metadata_node,
+                nbytes=pages * 48,
+                service_time=service_per_descriptor * pages,
+            )
+            wanted = server.lookup("blob", version, offset, chunk_bytes)
+            fetches = [
+                simulator.process(
+                    network.fetch(
+                        client_node,
+                        provider_nodes[int(d.provider_id.rsplit("-", 1)[1])],
+                        page_size,
+                        service_time=config.rpc_overhead + config.page_service_time,
+                    )
+                )
+                for d in wanted
+            ]
+            yield simulator.all_of([process.event for process in fetches])
+            outcomes.append(simulator.now - start)
+
+        for index in range(readers):
+            simulator.process(reader_process(index))
+        simulator.run()
+        bandwidths = [chunk_bytes / elapsed / MiB for elapsed in outcomes]
+        samples.append(
+            CentralizedReadSample(
+                readers=readers,
+                avg_bandwidth_mbps=sum(bandwidths) / len(bandwidths),
+                aggregate_bandwidth_mbps=(
+                    readers * chunk_bytes / max(outcomes) / MiB
+                ),
+                metadata_requests=server.requests,
+            )
+        )
+    return samples

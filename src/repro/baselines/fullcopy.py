@@ -1,0 +1,83 @@
+"""Full-copy versioning baseline.
+
+The paper argues (Sections 1 and 4.3) that versioning must be space
+efficient: BlobSeer consumes new storage only for newly written pages, and
+unmodified pages are physically shared between snapshot versions.  The
+obvious alternative — keeping a complete copy of the blob per version — is
+implemented here so the storage-space ablation can compare the two curves.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import InvalidRangeError, VersionNotPublishedError
+
+
+class FullCopyVersionedStore:
+    """Versioned blob storage that materializes every snapshot in full.
+
+    The interface intentionally mirrors the BlobSeer primitives used by the
+    storage-space ablation (WRITE/APPEND/READ/GET_SIZE), so the benchmark
+    can drive both systems with the same workload.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: list[bytes] = [b""]
+        self._lock = threading.Lock()
+
+    # -- update primitives -----------------------------------------------------
+    def write(self, data: bytes, offset: int) -> int:
+        """Apply a WRITE to the latest snapshot; returns the new version."""
+        data = bytes(data)
+        if not data:
+            raise InvalidRangeError("WRITE requires a non-empty buffer")
+        with self._lock:
+            current = self._snapshots[-1]
+            if offset > len(current):
+                raise InvalidRangeError(
+                    f"write offset {offset} is beyond the current size {len(current)}"
+                )
+            new = bytearray(max(len(current), offset + len(data)))
+            new[: len(current)] = current
+            new[offset:offset + len(data)] = data
+            self._snapshots.append(bytes(new))
+            return len(self._snapshots) - 1
+
+    def append(self, data: bytes) -> int:
+        """Apply an APPEND to the latest snapshot; returns the new version."""
+        with self._lock:
+            offset = len(self._snapshots[-1])
+        return self.write(data, offset)
+
+    # -- read primitives ----------------------------------------------------------
+    def read(self, version: int, offset: int, size: int) -> bytes:
+        with self._lock:
+            if version < 0 or version >= len(self._snapshots):
+                raise VersionNotPublishedError("fullcopy", version)
+            snapshot = self._snapshots[version]
+        if offset + size > len(snapshot):
+            raise InvalidRangeError(
+                f"read range ({offset}, {size}) exceeds snapshot size {len(snapshot)}"
+            )
+        return snapshot[offset:offset + size]
+
+    def get_size(self, version: int) -> int:
+        with self._lock:
+            if version < 0 or version >= len(self._snapshots):
+                raise VersionNotPublishedError("fullcopy", version)
+            return len(self._snapshots[version])
+
+    def get_recent(self) -> int:
+        with self._lock:
+            return len(self._snapshots) - 1
+
+    # -- accounting ---------------------------------------------------------------
+    def bytes_stored(self) -> int:
+        """Total bytes this scheme keeps across all versions."""
+        with self._lock:
+            return sum(len(snapshot) for snapshot in self._snapshots)
+
+    def version_count(self) -> int:
+        with self._lock:
+            return len(self._snapshots)

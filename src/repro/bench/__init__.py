@@ -1,0 +1,37 @@
+"""Benchmark harnesses regenerating the paper's evaluation.
+
+Each module reproduces one figure or one ablation called out in DESIGN.md and
+can be run either through the CLI (``python -m repro.bench <experiment>`` or
+the ``blobseer-bench`` console script) or through the pytest-benchmark
+targets in ``benchmarks/``.
+
+Every ``run_*`` function returns a list of row dictionaries and the
+``format_table`` helper renders them the way the paper reports the numbers.
+"""
+
+from .runner import ExperimentResult, format_table
+from .fig2a import run_fig2a
+from .fig2b import run_fig2b
+from .ablations import (
+    run_ablation_allocation,
+    run_ablation_concurrent_writers,
+    run_ablation_dht_placement,
+    run_ablation_metadata,
+    run_ablation_mixed_workload,
+    run_ablation_page_size,
+    run_ablation_storage_space,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "run_fig2a",
+    "run_fig2b",
+    "run_ablation_allocation",
+    "run_ablation_concurrent_writers",
+    "run_ablation_dht_placement",
+    "run_ablation_metadata",
+    "run_ablation_mixed_workload",
+    "run_ablation_page_size",
+    "run_ablation_storage_space",
+]

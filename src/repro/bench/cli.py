@@ -1,0 +1,76 @@
+"""Command-line entry point for the benchmark harness.
+
+Examples::
+
+    blobseer-bench fig2a                 # scaled-down Figure 2(a)
+    blobseer-bench fig2b --scale paper   # full 173-provider Figure 2(b)
+    blobseer-bench all --scale small     # every experiment, CI-sized
+    python -m repro.bench fig2a          # equivalent module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .ablations import (
+    run_ablation_allocation,
+    run_ablation_concurrent_writers,
+    run_ablation_dht_placement,
+    run_ablation_metadata,
+    run_ablation_mixed_workload,
+    run_ablation_page_size,
+    run_ablation_storage_space,
+)
+from .fig2a import run_fig2a
+from .fig2b import run_fig2b
+from .runner import SCALES
+
+_EXPERIMENTS = {
+    "fig2a": run_fig2a,
+    "fig2b": run_fig2b,
+    "ablation-metadata": run_ablation_metadata,
+    "ablation-space": run_ablation_storage_space,
+    "ablation-writers": run_ablation_concurrent_writers,
+    "ablation-pagesize": run_ablation_page_size,
+    "ablation-allocation": run_ablation_allocation,
+    "ablation-dht": run_ablation_dht_placement,
+    "ablation-mixed": run_ablation_mixed_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blobseer-bench",
+        description="Regenerate the figures and ablations of the BlobSeer paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="experiment scale: small (seconds), default, or paper (minutes)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        result = _EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"(ran in {elapsed:.1f}s at scale={args.scale})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

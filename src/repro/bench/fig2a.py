@@ -1,0 +1,139 @@
+"""FIG-2a — append throughput as a blob dynamically grows (Figure 2(a)).
+
+The paper's setup: a single client creates an empty blob and keeps appending
+64 MB of data; the version manager and provider manager run on dedicated
+nodes, data and metadata providers are co-deployed on 50 or 175 nodes; the
+experiment is repeated with 64 KB and 256 KB pages.  The reported curve is
+the append bandwidth against the number of pages the blob holds.
+
+Expected shape (what "reproduced" means): bandwidth stays high and roughly
+flat while the blob grows, the larger page size is faster, more providers
+never hurt, and small dips appear when the page count crosses a power of two
+(the metadata tree gains a level).  The dips are most visible with
+fine-grained appends, so the harness also emits a fine-grained series.
+"""
+
+from __future__ import annotations
+
+from ..config import KiB, MiB
+from ..sim.experiments import run_append_growth_experiment
+from .runner import ExperimentResult, check_scale
+
+#: (providers, page_sizes, append_bytes, num_appends, fine_append_pages,
+#:  fine_num_appends) per scale.
+_PRESETS = {
+    "small": ((8, 24), (16 * KiB, 64 * KiB), 2 * MiB, 6, 4, 48),
+    "default": ((50, 175), (64 * KiB, 256 * KiB), 16 * MiB, 8, 8, 96),
+    "paper": ((50, 175), (64 * KiB, 256 * KiB), 64 * MiB, 16, 8, 160),
+}
+
+
+def run_fig2a(scale: str = "small") -> ExperimentResult:
+    """Regenerate Figure 2(a) at the requested scale."""
+    check_scale(scale)
+    providers_list, page_sizes, append_bytes, num_appends, fine_pages, fine_appends = (
+        _PRESETS[scale]
+    )
+    result = ExperimentResult(
+        "FIG-2a",
+        "Append throughput as the blob dynamically grows (single client)",
+    )
+    for page_size in page_sizes:
+        for providers in providers_list:
+            samples = run_append_growth_experiment(
+                num_provider_nodes=providers,
+                page_size=page_size,
+                append_bytes=append_bytes,
+                num_appends=num_appends,
+            )
+            for sample in samples:
+                result.add(
+                    series=f"{page_size // KiB}K, {providers} providers",
+                    page_size_kib=page_size // KiB,
+                    providers=providers,
+                    pages_total=sample.pages_total,
+                    bandwidth_mbps=sample.bandwidth_mbps,
+                    metadata_nodes=sample.metadata_nodes_written,
+                    border_fetches=sample.border_nodes_fetched,
+                )
+    result.note(
+        f"each APPEND writes {append_bytes // MiB} MiB, as in the paper's description"
+    )
+
+    # Fine-grained series: small appends make the extra metadata level at
+    # power-of-two page counts visible as a dip in the curve.
+    page_size = page_sizes[0]
+    providers = providers_list[-1]
+    fine = run_append_growth_experiment(
+        num_provider_nodes=providers,
+        page_size=page_size,
+        append_bytes=fine_pages * page_size,
+        num_appends=fine_appends,
+    )
+    for sample in fine:
+        result.add(
+            series=f"fine-grained {page_size // KiB}K, {providers} providers",
+            page_size_kib=page_size // KiB,
+            providers=providers,
+            pages_total=sample.pages_total,
+            bandwidth_mbps=sample.bandwidth_mbps,
+            metadata_nodes=sample.metadata_nodes_written,
+            border_fetches=sample.border_nodes_fetched,
+        )
+    result.note(
+        "fine-grained series appends "
+        f"{fine_pages} pages per APPEND to expose the power-of-two dips"
+    )
+    return result
+
+
+def shape_checks(result: ExperimentResult) -> dict[str, bool]:
+    """Machine-checkable versions of the expected qualitative shape.
+
+    Used by the benchmark tests: they assert the *shape*, not the absolute
+    numbers (our substrate is a simulator, not Grid'5000).
+    """
+    rows = [row for row in result.rows if not row["series"].startswith("fine")]
+    by_series: dict[str, list[dict]] = {}
+    for row in rows:
+        by_series.setdefault(row["series"], []).append(row)
+
+    # 1. Bandwidth stays high while the blob grows: last sample within 15 %
+    #    of the first sample for every series.
+    flat = all(
+        series[-1]["bandwidth_mbps"] >= 0.85 * series[0]["bandwidth_mbps"]
+        for series in by_series.values()
+    )
+
+    # 2. Larger pages are at least as fast (compare same provider count).
+    page_sizes = sorted({row["page_size_kib"] for row in rows})
+    providers = sorted({row["providers"] for row in rows})
+    larger_pages_faster = True
+    if len(page_sizes) >= 2:
+        for provider_count in providers:
+            small_bw = _mean_bw(rows, page_sizes[0], provider_count)
+            large_bw = _mean_bw(rows, page_sizes[-1], provider_count)
+            larger_pages_faster &= large_bw >= small_bw
+
+    # 3. More providers never hurt (compare same page size).
+    more_providers_ok = True
+    if len(providers) >= 2:
+        for page_size in page_sizes:
+            few = _mean_bw(rows, page_size, providers[0])
+            many = _mean_bw(rows, page_size, providers[-1])
+            more_providers_ok &= many >= 0.95 * few
+
+    return {
+        "bandwidth_flat_as_blob_grows": flat,
+        "larger_pages_faster": larger_pages_faster,
+        "more_providers_not_worse": more_providers_ok,
+    }
+
+
+def _mean_bw(rows: list[dict], page_size_kib: int, providers: int) -> float:
+    values = [
+        row["bandwidth_mbps"]
+        for row in rows
+        if row["page_size_kib"] == page_size_kib and row["providers"] == providers
+    ]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harnesses: scales, results, formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Recognized experiment scales.  ``small`` finishes in a few seconds and is
+#: what the pytest-benchmark targets use; ``default`` takes tens of seconds;
+#: ``paper`` uses the paper's node counts and data sizes (minutes).
+SCALES = ("small", "default", "paper")
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return scale
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment run, plus free-form notes."""
+
+    experiment: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def format(self) -> str:
+        return format_table(self)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    lines = [f"== {result.experiment}: {result.title} =="]
+    if result.rows:
+        columns = list(result.rows[0].keys())
+        rendered = [
+            {column: _fmt(row.get(column)) for column in columns}
+            for row in result.rows
+        ]
+        widths = {
+            column: max(len(column), *(len(row[column]) for row in rendered))
+            for column in columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in columns)
+        lines.append(header)
+        lines.append("  ".join("-" * widths[column] for column in columns))
+        for row in rendered:
+            lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,172 @@
+"""Configuration objects for BlobSeer deployments and simulations.
+
+Two dataclasses are exposed:
+
+* :class:`BlobSeerConfig` — parameters of a storage deployment (page size,
+  number of providers, allocation strategy, replication, timeouts).
+* :class:`SimConfig` — parameters of the simulated Grid'5000-like testbed
+  used by the benchmark harness (NIC bandwidth, latency, per-request
+  overheads), mirroring the figures reported in Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Kibibyte / mebibyte / gibibyte helpers used throughout the code base.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Default page size used by the paper's experiments (64 KiB).
+DEFAULT_PAGE_SIZE = 64 * KiB
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when *value* is a strictly positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class BlobSeerConfig:
+    """Static configuration of a BlobSeer deployment.
+
+    Parameters
+    ----------
+    page_size:
+        Size of a page in bytes.  Must be a power of two (the segment tree
+        relies on halving ranges exactly).
+    num_data_providers:
+        Number of data provider processes in the deployment.
+    num_metadata_providers:
+        Number of DHT buckets / metadata provider processes.
+    replication:
+        Number of replicas stored for each page and each metadata node.
+    allocation_strategy:
+        Name of the page-to-provider allocation strategy registered with the
+        provider manager (``"round_robin"``, ``"random"``, ``"least_loaded"``).
+    dht_strategy:
+        Key distribution scheme of the metadata DHT: ``"static"`` (modulo
+        hashing, as in the paper's custom DHT) or ``"consistent"`` (hash
+        ring).
+    update_timeout:
+        Seconds after which the version manager may abort an in-flight update
+        that never completed, so publication of later versions is not stalled
+        forever.  ``None`` disables the timeout (paper behaviour).
+    verify_checksums:
+        When True, page payloads are checksummed on write and verified on
+        read.
+    encode_metadata:
+        When True, metadata tree nodes are serialized to their wire format
+        (see :mod:`repro.metadata.serialization`) before being stored in the
+        DHT, as a networked deployment would ship them.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    num_data_providers: int = 16
+    num_metadata_providers: int = 16
+    replication: int = 1
+    allocation_strategy: str = "round_robin"
+    dht_strategy: str = "static"
+    update_timeout: float | None = None
+    verify_checksums: bool = False
+    encode_metadata: bool = False
+
+    def __post_init__(self) -> None:
+        _require(is_power_of_two(self.page_size),
+                 f"page_size must be a power of two, got {self.page_size}")
+        _require(self.num_data_providers >= 1,
+                 "num_data_providers must be >= 1")
+        _require(self.num_metadata_providers >= 1,
+                 "num_metadata_providers must be >= 1")
+        _require(1 <= self.replication <= self.num_data_providers,
+                 "replication must be between 1 and num_data_providers")
+        _require(self.allocation_strategy in
+                 ("round_robin", "random", "least_loaded"),
+                 f"unknown allocation strategy {self.allocation_strategy!r}")
+        _require(self.dht_strategy in ("static", "consistent"),
+                 f"unknown dht strategy {self.dht_strategy!r}")
+        if self.update_timeout is not None:
+            _require(self.update_timeout > 0, "update_timeout must be > 0")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of the simulated testbed (Grid'5000 Rennes, Section 5).
+
+    The paper reports 1 Gbit/s intra-cluster links with a measured TCP
+    throughput of 117.5 MB/s and a latency of 0.1 ms.  Per-request overheads
+    model the fixed cost of an RPC (connection reuse, marshalling) beyond the
+    raw link latency, and a small service time at the version manager models
+    the serialization of version assignment (paper Section 4.3).
+    """
+
+    #: Payload bandwidth of a node's NIC in bytes/second (measured TCP).
+    nic_bandwidth: float = 117.5 * MiB
+    #: One-way network latency in seconds.
+    latency: float = 0.1e-3
+    #: Fixed per-request software overhead charged at the data path endpoints
+    #: (TCP request/response handling, marshalling) in seconds.
+    rpc_overhead: float = 0.15e-3
+    #: Per-message overhead of the (small, pipelined) metadata/DHT messages.
+    metadata_rpc_overhead: float = 0.02e-3
+    #: Serialized service time of one version-manager request, in seconds.
+    version_manager_service_time: float = 0.02e-3
+    #: Serialized service time of one DHT get/put at a metadata provider.
+    metadata_service_time: float = 0.01e-3
+    #: Bytes of an encoded metadata tree node travelling over the network.
+    metadata_node_size: int = 128
+    #: Per-page service time at a data provider (buffer handling, disk cache).
+    page_service_time: float = 0.03e-3
+
+    def __post_init__(self) -> None:
+        _require(self.nic_bandwidth > 0, "nic_bandwidth must be > 0")
+        _require(self.latency >= 0, "latency must be >= 0")
+        _require(self.rpc_overhead >= 0, "rpc_overhead must be >= 0")
+        _require(self.metadata_rpc_overhead >= 0,
+                 "metadata_rpc_overhead must be >= 0")
+        _require(self.version_manager_service_time >= 0,
+                 "version_manager_service_time must be >= 0")
+        _require(self.metadata_service_time >= 0,
+                 "metadata_service_time must be >= 0")
+        _require(self.metadata_node_size >= 0,
+                 "metadata_node_size must be >= 0")
+        _require(self.page_service_time >= 0, "page_service_time must be >= 0")
+
+
+#: Simulation profile matching the paper's measured testbed numbers.
+GRID5000_PROFILE = SimConfig()
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """How many nodes play each role in a (simulated) deployment.
+
+    The paper co-deploys a data provider and a metadata provider on every
+    non-dedicated node, and dedicates one node to the version manager and one
+    to the provider manager.
+    """
+
+    num_provider_nodes: int = 173
+    clients: int = 1
+    co_deploy_metadata: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.num_provider_nodes >= 1,
+                 "num_provider_nodes must be >= 1")
+        _require(self.clients >= 1, "clients must be >= 1")
+
+    @property
+    def num_data_providers(self) -> int:
+        return self.num_provider_nodes
+
+    @property
+    def num_metadata_providers(self) -> int:
+        return self.num_provider_nodes if self.co_deploy_metadata else 1

@@ -1,0 +1,25 @@
+"""Public client API of the BlobSeer reproduction.
+
+* :class:`~repro.core.cluster.Cluster` — an in-process deployment wiring
+  together the version manager, provider manager, data providers and the
+  metadata DHT.
+* :class:`~repro.core.blob_store.BlobStore` — the client implementing the
+  paper's primitives (CREATE, WRITE, APPEND, READ, GET_RECENT, GET_SIZE,
+  SYNC, BRANCH).
+* :class:`~repro.core.blob.Blob` — an object-style handle over one blob.
+"""
+
+from .cluster import Cluster
+from .blob_store import BlobStore, ReadStats, WriteResult
+from .blob import Blob
+from .io import AppendWriter, SnapshotReader
+
+__all__ = [
+    "Cluster",
+    "BlobStore",
+    "Blob",
+    "ReadStats",
+    "WriteResult",
+    "AppendWriter",
+    "SnapshotReader",
+]

@@ -1,0 +1,104 @@
+"""Object-style handle over one blob.
+
+:class:`Blob` is a small convenience wrapper over :class:`BlobStore` for
+applications that work with a single blob at a time (the quickstart example
+uses it).  All methods delegate to the store, so the paper's semantics —
+versions, publication, branching — are unchanged.
+"""
+
+from __future__ import annotations
+
+from .blob_store import BlobStore
+
+
+class Blob:
+    """A handle to one blob managed by a :class:`BlobStore`."""
+
+    def __init__(self, store: BlobStore, blob_id: str):
+        self._store = store
+        self._blob_id = blob_id
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def blob_id(self) -> str:
+        return self._blob_id
+
+    @property
+    def store(self) -> BlobStore:
+        return self._store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Blob({self._blob_id!r})"
+
+    # -- creation --------------------------------------------------------------
+    @classmethod
+    def create(cls, store: BlobStore, page_size: int | None = None) -> "Blob":
+        """CREATE a new blob and return its handle."""
+        return cls(store, store.create(page_size))
+
+    # -- primitives -------------------------------------------------------------
+    def write(self, data: bytes, offset: int) -> int:
+        """WRITE ``data`` at ``offset``; return the assigned snapshot version."""
+        return self._store.write(self._blob_id, data, offset)
+
+    def append(self, data: bytes) -> int:
+        """APPEND ``data`` at the end of the blob; return the version."""
+        return self._store.append(self._blob_id, data)
+
+    def read(self, version: int, offset: int, size: int) -> bytes:
+        """READ ``size`` bytes at ``offset`` from snapshot ``version``."""
+        return self._store.read(self._blob_id, version, offset, size)
+
+    def read_recent(self, offset: int, size: int) -> tuple[int, bytes]:
+        """READ from the most recently published snapshot; return (version, data)."""
+        return self._store.read_recent(self._blob_id, offset, size)
+
+    def get_recent(self) -> int:
+        """GET_RECENT: a recently published snapshot version."""
+        return self._store.get_recent(self._blob_id)
+
+    def get_size(self, version: int | None = None) -> int:
+        """GET_SIZE of ``version`` (default: the most recent published one)."""
+        if version is None:
+            version = self.get_recent()
+        return self._store.get_size(self._blob_id, version)
+
+    def sync(self, version: int, timeout: float | None = None) -> None:
+        """SYNC: block until ``version`` is published."""
+        self._store.sync(self._blob_id, version, timeout)
+
+    def branch(self, version: int | None = None) -> "Blob":
+        """BRANCH the blob at ``version`` (default: most recent published)."""
+        if version is None:
+            version = self.get_recent()
+        return Blob(self._store, self._store.branch(self._blob_id, version))
+
+    # -- file-like adapters -------------------------------------------------------
+    def open_reader(self, version: int | None = None):
+        """Return a read-only, seekable file object over one snapshot.
+
+        See :class:`repro.core.io.SnapshotReader`.
+        """
+        from .io import SnapshotReader
+
+        return SnapshotReader(self._store, self._blob_id, version)
+
+    def open_writer(self, flush_threshold: int = 1 << 20):
+        """Return an append-only file object producing new snapshots.
+
+        See :class:`repro.core.io.AppendWriter`.
+        """
+        from .io import AppendWriter
+
+        return AppendWriter(self._store, self._blob_id, flush_threshold)
+
+    # -- conveniences -----------------------------------------------------------
+    def read_all(self, version: int | None = None) -> bytes:
+        """Read the full contents of a snapshot."""
+        if version is None:
+            version = self.get_recent()
+        return self.read(version, 0, self.get_size(version))
+
+    def versions(self) -> list[int]:
+        """Published versions of this blob, oldest first (0 = empty snapshot)."""
+        return list(range(0, self.get_recent() + 1))

@@ -1,0 +1,504 @@
+"""The BlobSeer client: CREATE, WRITE, APPEND, READ, GET_RECENT, GET_SIZE,
+SYNC and BRANCH (paper, Section 2.1).
+
+A :class:`BlobStore` is what an application links against.  Several
+``BlobStore`` instances (one per thread, or one shared — the class is
+thread-safe) can operate concurrently against the same :class:`Cluster`,
+which is how the concurrency tests model the paper's "arbitrarily large
+number of concurrent clients".
+
+Write path (Algorithm 2): pages are stored on data providers chosen by the
+provider manager, the version manager assigns the snapshot version and
+returns the border-node hints, the client weaves the new metadata tree into
+the old one, and finally notifies the version manager, which publishes
+versions in total order.
+
+Read path (Algorithms 1 and 3): the client checks publication with the
+version manager, walks the segment tree of the requested snapshot through
+the metadata DHT, then fetches the needed (parts of) pages from the data
+providers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import InvalidRangeError, VersionNotPublishedError
+from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
+from ..metadata.geometry import pages_for_size, span_for_pages
+from ..metadata.node import NodeKey, NodeRef, PageDescriptor, TreeNode
+from ..metadata.read_plan import ReadPlanResult, drive_plan, read_plan
+from ..util.ranges import covering_page_range, is_aligned
+from ..version.records import BlobRecord, UpdateTicket, resolve_owner
+from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Detailed outcome of a WRITE/APPEND (``*_ex`` variants)."""
+
+    version: int
+    bytes_written: int
+    pages_written: int
+    metadata_nodes_written: int
+    border_nodes_fetched: int
+
+
+@dataclass(frozen=True)
+class ReadStats:
+    """Detailed outcome of a READ (``read_ex``)."""
+
+    version: int
+    bytes_read: int
+    pages_fetched: int
+    metadata_nodes_fetched: int
+
+
+class BlobStore:
+    """Client front-end to a BlobSeer :class:`Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The deployment to operate against.
+    parallel_io:
+        When > 1, pages are stored/fetched with a thread pool of that many
+        workers, mirroring the paper's parallel page transfers.  The default
+        (sequential) is usually faster in-process because of the GIL.
+    strict_unaligned:
+        When True, unaligned WRITEs register their version first and wait for
+        the previous snapshot before filling boundary pages, giving exact
+        read-modify-write semantics at page boundaries even under concurrent
+        overlapping writers (at the cost of serializing those writers).  The
+        default fills boundaries from the most recently *published* snapshot,
+        which matches the paper's lock-free spirit.
+    cache_metadata:
+        When True, fetched metadata tree nodes are cached client-side.
+        Nodes are immutable once written (the paper's key design choice), so
+        the cache never needs invalidation; repeated reads of overlapping
+        ranges or nearby versions skip most DHT round trips.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        parallel_io: int = 0,
+        strict_unaligned: bool = False,
+        cache_metadata: bool = False,
+    ):
+        self._cluster = cluster
+        self._vm = cluster.version_manager
+        self._pm = cluster.provider_manager
+        self._meta = cluster.metadata_provider
+        self._parallel_io = max(int(parallel_io), 0)
+        self._strict_unaligned = strict_unaligned
+        self._node_cache: dict[NodeKey, TreeNode] | None = (
+            {} if cache_metadata else None
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------ CREATE
+    def create(self, page_size: int | None = None) -> str:
+        """CREATE: make a new blob with an empty, published snapshot 0."""
+        return self._vm.create_blob(page_size).blob_id
+
+    # ------------------------------------------------------------------- WRITE
+    def write(self, blob_id: str, data: bytes, offset: int) -> int:
+        """WRITE: replace ``len(data)`` bytes at ``offset``; return the new
+        snapshot version (which may not be published yet — use SYNC)."""
+        return self.write_ex(blob_id, data, offset).version
+
+    def write_ex(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
+        data = bytes(data)
+        if offset < 0:
+            raise InvalidRangeError(f"negative write offset: {offset}")
+        if not data:
+            raise InvalidRangeError("WRITE requires a non-empty buffer")
+        record = self._vm.get_record(blob_id)
+        page_size = record.page_size
+
+        if is_aligned(offset, len(data), page_size) and not self._strict_unaligned:
+            return self._write_aligned(record, data, offset)
+        if self._strict_unaligned:
+            return self._write_strict(record, data, offset)
+        return self._write_unaligned(record, data, offset)
+
+    # ------------------------------------------------------------------ APPEND
+    def append(self, blob_id: str, data: bytes) -> int:
+        """APPEND: WRITE at the end of the previous snapshot; the offset is
+        chosen by the version manager."""
+        return self.append_ex(blob_id, data).version
+
+    def append_ex(self, blob_id: str, data: bytes) -> WriteResult:
+        data = bytes(data)
+        if not data:
+            raise InvalidRangeError("APPEND requires a non-empty buffer")
+        record = self._vm.get_record(blob_id)
+        ticket = self._vm.register_update(record.blob_id, len(data), is_append=True)
+        try:
+            reference_version: int | None = None
+            if ticket.byte_offset % record.page_size != 0 and ticket.version > 1:
+                # The append starts inside the tail page of the previous
+                # snapshot: wait for it so the boundary bytes are exact.
+                self._vm.sync(record.blob_id, ticket.version - 1)
+                reference_version = ticket.version - 1
+            payloads = self._compose_page_payloads(
+                record, ticket, data, reference_version=reference_version
+            )
+            descriptors = self._store_pages(record, ticket, payloads)
+            return self._finish_update(record, ticket, descriptors)
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "append failed")
+            raise
+
+    # -------------------------------------------------------------------- READ
+    def read(self, blob_id: str, version: int, offset: int, size: int) -> bytes:
+        """READ: return ``size`` bytes at ``offset`` from snapshot ``version``.
+
+        Fails when the version is not published or the range exceeds the
+        snapshot size (paper, Section 2.1).
+        """
+        data, _stats = self.read_ex(blob_id, version, offset, size)
+        return data
+
+    def read_ex(
+        self, blob_id: str, version: int, offset: int, size: int
+    ) -> tuple[bytes, ReadStats]:
+        if offset < 0 or size < 0:
+            raise InvalidRangeError(f"negative read offset/size ({offset}, {size})")
+        record = self._vm.get_record(blob_id)
+        if not self._vm.is_published(blob_id, version):
+            raise VersionNotPublishedError(blob_id, version)
+        snapshot_size = self._vm.get_size(blob_id, version)
+        if offset + size > snapshot_size:
+            raise InvalidRangeError(
+                f"read range ({offset}, {size}) exceeds snapshot {version} "
+                f"size {snapshot_size}"
+            )
+        if size == 0:
+            return b"", ReadStats(version, 0, 0, 0)
+
+        page_size = record.page_size
+        page_offset, page_count = covering_page_range(offset, size, page_size)
+        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        plan_result = self._run_read_plan(record, version, span, page_offset, page_count)
+
+        buffer = bytearray(size)
+        descriptors = plan_result.sorted_descriptors()
+        self._fetch_pages_into(record, descriptors, buffer, offset, size)
+        stats = ReadStats(
+            version=version,
+            bytes_read=size,
+            pages_fetched=len(descriptors),
+            metadata_nodes_fetched=plan_result.nodes_fetched,
+        )
+        return bytes(buffer), stats
+
+    def read_recent(self, blob_id: str, offset: int, size: int) -> tuple[int, bytes]:
+        """Convenience: READ from the most recently published snapshot."""
+        version = self.get_recent(blob_id)
+        return version, self.read(blob_id, version, offset, size)
+
+    # ------------------------------------------------------- version primitives
+    def get_recent(self, blob_id: str) -> int:
+        """GET_RECENT: a recently published snapshot version."""
+        return self._vm.get_recent(blob_id)
+
+    def get_size(self, blob_id: str, version: int) -> int:
+        """GET_SIZE: size in bytes of a published snapshot."""
+        return self._vm.get_size(blob_id, version)
+
+    def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
+        """SYNC: block until ``version`` is published ("read your writes")."""
+        self._vm.sync(blob_id, version, timeout)
+
+    def branch(self, blob_id: str, version: int) -> str:
+        """BRANCH: virtually duplicate the blob up to ``version``; return the
+        new blob id."""
+        return self._vm.branch(blob_id, version).blob_id
+
+    # ---------------------------------------------------------------- internals
+    def _write_aligned(
+        self, record: BlobRecord, data: bytes, offset: int
+    ) -> WriteResult:
+        """Fast path for page-aligned writes: pages are stored *before* the
+        version is assigned, exactly as in Algorithm 2."""
+        page_size = record.page_size
+        first_page = offset // page_size
+        payloads = [
+            (first_page + index, data[index * page_size:(index + 1) * page_size])
+            for index in range(len(data) // page_size)
+        ]
+        descriptors = self._store_payloads(payloads)
+        try:
+            ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        except Exception:
+            self._discard_pages(descriptors)
+            raise
+        try:
+            return self._finish_update(record, ticket, descriptors)
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    def _write_unaligned(
+        self, record: BlobRecord, data: bytes, offset: int
+    ) -> WriteResult:
+        """Unaligned write: boundary pages are completed from the most
+        recently published snapshot, then the update proceeds as usual."""
+        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        try:
+            payloads = self._compose_page_payloads(record, ticket, data)
+            descriptors = self._store_pages(record, ticket, payloads)
+            return self._finish_update(record, ticket, descriptors)
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    def _write_strict(
+        self, record: BlobRecord, data: bytes, offset: int
+    ) -> WriteResult:
+        """Strict unaligned write: wait for the previous snapshot so boundary
+        bytes are taken from exactly version - 1."""
+        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        try:
+            if ticket.version > 1:
+                self._vm.sync(record.blob_id, ticket.version - 1)
+            payloads = self._compose_page_payloads(
+                record, ticket, data, reference_version=ticket.version - 1
+            )
+            descriptors = self._store_pages(record, ticket, payloads)
+            return self._finish_update(record, ticket, descriptors)
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    def _compose_page_payloads(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        data: bytes,
+        reference_version: int | None = None,
+    ) -> list[tuple[int, bytes]]:
+        """Split ``data`` into per-page payloads, merging boundary pages with
+        existing content where the update is not page-aligned.
+
+        Returns ``(page_index, payload)`` pairs covering the ticket's page
+        range exactly.
+        """
+        page_size = record.page_size
+        offset = ticket.byte_offset
+        size = ticket.byte_size
+        first_page = ticket.page_offset
+        last_page = first_page + ticket.page_count - 1
+
+        # Content outside the written range but inside the previous snapshot
+        # must be preserved: figure out which reference snapshot supplies it.
+        if reference_version is None:
+            reference_version = self._vm.get_recent(record.blob_id)
+        reference_size = (
+            self._vm.get_size(record.blob_id, reference_version)
+            if reference_version > 0
+            else 0
+        )
+
+        payloads: list[tuple[int, bytes]] = []
+        for page_index in range(first_page, last_page + 1):
+            page_start = page_index * page_size
+            page_end = page_start + page_size
+            write_start = max(offset, page_start)
+            write_end = min(offset + size, page_end)
+            prefix = b""
+            suffix = b""
+            if write_start > page_start:
+                # Bytes [page_start, write_start) must come from old content.
+                available = min(write_start, reference_size) - page_start
+                if available > 0:
+                    prefix = self.read(
+                        record.blob_id, reference_version, page_start, available
+                    )
+                prefix = prefix.ljust(write_start - page_start, b"\x00")
+            if write_end < page_end:
+                # Preserve old bytes between the end of the write and the end
+                # of the previous snapshot (capped at the page boundary).
+                old_end = min(reference_size, page_end)
+                if old_end > write_end:
+                    suffix = self.read(
+                        record.blob_id, reference_version, write_end, old_end - write_end
+                    )
+            payload = (
+                prefix
+                + data[write_start - offset:write_end - offset]
+                + suffix
+            )
+            payloads.append((page_index, payload))
+        return payloads
+
+    def _store_pages(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        payloads: list[tuple[int, bytes]],
+    ) -> list[PageDescriptor]:
+        return self._store_payloads(payloads)
+
+    def _store_payloads(
+        self, payloads: list[tuple[int, bytes]]
+    ) -> list[PageDescriptor]:
+        """Store one payload per page on providers chosen by the provider
+        manager; return the page descriptors (paper's ``PD`` set)."""
+        provider_ids = self._pm.allocate(len(payloads))
+        descriptors: list[PageDescriptor] = []
+        jobs: list[tuple[str, str, bytes]] = []
+        for (page_index, payload), provider_id in zip(payloads, provider_ids):
+            page_id = self._cluster._ids.next_page_id()
+            descriptors.append(
+                PageDescriptor(
+                    page_index=page_index,
+                    page_id=page_id,
+                    provider_id=provider_id,
+                    length=len(payload),
+                )
+            )
+            jobs.append((provider_id, page_id, payload))
+
+        def store(job: tuple[str, str, bytes]) -> None:
+            provider_id, page_id, payload = job
+            self._pm.provider(provider_id).store_page(page_id, payload)
+
+        self._run_jobs(store, jobs)
+        return descriptors
+
+    def _discard_pages(self, descriptors: list[PageDescriptor]) -> None:
+        """Best-effort garbage collection of pages of a failed update."""
+        for descriptor in descriptors:
+            try:
+                self._pm.provider(descriptor.provider_id).delete_page(
+                    descriptor.page_id
+                )
+            except Exception:  # noqa: BLE001 - GC must never mask the real error
+                continue
+
+    def _finish_update(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        descriptors: list[PageDescriptor],
+    ) -> WriteResult:
+        """Resolve border nodes, build and store the new metadata tree, then
+        notify the version manager (Algorithm 2, lines 10-13)."""
+        needed, dangling = border_targets(
+            ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
+        )
+        spec = self._resolve_borders(record, ticket, needed, dangling)
+        build = build_nodes(
+            ticket.version,
+            ticket.page_offset,
+            ticket.page_count,
+            ticket.span,
+            descriptors,
+            spec,
+        )
+        items = [
+            (NodeKey(record.blob_id, ref.version, ref.offset, ref.size), node)
+            for ref, node in build.nodes
+        ]
+        self._meta.put_nodes(items)
+        self._vm.complete_update(record.blob_id, ticket.version)
+        return WriteResult(
+            version=ticket.version,
+            bytes_written=ticket.byte_size,
+            pages_written=len(descriptors),
+            metadata_nodes_written=len(items),
+            border_nodes_fetched=spec.nodes_fetched,
+        )
+
+    def _resolve_borders(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        needed: list[tuple[int, int]],
+        dangling: list[tuple[int, int]],
+    ) -> BorderSpec:
+        plan = border_plan(
+            needed,
+            dangling,
+            ticket.published_version if ticket.published_version else None,
+            ticket.published_num_pages,
+            ticket.inflight_tuples(),
+        )
+        return drive_plan(plan, lambda ref: self._fetch_node(record, ref))
+
+    def _run_read_plan(
+        self,
+        record: BlobRecord,
+        version: int,
+        span: int,
+        page_offset: int,
+        page_count: int,
+    ) -> ReadPlanResult:
+        plan = read_plan(version, span, page_offset, page_count)
+        return drive_plan(plan, lambda ref: self._fetch_node(record, ref))
+
+    def _fetch_node(self, record: BlobRecord, ref: NodeRef) -> TreeNode:
+        """Fetch one tree node, resolving branch lineage to the owning blob.
+
+        When client-side caching is enabled, nodes are served from the cache:
+        tree nodes are immutable, so a cached copy is always valid.
+        """
+        owner = resolve_owner(record, ref.version)
+        key = NodeKey(owner, ref.version, ref.offset, ref.size)
+        if self._node_cache is None:
+            return self._meta.get_node(key)
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        node = self._meta.get_node(key)
+        self._node_cache[key] = node
+        return node
+
+    def metadata_cache_stats(self) -> tuple[int, int, int]:
+        """Return ``(hits, misses, cached_nodes)`` of the client node cache."""
+        cached = len(self._node_cache) if self._node_cache is not None else 0
+        return self._cache_hits, self._cache_misses, cached
+
+    def _fetch_pages_into(
+        self,
+        record: BlobRecord,
+        descriptors: list[PageDescriptor],
+        buffer: bytearray,
+        offset: int,
+        size: int,
+    ) -> None:
+        """Fetch the needed byte range of every page into ``buffer``."""
+        page_size = record.page_size
+
+        def fetch(descriptor: PageDescriptor) -> None:
+            page_start = descriptor.page_index * page_size
+            page_end = page_start + page_size
+            want_start = max(offset, page_start)
+            want_end = min(offset + size, page_end)
+            if want_end <= want_start:
+                return
+            provider = self._pm.provider(descriptor.provider_id)
+            chunk = provider.fetch_page(
+                descriptor.page_id,
+                offset=want_start - page_start,
+                length=want_end - want_start,
+            )
+            buffer[want_start - offset:want_start - offset + len(chunk)] = chunk
+
+        self._run_jobs(fetch, descriptors)
+
+    def _run_jobs(self, func, jobs) -> None:
+        """Run ``func`` over ``jobs`` sequentially or with a thread pool."""
+        if self._parallel_io > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self._parallel_io) as pool:
+                list(pool.map(func, jobs))
+        else:
+            for job in jobs:
+                func(job)

@@ -1,0 +1,118 @@
+"""In-process deployment of every BlobSeer role.
+
+A :class:`Cluster` wires together the distributed actors described in
+Section 3.1 of the paper — data providers, the provider manager, the
+metadata provider (a DHT) and the version manager — inside a single process.
+Real threads can act as concurrent clients against it; every component is
+individually lockable, killable and observable, which is what the tests and
+the correctness-oriented examples use.  (Wall-clock performance experiments
+use :mod:`repro.sim` instead.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..config import BlobSeerConfig
+from ..dht.dht import DHT
+from ..metadata.metadata_provider import MetadataProvider
+from ..providers.allocation import make_allocation_strategy
+from ..providers.data_provider import DataProvider
+from ..providers.page_store import InMemoryPageStore, PageStore
+from ..providers.provider_manager import ProviderManager
+from ..util.ids import IdGenerator
+from ..version.version_manager import VersionManager
+
+
+class Cluster:
+    """A complete, in-process BlobSeer deployment."""
+
+    def __init__(
+        self,
+        config: BlobSeerConfig | None = None,
+        page_store_factory: Callable[[str], PageStore] | None = None,
+        seed: int | None = None,
+    ):
+        self.config = config if config is not None else BlobSeerConfig()
+        self._ids = IdGenerator("bs")
+        factory = page_store_factory or (lambda _provider_id: InMemoryPageStore())
+
+        strategy = make_allocation_strategy(
+            self.config.allocation_strategy,
+            seed=seed,
+            page_size_hint=self.config.page_size,
+        )
+        self.provider_manager = ProviderManager(strategy)
+        for index in range(self.config.num_data_providers):
+            provider_id = f"data-{index:04d}"
+            provider = DataProvider(
+                provider_id,
+                store=factory(provider_id),
+                verify_checksums=self.config.verify_checksums,
+            )
+            self.provider_manager.register(provider)
+
+        self.dht = DHT(
+            num_buckets=self.config.num_metadata_providers,
+            strategy=self.config.dht_strategy,
+            replication=self.config.replication,
+        )
+        self.metadata_provider = MetadataProvider(
+            self.dht, encode_values=self.config.encode_metadata
+        )
+        self.version_manager = VersionManager(self.config, id_generator=self._ids)
+
+    # -- convenience constructors -------------------------------------------
+    @classmethod
+    def in_memory(
+        cls,
+        num_data_providers: int = 16,
+        num_metadata_providers: int = 16,
+        page_size: int = BlobSeerConfig().page_size,
+        **overrides,
+    ) -> "Cluster":
+        """Build a small in-memory cluster with sensible defaults."""
+        config = BlobSeerConfig(
+            page_size=page_size,
+            num_data_providers=num_data_providers,
+            num_metadata_providers=num_metadata_providers,
+            **overrides,
+        )
+        return cls(config)
+
+    # -- failure injection ----------------------------------------------------
+    def kill_data_provider(self, provider_id: str) -> None:
+        """Crash a data provider (its pages become unreachable)."""
+        self.provider_manager.provider(provider_id).kill()
+        self.provider_manager.deregister(provider_id)
+
+    def revive_data_provider(self, provider_id: str) -> None:
+        provider = self.provider_manager.provider(provider_id)
+        provider.revive()
+        self.provider_manager.register(provider)
+
+    def kill_metadata_bucket(self, bucket_id: str) -> None:
+        """Crash one metadata DHT bucket."""
+        self.dht.kill_bucket(bucket_id)
+
+    def revive_metadata_bucket(self, bucket_id: str) -> None:
+        self.dht.revive_bucket(bucket_id)
+
+    # -- introspection ----------------------------------------------------------
+    def storage_bytes_used(self) -> int:
+        """Total page payload bytes stored across all data providers."""
+        return self.provider_manager.total_bytes_used()
+
+    def stored_page_count(self) -> int:
+        return self.provider_manager.total_pages()
+
+    def metadata_node_count(self) -> int:
+        return self.metadata_provider.node_count()
+
+    def page_load_distribution(self) -> dict[str, int]:
+        """Bytes stored per data provider (even-distribution checks)."""
+        return self.provider_manager.load_distribution()
+
+    def metadata_load_distribution(self) -> dict[str, int]:
+        """Metadata nodes stored per DHT bucket."""
+        return self.dht.load_distribution()

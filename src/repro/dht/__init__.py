@@ -1,0 +1,28 @@
+"""Custom DHT used as the metadata-provider substrate.
+
+The paper implements its distributed metadata provider as "a custom DHT
+(Distributed Hash Table) based on a simple static distribution scheme"
+(Section 5).  This package provides:
+
+* :mod:`repro.dht.hashing` — key-to-bucket placement strategies: the paper's
+  static (modulo) scheme and a consistent-hashing ring.
+* :mod:`repro.dht.storage` — the per-node bucket store (a thread-safe
+  key/value map with statistics and failure injection).
+* :mod:`repro.dht.dht` — the client-facing DHT combining placement,
+  replication and bucket stores.
+"""
+
+from .hashing import ConsistentHashRing, HashPlacement, StaticPlacement, stable_hash
+from .storage import BucketStats, BucketStore
+from .dht import DHT, DHTStats
+
+__all__ = [
+    "ConsistentHashRing",
+    "HashPlacement",
+    "StaticPlacement",
+    "stable_hash",
+    "BucketStats",
+    "BucketStore",
+    "DHT",
+    "DHTStats",
+]

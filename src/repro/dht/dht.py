@@ -1,0 +1,147 @@
+"""Client-facing DHT combining placement, replication and bucket stores.
+
+The DHT stores metadata tree nodes for the metadata provider (Section 4.1 of
+the paper: "Tree nodes are stored on the metadata provider in a distributed
+way, using a simple DHT").  Values are written to ``replication`` buckets and
+read from the first live replica, which is the minimal fault-tolerance hook
+the paper defers to future work.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import MetadataNotFoundError, ProviderUnavailableError
+from .hashing import HashPlacement, make_placement
+from .storage import BucketStore
+
+
+@dataclass
+class DHTStats:
+    """Aggregate access statistics across all buckets."""
+
+    puts: int = 0
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    keys: int = 0
+    buckets: int = 0
+
+    @property
+    def max_keys_per_bucket(self) -> int:  # populated by DHT.stats()
+        return getattr(self, "_max_keys_per_bucket", 0)
+
+
+class DHT:
+    """A replicated key/value store spread over :class:`BucketStore` nodes."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        strategy: str = "static",
+        replication: int = 1,
+        bucket_id_prefix: str = "meta",
+    ):
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        bucket_ids = [f"{bucket_id_prefix}-{index:04d}" for index in range(num_buckets)]
+        self._buckets: dict[str, BucketStore] = {
+            bucket_id: BucketStore(bucket_id) for bucket_id in bucket_ids
+        }
+        self._placement: HashPlacement = make_placement(strategy, bucket_ids)
+        self._replication = min(replication, num_buckets)
+        self._lock = threading.Lock()
+
+    # -- topology ----------------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    def bucket_ids(self) -> list[str]:
+        return list(self._buckets)
+
+    def bucket(self, bucket_id: str) -> BucketStore:
+        return self._buckets[bucket_id]
+
+    def buckets_for(self, key: str) -> list[str]:
+        """Return the replica bucket ids responsible for *key*."""
+        return self._placement.buckets_for(key, self._replication)
+
+    def kill_bucket(self, bucket_id: str) -> None:
+        self._buckets[bucket_id].kill()
+
+    def revive_bucket(self, bucket_id: str) -> None:
+        self._buckets[bucket_id].revive()
+
+    # -- key/value API -----------------------------------------------------
+    def put(self, key: str, value: object) -> None:
+        """Store *value* on every live replica bucket of *key*.
+
+        The write succeeds when at least one replica accepted it; it raises
+        :class:`ProviderUnavailableError` only if every replica is down.
+        """
+        stored = 0
+        last_error: ProviderUnavailableError | None = None
+        for bucket_id in self.buckets_for(key):
+            try:
+                self._buckets[bucket_id].put(key, value)
+                stored += 1
+            except ProviderUnavailableError as error:
+                last_error = error
+        if stored == 0 and last_error is not None:
+            raise last_error
+
+    def get(self, key: str) -> object:
+        """Return the value stored under *key* from the first live replica."""
+        last_error: Exception | None = None
+        for bucket_id in self.buckets_for(key):
+            try:
+                return self._buckets[bucket_id].get(key)
+            except ProviderUnavailableError as error:
+                last_error = error
+            except MetadataNotFoundError as error:
+                last_error = error
+        if isinstance(last_error, ProviderUnavailableError):
+            raise last_error
+        raise MetadataNotFoundError(key)
+
+    def contains(self, key: str) -> bool:
+        for bucket_id in self.buckets_for(key):
+            try:
+                if self._buckets[bucket_id].contains(key):
+                    return True
+            except ProviderUnavailableError:
+                continue
+        return False
+
+    def delete(self, key: str) -> bool:
+        deleted = False
+        for bucket_id in self.buckets_for(key):
+            try:
+                deleted = self._buckets[bucket_id].delete(key) or deleted
+            except ProviderUnavailableError:
+                continue
+        return deleted
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> DHTStats:
+        """Aggregate statistics across buckets (used by benchmarks/tests)."""
+        total = DHTStats(buckets=len(self._buckets))
+        max_keys = 0
+        for store in self._buckets.values():
+            snap = store.stats
+            total.puts += snap.puts
+            total.gets += snap.gets
+            total.hits += snap.hits
+            total.misses += snap.misses
+            total.keys += snap.keys
+            max_keys = max(max_keys, snap.keys)
+        total._max_keys_per_bucket = max_keys  # type: ignore[attr-defined]
+        return total
+
+    def load_distribution(self) -> dict[str, int]:
+        """Return the number of keys stored per bucket."""
+        return {bucket_id: len(store) for bucket_id, store in self._buckets.items()}

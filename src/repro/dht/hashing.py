@@ -1,0 +1,128 @@
+"""Key placement strategies for the metadata DHT.
+
+Two strategies are provided:
+
+* :class:`StaticPlacement` — the paper's "simple static distribution scheme":
+  a key is hashed and mapped to ``hash(key) % num_buckets``.  Replicas go to
+  the following buckets in index order.
+* :class:`ConsistentHashRing` — a classic consistent-hashing ring with
+  virtual nodes, provided as an extension so that bucket membership changes
+  only relocate a fraction of the keys.
+
+Both use a *stable* hash (SHA-1 based) rather than Python's builtin ``hash``
+so that placement is reproducible across processes and runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+
+def stable_hash(key: str, salt: str = "") -> int:
+    """Return a stable 64-bit hash of *key* (independent of PYTHONHASHSEED)."""
+    digest = hashlib.sha1((salt + key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashPlacement(ABC):
+    """Maps a string key to an ordered list of bucket identifiers."""
+
+    @abstractmethod
+    def buckets_for(self, key: str, replicas: int = 1) -> list[str]:
+        """Return *replicas* distinct bucket ids responsible for *key*.
+
+        The first entry is the primary bucket.  If fewer buckets exist than
+        requested replicas, all buckets are returned.
+        """
+
+    @abstractmethod
+    def all_buckets(self) -> list[str]:
+        """Return every known bucket id."""
+
+
+class StaticPlacement(HashPlacement):
+    """Modulo placement over a fixed, ordered list of buckets.
+
+    This mirrors the custom DHT of the paper: the bucket set is fixed at
+    deployment time and a key always lands on ``hash(key) % len(buckets)``.
+    """
+
+    def __init__(self, bucket_ids: Sequence[str]):
+        if not bucket_ids:
+            raise ValueError("StaticPlacement requires at least one bucket")
+        self._buckets = list(bucket_ids)
+
+    def buckets_for(self, key: str, replicas: int = 1) -> list[str]:
+        count = min(max(replicas, 1), len(self._buckets))
+        primary = stable_hash(key) % len(self._buckets)
+        return [self._buckets[(primary + i) % len(self._buckets)]
+                for i in range(count)]
+
+    def all_buckets(self) -> list[str]:
+        return list(self._buckets)
+
+
+class ConsistentHashRing(HashPlacement):
+    """Consistent hashing with virtual nodes.
+
+    Each bucket is mapped to ``virtual_nodes`` points on a 64-bit ring; a key
+    is served by the first bucket clockwise from its hash.  Replicas are the
+    next *distinct* buckets along the ring.
+    """
+
+    def __init__(self, bucket_ids: Sequence[str], virtual_nodes: int = 64):
+        if not bucket_ids:
+            raise ValueError("ConsistentHashRing requires at least one bucket")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self._virtual_nodes = virtual_nodes
+        self._buckets: list[str] = []
+        self._ring: list[tuple[int, str]] = []
+        for bucket_id in bucket_ids:
+            self.add_bucket(bucket_id)
+
+    def add_bucket(self, bucket_id: str) -> None:
+        """Add a bucket (and its virtual nodes) to the ring."""
+        if bucket_id in self._buckets:
+            return
+        self._buckets.append(bucket_id)
+        for index in range(self._virtual_nodes):
+            point = stable_hash(bucket_id, salt=f"vn{index}:")
+            bisect.insort(self._ring, (point, bucket_id))
+
+    def remove_bucket(self, bucket_id: str) -> None:
+        """Remove a bucket and all its virtual nodes from the ring."""
+        if bucket_id not in self._buckets:
+            return
+        self._buckets.remove(bucket_id)
+        self._ring = [(p, b) for (p, b) in self._ring if b != bucket_id]
+
+    def buckets_for(self, key: str, replicas: int = 1) -> list[str]:
+        if not self._ring:
+            raise ValueError("hash ring is empty")
+        count = min(max(replicas, 1), len(self._buckets))
+        point = stable_hash(key)
+        start = bisect.bisect_right(self._ring, (point, "￿")) % len(self._ring)
+        chosen: list[str] = []
+        index = start
+        while len(chosen) < count:
+            bucket = self._ring[index][1]
+            if bucket not in chosen:
+                chosen.append(bucket)
+            index = (index + 1) % len(self._ring)
+        return chosen
+
+    def all_buckets(self) -> list[str]:
+        return list(self._buckets)
+
+
+def make_placement(strategy: str, bucket_ids: Sequence[str]) -> HashPlacement:
+    """Factory mapping a configuration string to a placement object."""
+    if strategy == "static":
+        return StaticPlacement(bucket_ids)
+    if strategy == "consistent":
+        return ConsistentHashRing(bucket_ids)
+    raise ValueError(f"unknown dht strategy: {strategy!r}")

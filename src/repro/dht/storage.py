@@ -1,0 +1,116 @@
+"""Per-node bucket store backing the metadata DHT.
+
+A :class:`BucketStore` is the state held by one metadata provider process in
+the paper: a key/value map guarded by a lock.  It tracks access statistics
+(used by the benchmarks to show how load spreads over metadata providers) and
+supports failure injection (``kill`` / ``revive``) for the fault-tolerance
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import MetadataNotFoundError, ProviderUnavailableError
+
+
+@dataclass
+class BucketStats:
+    """Access counters of a single bucket store."""
+
+    puts: int = 0
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    keys: int = 0
+
+    def snapshot(self) -> "BucketStats":
+        return BucketStats(self.puts, self.gets, self.hits, self.misses, self.keys)
+
+
+class BucketStore:
+    """Thread-safe key/value store held by one metadata provider node."""
+
+    def __init__(self, bucket_id: str):
+        self.bucket_id = bucket_id
+        self._items: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._alive = True
+        self._stats = BucketStats()
+
+    # -- failure injection -------------------------------------------------
+    def kill(self) -> None:
+        """Simulate a crash: further accesses raise ProviderUnavailableError."""
+        with self._lock:
+            self._alive = False
+
+    def revive(self) -> None:
+        """Bring a killed bucket back (its contents survive, as a restart)."""
+        with self._lock:
+            self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise ProviderUnavailableError(self.bucket_id)
+
+    # -- key/value API -----------------------------------------------------
+    def put(self, key: str, value: object, overwrite: bool = True) -> None:
+        """Store *value* under *key*.
+
+        Metadata tree nodes are immutable once written, so callers normally
+        leave ``overwrite`` True only because re-publishing the identical
+        node is harmless (idempotent writes from retries).
+        """
+        with self._lock:
+            self._check_alive()
+            if not overwrite and key in self._items:
+                return
+            self._items[key] = value
+            self._stats.puts += 1
+            self._stats.keys = len(self._items)
+
+    def get(self, key: str) -> object:
+        """Return the value stored under *key*.
+
+        Raises :class:`MetadataNotFoundError` when the key is absent.
+        """
+        with self._lock:
+            self._check_alive()
+            self._stats.gets += 1
+            if key not in self._items:
+                self._stats.misses += 1
+                raise MetadataNotFoundError(key)
+            self._stats.hits += 1
+            return self._items[key]
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            self._check_alive()
+            return key in self._items
+
+    def delete(self, key: str) -> bool:
+        """Remove *key*; return True when it existed."""
+        with self._lock:
+            self._check_alive()
+            existed = self._items.pop(key, None) is not None
+            self._stats.keys = len(self._items)
+            return existed
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            self._check_alive()
+            return list(self._items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def stats(self) -> BucketStats:
+        with self._lock:
+            return self._stats.snapshot()

@@ -1,0 +1,54 @@
+"""Distributed segment-tree metadata (Section 4 of the paper).
+
+Metadata is organized as a segment tree per snapshot version; nodes are
+shared between versions ("weaving") and stored in a DHT.  The algorithms are
+implemented *sans-IO*: tree traversal and border-node discovery are
+generators that yield node-fetch requests, and tree construction is a pure
+function.  The threaded client (:mod:`repro.core`) and the discrete-event
+simulator (:mod:`repro.sim`) drive the exact same code.
+"""
+
+from .node import InnerNode, LeafNode, NodeKey, NodeRef, PageDescriptor, TreeNode
+from .geometry import (
+    children_of,
+    is_leaf_range,
+    node_ranges_covering,
+    pages_for_size,
+    parent_of,
+    span_for_pages,
+    validate_node_range,
+)
+from .read_plan import ReadPlanResult, drive_plan, read_plan
+from .build import (
+    BorderSpec,
+    BuildResult,
+    border_plan,
+    border_targets,
+    build_nodes,
+)
+from .metadata_provider import MetadataProvider
+
+__all__ = [
+    "InnerNode",
+    "LeafNode",
+    "NodeKey",
+    "NodeRef",
+    "PageDescriptor",
+    "TreeNode",
+    "children_of",
+    "is_leaf_range",
+    "node_ranges_covering",
+    "pages_for_size",
+    "parent_of",
+    "span_for_pages",
+    "validate_node_range",
+    "ReadPlanResult",
+    "drive_plan",
+    "read_plan",
+    "BorderSpec",
+    "BuildResult",
+    "border_plan",
+    "border_targets",
+    "build_nodes",
+    "MetadataProvider",
+]

@@ -1,0 +1,69 @@
+"""The metadata provider: tree nodes stored in the DHT.
+
+The metadata provider "physically stores the metadata allowing clients to
+find the pages corresponding to the blob snapshot version" (Section 3.1) and
+is "implemented in a distributed way" over the custom DHT (Section 5).  This
+class is a thin, typed façade over :class:`repro.dht.DHT`: it serializes
+:class:`NodeKey` objects to DHT keys and validates node types.
+"""
+
+from __future__ import annotations
+
+from ..dht.dht import DHT
+from ..errors import MetadataNotFoundError
+from .node import InnerNode, LeafNode, NodeKey, TreeNode
+from .serialization import decode_node, encode_node
+
+
+class MetadataProvider:
+    """Stores and retrieves metadata tree nodes keyed by :class:`NodeKey`.
+
+    With ``encode_values=True`` nodes are serialized to their wire format
+    (see :mod:`repro.metadata.serialization`) before being handed to the
+    DHT, exactly as a networked deployment would ship them.
+    """
+
+    def __init__(self, dht: DHT, encode_values: bool = False):
+        self._dht = dht
+        self._encode = encode_values
+
+    @property
+    def dht(self) -> DHT:
+        return self._dht
+
+    def put_node(self, key: NodeKey, node: TreeNode) -> None:
+        """Store one tree node.  Nodes are immutable; re-puts are idempotent."""
+        if not isinstance(node, (InnerNode, LeafNode)):
+            raise TypeError(f"not a tree node: {node!r}")
+        value = encode_node(node) if self._encode else node
+        self._dht.put(key.to_string(), value)
+
+    def put_nodes(self, items: list[tuple[NodeKey, TreeNode]]) -> None:
+        """Store a batch of tree nodes (one DHT put per node).
+
+        The paper writes all new nodes "in parallel" (Algorithm 4, line 34);
+        in-process the puts are independent and order-insensitive, so a simple
+        loop preserves the semantics.
+        """
+        for key, node in items:
+            self.put_node(key, node)
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        """Fetch one tree node; raises :class:`MetadataNotFoundError` if absent."""
+        value = self._dht.get(key.to_string())
+        if isinstance(value, bytes):
+            return decode_node(value)
+        if not isinstance(value, (InnerNode, LeafNode)):
+            raise MetadataNotFoundError(key)
+        return value
+
+    def has_node(self, key: NodeKey) -> bool:
+        return self._dht.contains(key.to_string())
+
+    def delete_node(self, key: NodeKey) -> bool:
+        """Remove a node (used when garbage-collecting aborted updates)."""
+        return self._dht.delete(key.to_string())
+
+    def node_count(self) -> int:
+        """Total number of stored tree nodes across all DHT buckets."""
+        return self._dht.stats().keys

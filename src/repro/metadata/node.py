@@ -1,0 +1,103 @@
+"""Metadata tree node types.
+
+A tree node is identified uniquely by its *version* and the page range
+``(offset, size)`` it covers (paper, Section 4.1).  Inner nodes hold the
+versions of their left and right children; leaves hold the page id and the
+provider that stores the page.
+
+All offsets and sizes in this module are expressed in **pages**, not bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class NodeKey:
+    """Globally unique identity of a tree node in the metadata DHT.
+
+    ``blob_id`` is the blob that *created* the node (for branched blobs this
+    is resolved through the lineage), ``version`` the snapshot version whose
+    update created it, and ``(offset, size)`` the page range it covers.
+    """
+
+    blob_id: str
+    version: int
+    offset: int
+    size: int
+
+    def to_string(self) -> str:
+        """Serialize to the flat string used as the DHT key."""
+        return f"{self.blob_id}/{self.version}/{self.offset}/{self.size}"
+
+    @classmethod
+    def from_string(cls, raw: str) -> "NodeKey":
+        blob_id, version, offset, size = raw.rsplit("/", 3)
+        return cls(blob_id, int(version), int(offset), int(size))
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A (version, offset, size) reference to a node, without the blob id.
+
+    The sans-IO plans yield ``NodeRef`` requests; the driver resolves the
+    owning blob id (branch lineage) and turns them into :class:`NodeKey`.
+    """
+
+    version: int
+    offset: int
+    size: int
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """A leaf covers exactly one page and records where it is stored.
+
+    ``length`` is the number of valid bytes in the page — equal to the page
+    size except possibly for the last page of a snapshot.
+    """
+
+    page_id: str
+    provider_id: str
+    length: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class InnerNode:
+    """An inner node holds the versions of its left and right children.
+
+    A child version of ``None`` means the child subtree contains no pages of
+    any snapshot up to the node's version (the "incomplete binary tree" of
+    the paper's BUILD_META): readers never descend into it because their
+    range is bounded by the snapshot size.
+    """
+
+    left_version: int | None
+    right_version: int | None
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+TreeNode = LeafNode | InnerNode
+
+
+@dataclass(frozen=True)
+class PageDescriptor:
+    """Information needed to fetch one page during a READ (paper's ``PD`` set).
+
+    ``page_index`` is the absolute page index within the blob; ``page_id``
+    and ``provider_id`` locate the stored page; ``length`` is the number of
+    valid bytes in it.
+    """
+
+    page_index: int
+    page_id: str
+    provider_id: str
+    length: int

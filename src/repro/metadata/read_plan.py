@@ -1,0 +1,123 @@
+"""Sans-IO implementation of READ_META (paper, Algorithm 3).
+
+:func:`read_plan` is a generator that descends the segment tree of a
+snapshot to find the page descriptors covering a requested page range.  It
+*yields* :class:`~repro.metadata.node.NodeRef` fetch requests and is *sent*
+the corresponding :class:`TreeNode` values; it finally returns a
+:class:`ReadPlanResult`.
+
+Drivers:
+
+* the threaded client calls :func:`drive_plan` with a fetch function that
+  performs synchronous DHT lookups;
+* the discrete-event simulator advances the same generator, charging network
+  latency for each fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Generator
+
+from ..errors import InvalidRangeError, MetadataNotFoundError
+from ..util.ranges import intersects
+from .geometry import children_of, is_leaf_range, validate_node_range
+from .node import InnerNode, LeafNode, NodeRef, PageDescriptor, TreeNode
+
+
+@dataclass
+class ReadPlanResult:
+    """Outcome of a metadata read: the page descriptors plus traversal stats."""
+
+    descriptors: list[PageDescriptor] = field(default_factory=list)
+    nodes_fetched: int = 0
+    leaves_visited: int = 0
+    inner_visited: int = 0
+
+    def sorted_descriptors(self) -> list[PageDescriptor]:
+        return sorted(self.descriptors, key=lambda d: d.page_index)
+
+
+def read_plan(
+    root_version: int,
+    span: int,
+    page_offset: int,
+    page_count: int,
+) -> Generator[NodeRef, TreeNode, ReadPlanResult]:
+    """Plan the metadata traversal for reading ``page_count`` pages starting
+    at ``page_offset`` from the snapshot whose root node has version
+    ``root_version`` and spans ``span`` pages.
+
+    The traversal explores a node only when its range intersects the
+    requested range (Algorithm 3, lines 8–13).  Dangling child pointers
+    (``None``) are never followed: a read bounded by the snapshot size never
+    needs them.
+    """
+    result = ReadPlanResult()
+    if page_count <= 0:
+        return result
+    if span <= 0:
+        raise InvalidRangeError("cannot read from an empty snapshot")
+    if page_offset < 0 or page_offset + page_count > span:
+        raise InvalidRangeError(
+            f"page range ({page_offset}, {page_count}) outside tree span {span}"
+        )
+
+    # Stack of (version, offset, size) node references still to explore.
+    stack: list[NodeRef] = [NodeRef(root_version, 0, span)]
+    while stack:
+        ref = stack.pop()
+        validate_node_range(ref.offset, ref.size)
+        node = yield ref
+        result.nodes_fetched += 1
+        if is_leaf_range(ref.offset, ref.size):
+            if not isinstance(node, LeafNode):
+                raise MetadataNotFoundError(
+                    f"expected a leaf at ({ref.offset}, {ref.size}), got {node!r}"
+                )
+            result.leaves_visited += 1
+            result.descriptors.append(
+                PageDescriptor(
+                    page_index=ref.offset,
+                    page_id=node.page_id,
+                    provider_id=node.provider_id,
+                    length=node.length,
+                )
+            )
+            continue
+        if not isinstance(node, InnerNode):
+            raise MetadataNotFoundError(
+                f"expected an inner node at ({ref.offset}, {ref.size}), got {node!r}"
+            )
+        result.inner_visited += 1
+        (left_offset, left_size), (right_offset, right_size) = children_of(
+            ref.offset, ref.size
+        )
+        if node.right_version is not None and intersects(
+            right_offset, right_size, page_offset, page_count
+        ):
+            stack.append(NodeRef(node.right_version, right_offset, right_size))
+        if node.left_version is not None and intersects(
+            left_offset, left_size, page_offset, page_count
+        ):
+            stack.append(NodeRef(node.left_version, left_offset, left_size))
+    return result
+
+
+def drive_plan(
+    plan: Generator[NodeRef, TreeNode, "ReadPlanResult"],
+    fetch: Callable[[NodeRef], TreeNode],
+):
+    """Run a sans-IO plan to completion with a synchronous fetch function.
+
+    Works for any generator following the "yield a request, receive a value,
+    return a result" protocol (both :func:`read_plan` and
+    :func:`repro.metadata.build.border_plan`).
+    """
+    try:
+        request = next(plan)
+        while True:
+            value = fetch(request)
+            request = plan.send(value)
+    except StopIteration as stop:
+        return stop.value

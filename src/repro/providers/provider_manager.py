@@ -1,0 +1,115 @@
+"""The provider manager: tracks data providers and allocates pages to them."""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+from ..errors import NoProvidersError
+from .allocation import AllocationStrategy, RoundRobinAllocation
+from .data_provider import DataProvider
+
+
+class ProviderManager:
+    """Keeps information about available storage space (Section 3.1).
+
+    Joining data providers register here; the manager answers client requests
+    for "a list of n page providers capable of storing the pages" (WRITE,
+    Algorithm 2, line 2).  The manager also supports deregistration and
+    skips providers known to be dead, which is the hook used by the
+    fault-injection tests.
+    """
+
+    def __init__(self, strategy: AllocationStrategy | None = None):
+        self._strategy = strategy if strategy is not None else RoundRobinAllocation()
+        self._providers: dict[str, DataProvider] = {}
+        self._allocatable: set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- membership ----------------------------------------------------------
+    def register(self, provider: DataProvider) -> None:
+        """Register a data provider (idempotent)."""
+        with self._lock:
+            self._providers[provider.provider_id] = provider
+            self._allocatable.add(provider.provider_id)
+
+    def deregister(self, provider_id: str) -> None:
+        """Stop allocating new pages to a provider.
+
+        The provider stays in the directory so pages already stored on it
+        remain readable.
+        """
+        with self._lock:
+            self._allocatable.discard(provider_id)
+
+    def provider(self, provider_id: str) -> DataProvider:
+        with self._lock:
+            return self._providers[provider_id]
+
+    def provider_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._providers)
+
+    def allocatable_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._allocatable)
+
+    def providers(self) -> list[DataProvider]:
+        with self._lock:
+            return list(self._providers.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._providers)
+
+    # -- allocation ------------------------------------------------------------
+    def allocate(self, count: int) -> list[str]:
+        """Return *count* provider ids that should store the next pages.
+
+        Only live, allocatable providers are considered.  Raises
+        :class:`NoProvidersError` when none are available.
+        """
+        if count <= 0:
+            return []
+        with self._lock:
+            live = [
+                pid
+                for pid, p in self._providers.items()
+                if p.alive and pid in self._allocatable
+            ]
+            providers = dict(self._providers)
+        if not live:
+            raise NoProvidersError("no live data providers registered")
+
+        def load_of(provider_id: str) -> int:
+            return providers[provider_id].bytes_used()
+
+        return self._strategy.select(live, count, load_of)
+
+    def allocate_providers(self, count: int) -> list[DataProvider]:
+        """Like :meth:`allocate` but resolves ids to provider objects."""
+        ids = self.allocate(count)
+        with self._lock:
+            return [self._providers[pid] for pid in ids]
+
+    # -- introspection -----------------------------------------------------------
+    def total_bytes_used(self) -> int:
+        return sum(p.bytes_used() for p in self.providers())
+
+    def total_pages(self) -> int:
+        return sum(p.page_count() for p in self.providers())
+
+    def load_distribution(self) -> dict[str, int]:
+        """Bytes stored per provider — used to validate even distribution."""
+        return {p.provider_id: p.bytes_used() for p in self.providers()}
+
+    def imbalance(self) -> float:
+        """Return max/mean byte load across providers (1.0 = perfectly even).
+
+        Returns 0.0 when nothing is stored yet.
+        """
+        loads = list(self.load_distribution().values())
+        if not loads or sum(loads) == 0:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean

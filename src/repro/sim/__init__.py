@@ -1,0 +1,46 @@
+"""Discrete-event simulation of a Grid'5000-like testbed.
+
+The paper's evaluation (Section 5) runs on up to 175 physical nodes with
+1 Gbit/s NICs.  Python's GIL makes wall-clock concurrent-bandwidth
+measurements meaningless in-process, so the performance experiments are
+reproduced on a discrete-event simulator instead: per-node NIC pipes with
+FIFO serialization, one-way latency, and per-request software overheads.
+
+Crucially, the simulated clients drive the *real* BlobSeer code — the
+provider manager, the version manager, the DHT and the sans-IO segment-tree
+algorithms — so metadata traffic, tree depth and placement are exact; only
+byte payloads and timing are virtual.
+"""
+
+from .engine import AllOf, Event, Pipe, Process, Simulator
+from .network import Network, SimNode
+from .deployment import SimDeployment
+from .client import AppendOutcome, ReadOutcome, SimClient
+from .experiments import (
+    AppendSample,
+    MixedWorkloadSample,
+    ReadConcurrencySample,
+    run_append_growth_experiment,
+    run_mixed_workload_experiment,
+    run_read_concurrency_experiment,
+)
+
+__all__ = [
+    "AllOf",
+    "Event",
+    "Pipe",
+    "Process",
+    "Simulator",
+    "Network",
+    "SimNode",
+    "SimDeployment",
+    "SimClient",
+    "AppendOutcome",
+    "ReadOutcome",
+    "AppendSample",
+    "MixedWorkloadSample",
+    "ReadConcurrencySample",
+    "run_append_growth_experiment",
+    "run_mixed_workload_experiment",
+    "run_read_concurrency_experiment",
+]

@@ -1,0 +1,267 @@
+"""Simulated BlobSeer clients.
+
+A :class:`SimClient` executes the client-side algorithms of the paper —
+Algorithm 2 (WRITE/APPEND) and Algorithms 1 and 3 (READ) — as discrete-event
+processes: every page transfer, metadata round trip and version-manager call
+is charged to the simulated network, while the state changes (placement,
+version assignment, metadata weaving) run through the same real components
+used by the threaded client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Generator
+
+from ..errors import InvalidRangeError, VersionNotPublishedError
+from ..metadata.build import border_plan, border_targets, build_nodes
+from ..metadata.geometry import pages_for_size, span_for_pages
+from ..metadata.node import NodeKey, PageDescriptor
+from ..metadata.read_plan import read_plan
+from ..util.ranges import covering_page_range
+from ..version.records import resolve_owner
+from .deployment import SimDeployment
+from .engine import Event
+
+
+@dataclass(frozen=True)
+class AppendOutcome:
+    """Result of one simulated APPEND."""
+
+    version: int
+    bytes_written: int
+    elapsed: float
+    pages_written: int
+    metadata_nodes_written: int
+    border_nodes_fetched: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bandwidth in bytes/second."""
+        return self.bytes_written / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of one simulated READ."""
+
+    version: int
+    bytes_read: int
+    elapsed: float
+    pages_fetched: int
+    metadata_nodes_fetched: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bandwidth in bytes/second."""
+        return self.bytes_read / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class SimClient:
+    """One simulated client process slot."""
+
+    def __init__(self, deployment: SimDeployment, index: int = 0):
+        self._dep = deployment
+        self.index = index
+        self.node = deployment.client_node(index)
+
+    # ------------------------------------------------------------------ APPEND
+    def append_process(
+        self, blob_id: str, nbytes: int
+    ) -> Generator[Event, object, AppendOutcome]:
+        """Simulate one page-aligned APPEND of ``nbytes`` (Algorithm 2).
+
+        Pages are pushed to their providers in parallel; the version manager
+        is then contacted to obtain the snapshot version, border hints are
+        resolved against the metadata DHT, the new tree nodes are written,
+        and the version manager is notified of completion.
+        """
+        dep = self._dep
+        sim = dep.simulator
+        net = dep.network
+        cfg = dep.sim_config
+        vm = dep.version_manager
+        meta = dep.metadata_provider
+        record = vm.get_record(blob_id)
+        page_size = record.page_size
+        if nbytes <= 0 or nbytes % page_size != 0:
+            raise InvalidRangeError(
+                "simulated appends must be a positive multiple of the page size"
+            )
+        page_count = nbytes // page_size
+        start = sim.now
+
+        # Phase 1: store the pages in parallel on providers chosen by the
+        # provider manager (one allocation request, then parallel pushes).
+        yield from net.small_rpc(
+            self.node, dep.pmgr_node, cfg.version_manager_service_time
+        )
+        provider_ids = dep.provider_manager.allocate(page_count)
+        transfers = []
+        page_ids: list[str] = []
+        for provider_id in provider_ids:
+            page_id = dep.cluster._ids.next_page_id()
+            page_ids.append(page_id)
+            transfers.append(
+                sim.process(
+                    net.push(
+                        self.node,
+                        dep.node_for_provider(provider_id),
+                        page_size,
+                        service_time=cfg.page_service_time,
+                    )
+                )
+            )
+        yield sim.all_of([process.event for process in transfers])
+        for page_id, provider_id in zip(page_ids, provider_ids):
+            dep.provider_manager.provider(provider_id).store_virtual_page(
+                page_id, page_size
+            )
+
+        # Phase 2: obtain the snapshot version (and the border hints).
+        yield from net.small_rpc(
+            self.node, dep.vm_node, cfg.version_manager_service_time
+        )
+        ticket = vm.register_update(blob_id, nbytes, is_append=True)
+        descriptors = [
+            PageDescriptor(
+                page_index=ticket.page_offset + index,
+                page_id=page_id,
+                provider_id=provider_id,
+                length=page_size,
+            )
+            for index, (page_id, provider_id) in enumerate(zip(page_ids, provider_ids))
+        ]
+
+        # Phase 3: resolve border nodes by descending the published tree.
+        needed, dangling = border_targets(
+            ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
+        )
+        plan = border_plan(
+            needed,
+            dangling,
+            ticket.published_version if ticket.published_version else None,
+            ticket.published_num_pages,
+            ticket.inflight_tuples(),
+        )
+        spec = yield from self._drive_plan_timed(record, plan)
+
+        # Phase 4: weave and write the new metadata tree nodes (in parallel).
+        build = build_nodes(
+            ticket.version,
+            ticket.page_offset,
+            ticket.page_count,
+            ticket.span,
+            descriptors,
+            spec,
+        )
+        puts = []
+        for ref, node in build.nodes:
+            key = NodeKey(record.blob_id, ref.version, ref.offset, ref.size)
+            meta.put_node(key, node)
+            puts.append(
+                sim.process(
+                    net.small_rpc(
+                        self.node,
+                        dep.metadata_node_for_key(key),
+                        cfg.metadata_service_time,
+                        payload_bytes=cfg.metadata_node_size,
+                    )
+                )
+            )
+        yield sim.all_of([process.event for process in puts])
+
+        # Phase 5: notify the version manager of success.
+        yield from net.small_rpc(
+            self.node, dep.vm_node, cfg.version_manager_service_time
+        )
+        vm.complete_update(blob_id, ticket.version)
+
+        return AppendOutcome(
+            version=ticket.version,
+            bytes_written=nbytes,
+            elapsed=sim.now - start,
+            pages_written=page_count,
+            metadata_nodes_written=build.node_count,
+            border_nodes_fetched=spec.nodes_fetched,
+        )
+
+    # -------------------------------------------------------------------- READ
+    def read_process(
+        self, blob_id: str, version: int, offset: int, size: int
+    ) -> Generator[Event, object, ReadOutcome]:
+        """Simulate one READ (Algorithms 1 and 3).
+
+        The version manager is consulted for publication and size, the
+        segment tree is traversed node by node through the metadata DHT, then
+        the pages are fetched from their providers in parallel.
+        """
+        dep = self._dep
+        sim = dep.simulator
+        net = dep.network
+        cfg = dep.sim_config
+        vm = dep.version_manager
+        record = vm.get_record(blob_id)
+        page_size = record.page_size
+        start = sim.now
+
+        yield from net.small_rpc(
+            self.node, dep.vm_node, cfg.version_manager_service_time
+        )
+        if not vm.is_published(blob_id, version):
+            raise VersionNotPublishedError(blob_id, version)
+        snapshot_size = vm.get_size(blob_id, version)
+        if offset + size > snapshot_size:
+            raise InvalidRangeError(
+                f"read range ({offset}, {size}) exceeds snapshot size {snapshot_size}"
+            )
+
+        page_offset, page_count = covering_page_range(offset, size, page_size)
+        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        plan = read_plan(version, span, page_offset, page_count)
+        plan_result = yield from self._drive_plan_timed(record, plan)
+
+        fetches = []
+        for descriptor in plan_result.descriptors:
+            fetches.append(
+                sim.process(
+                    net.fetch(
+                        self.node,
+                        dep.node_for_provider(descriptor.provider_id),
+                        min(descriptor.length, page_size),
+                        service_time=cfg.rpc_overhead + cfg.page_service_time,
+                    )
+                )
+            )
+        yield sim.all_of([process.event for process in fetches])
+
+        return ReadOutcome(
+            version=version,
+            bytes_read=size,
+            elapsed=sim.now - start,
+            pages_fetched=len(plan_result.descriptors),
+            metadata_nodes_fetched=plan_result.nodes_fetched,
+        )
+
+    # --------------------------------------------------------------- internals
+    def _drive_plan_timed(self, record, plan):
+        """Drive a sans-IO metadata plan, charging one DHT fetch per node."""
+        dep = self._dep
+        net = dep.network
+        cfg = dep.sim_config
+        meta = dep.metadata_provider
+        try:
+            request = next(plan)
+            while True:
+                owner = resolve_owner(record, request.version)
+                key = NodeKey(owner, request.version, request.offset, request.size)
+                yield from net.fetch(
+                    self.node,
+                    dep.metadata_node_for_key(key),
+                    cfg.metadata_node_size,
+                    service_time=cfg.metadata_service_time,
+                )
+                node = meta.get_node(key)
+                request = plan.send(node)
+        except StopIteration as stop:
+            return stop.value

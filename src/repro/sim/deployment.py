@@ -1,0 +1,220 @@
+"""Simulated deployment: real BlobSeer components plus simulated nodes.
+
+A :class:`SimDeployment` owns
+
+* a real :class:`~repro.core.cluster.Cluster` whose data providers use
+  :class:`~repro.providers.page_store.NullPageStore` (placement, versioning
+  and metadata are exact; payload bytes are virtual), and
+* a :class:`~repro.sim.engine.Simulator` with one :class:`SimNode` per
+  physical machine of the modelled testbed, following the paper's layout:
+  one dedicated node for the version manager, one for the provider manager,
+  and ``num_provider_nodes`` nodes each co-hosting a data provider and a
+  metadata provider (Section 5).
+
+Clients are placed on their own nodes by default; the read-concurrency
+experiment can co-locate them with provider nodes like the paper does
+("readers are deployed on nodes that already run a data and metadata
+provider").
+"""
+
+from __future__ import annotations
+
+from ..config import BlobSeerConfig, SimConfig
+from ..core.cluster import Cluster
+from ..metadata.build import border_plan, border_targets, build_nodes
+from ..metadata.node import NodeKey, PageDescriptor
+from ..metadata.read_plan import drive_plan
+from ..providers.page_store import NullPageStore
+from ..version.records import resolve_owner
+from .engine import Simulator
+from .network import Network, SimNode
+
+
+class SimDeployment:
+    """Wires the real storage components onto a simulated testbed."""
+
+    def __init__(
+        self,
+        num_provider_nodes: int = 173,
+        page_size: int = 64 * 1024,
+        sim_config: SimConfig | None = None,
+        co_deploy_metadata: bool = True,
+        num_metadata_providers: int | None = None,
+        allocation_strategy: str = "round_robin",
+        co_locate_clients: bool = False,
+    ):
+        self.sim_config = sim_config if sim_config is not None else SimConfig()
+        self.co_deploy_metadata = co_deploy_metadata
+        self.co_locate_clients = co_locate_clients
+        if num_metadata_providers is None:
+            num_metadata_providers = (
+                num_provider_nodes if co_deploy_metadata else 1
+            )
+        self.config = BlobSeerConfig(
+            page_size=page_size,
+            num_data_providers=num_provider_nodes,
+            num_metadata_providers=num_metadata_providers,
+            allocation_strategy=allocation_strategy,
+        )
+        self.cluster = Cluster(
+            self.config, page_store_factory=lambda _pid: NullPageStore()
+        )
+        self.simulator: Simulator
+        self.network: Network
+        self.vm_node: SimNode
+        self.pmgr_node: SimNode
+        self._provider_nodes: list[SimNode] = []
+        self._metadata_nodes: list[SimNode] = []
+        self._client_nodes: dict[int, SimNode] = {}
+        self.reset_timing()
+
+    # -- timing / topology -----------------------------------------------------
+    def reset_timing(self) -> None:
+        """Recreate the simulator and every node with idle NICs.
+
+        The storage state (pages, metadata, versions) is kept, so one blob can
+        be populated once and then measured under several client loads.
+        """
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, self.sim_config)
+        self.vm_node = SimNode(self.simulator, "version-manager")
+        self.pmgr_node = SimNode(self.simulator, "provider-manager")
+        self._provider_nodes = [
+            SimNode(self.simulator, f"provider-node-{index:04d}")
+            for index in range(self.config.num_data_providers)
+        ]
+        if self.co_deploy_metadata:
+            self._metadata_nodes = list(self._provider_nodes)
+        else:
+            self._metadata_nodes = [
+                SimNode(self.simulator, f"metadata-node-{index:04d}")
+                for index in range(self.config.num_metadata_providers)
+            ]
+        self._client_nodes = {}
+
+    def client_node(self, index: int) -> SimNode:
+        """Node hosting client ``index`` (created on demand)."""
+        node = self._client_nodes.get(index)
+        if node is None:
+            if self.co_locate_clients and self._provider_nodes:
+                node = self._provider_nodes[index % len(self._provider_nodes)]
+            else:
+                node = SimNode(self.simulator, f"client-{index:04d}")
+            self._client_nodes[index] = node
+        return node
+
+    def node_for_provider(self, provider_id: str) -> SimNode:
+        """Node hosting data provider ``provider_id`` (ids are ``data-NNNN``)."""
+        index = int(provider_id.rsplit("-", 1)[1])
+        return self._provider_nodes[index % len(self._provider_nodes)]
+
+    def node_for_bucket(self, bucket_id: str) -> SimNode:
+        """Node hosting metadata DHT bucket ``bucket_id`` (ids are ``meta-NNNN``)."""
+        index = int(bucket_id.rsplit("-", 1)[1])
+        return self._metadata_nodes[index % len(self._metadata_nodes)]
+
+    def metadata_node_for_key(self, key: NodeKey) -> SimNode:
+        bucket_id = self.cluster.dht.buckets_for(key.to_string())[0]
+        return self.node_for_bucket(bucket_id)
+
+    # -- shortcuts to the real components ----------------------------------------
+    @property
+    def version_manager(self):
+        return self.cluster.version_manager
+
+    @property
+    def provider_manager(self):
+        return self.cluster.provider_manager
+
+    @property
+    def metadata_provider(self):
+        return self.cluster.metadata_provider
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    # -- blob setup (untimed) -------------------------------------------------------
+    def create_blob(self) -> str:
+        """CREATE a blob on the simulated deployment."""
+        return self.version_manager.create_blob(self.config.page_size).blob_id
+
+    def populate_blob(
+        self, blob_id: str, total_bytes: int, append_bytes: int | None = None
+    ) -> int:
+        """Grow a blob with page-aligned appends, without charging any time.
+
+        Used to prepare the read experiments (the paper grows the blob to
+        64 GB before measuring reads).  Runs the real allocation, versioning
+        and metadata-weaving code; only the page payloads are virtual.
+        Returns the final published version.
+        """
+        page_size = self.config.page_size
+        if append_bytes is None:
+            append_bytes = 64 * 1024 * 1024
+        append_bytes = max(page_size, (append_bytes // page_size) * page_size)
+        remaining = (total_bytes // page_size) * page_size
+        version = self.version_manager.get_recent(blob_id)
+        while remaining > 0:
+            chunk = min(append_bytes, remaining)
+            version = self.untimed_append(blob_id, chunk)
+            remaining -= chunk
+        return version
+
+    def untimed_append(self, blob_id: str, nbytes: int) -> int:
+        """One page-aligned virtual append executed instantaneously."""
+        vm = self.version_manager
+        meta = self.metadata_provider
+        record = vm.get_record(blob_id)
+        page_size = record.page_size
+        if nbytes <= 0 or nbytes % page_size != 0:
+            raise ValueError("untimed appends must be a positive multiple of the page size")
+        page_count = nbytes // page_size
+        provider_ids = self.provider_manager.allocate(page_count)
+        ticket = vm.register_update(blob_id, nbytes, is_append=True)
+        descriptors = []
+        for index, provider_id in enumerate(provider_ids):
+            page_id = self.cluster._ids.next_page_id()
+            self.provider_manager.provider(provider_id).store_virtual_page(
+                page_id, page_size
+            )
+            descriptors.append(
+                PageDescriptor(
+                    page_index=ticket.page_offset + index,
+                    page_id=page_id,
+                    provider_id=provider_id,
+                    length=page_size,
+                )
+            )
+        needed, dangling = border_targets(
+            ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
+        )
+        plan = border_plan(
+            needed,
+            dangling,
+            ticket.published_version if ticket.published_version else None,
+            ticket.published_num_pages,
+            ticket.inflight_tuples(),
+        )
+        spec = drive_plan(
+            plan,
+            lambda ref: meta.get_node(
+                NodeKey(resolve_owner(record, ref.version), ref.version, ref.offset, ref.size)
+            ),
+        )
+        build = build_nodes(
+            ticket.version,
+            ticket.page_offset,
+            ticket.page_count,
+            ticket.span,
+            descriptors,
+            spec,
+        )
+        meta.put_nodes(
+            [
+                (NodeKey(record.blob_id, ref.version, ref.offset, ref.size), node)
+                for ref, node in build.nodes
+            ]
+        )
+        vm.complete_update(blob_id, ticket.version)
+        return ticket.version

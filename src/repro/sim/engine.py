@@ -1,0 +1,215 @@
+"""A small discrete-event simulation engine.
+
+The engine provides just what the BlobSeer experiments need:
+
+* :class:`Simulator` — an event loop with virtual time;
+* :class:`Event` — a one-shot occurrence carrying a value;
+* :class:`Process` — a Python generator that ``yield``\\ s events and is
+  resumed with their values (``yield from`` composes sub-activities);
+* :class:`Pipe` — a FIFO, serially-occupied resource (a NIC direction or a
+  server CPU): callers reserve it for a duration and are released when their
+  occupancy ends;
+* :func:`Simulator.all_of` — an event that fires when a set of events have
+  all fired (fan-out / join).
+
+The design deliberately mirrors SimPy's programming model so simulated
+activities read like straight-line code, but the implementation is ~200
+lines and has no dependencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A one-shot event.  Processes wait on it by ``yield``-ing it."""
+
+    __slots__ = ("_sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._callbacks: list = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None) -> "Event":
+        """Mark the event as having happened *now*; wake up waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self._sim._schedule(0.0, callback, value)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Invoke ``callback(value)`` when the event fires (immediately if it
+        already has)."""
+        if self.triggered:
+            self._sim._schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
+
+class AllOf(Event):
+    """An event that fires once every event in *events* has fired.
+
+    Its value is the list of the individual event values, in input order.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int):
+        def collect(value):
+            self._values[index] = value
+            self._pending -= 1
+            if self._pending == 0 and not self.triggered:
+                self.succeed(list(self._values))
+
+        return collect
+
+
+class Process:
+    """A simulated activity: a generator yielding :class:`Event` objects.
+
+    The generator is resumed with the value of each event it yields.  When it
+    returns, :attr:`event` fires with the generator's return value, so
+    processes can be joined like any other event.
+    """
+
+    __slots__ = ("_sim", "_generator", "event", "_started")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        self._sim = sim
+        self._generator = generator
+        self.event = Event(sim)
+        self._started = False
+        sim._schedule(0.0, self._resume, None)
+
+    def _resume(self, value) -> None:
+        try:
+            if not self._started:
+                self._started = True
+                waited = next(self._generator)
+            else:
+                waited = self._generator.send(value)
+        except StopIteration as stop:
+            self.event.succeed(stop.value)
+            return
+        if not isinstance(waited, Event):
+            raise SimulationError(
+                f"process yielded {waited!r}, which is not an Event"
+            )
+        waited.add_callback(self._resume)
+
+
+class Pipe:
+    """A FIFO resource occupied serially (a NIC direction, a server CPU).
+
+    ``use(duration)`` reserves the next free slot of the pipe for
+    ``duration`` seconds and returns an event firing when that occupancy
+    ends.  Occupancies are granted in call order, which models FIFO queueing
+    at a network card or a single-threaded server loop.
+    """
+
+    __slots__ = ("_sim", "name", "_available_at", "busy_time", "requests")
+
+    def __init__(self, sim: "Simulator", name: str):
+        self._sim = sim
+        self.name = name
+        self._available_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def use(self, duration: float) -> Event:
+        """Reserve the pipe for ``duration`` seconds; returns the end event."""
+        if duration < 0:
+            raise SimulationError(f"negative occupancy on {self.name}: {duration}")
+        now = self._sim.now
+        start = max(now, self._available_at)
+        end = start + duration
+        self._available_at = end
+        self.busy_time += duration
+        self.requests += 1
+        return self._sim.timeout(end - now)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` seconds this pipe was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)
+
+
+class Simulator:
+    """The event loop: virtual time plus a heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, object, object]] = []
+        self._sequence = 0
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, delay: float, callback, value) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, value))
+
+    def timeout(self, delay: float) -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        event = Event(self)
+        self._schedule(delay, lambda _value: event.succeed(None), None)
+        return event
+
+    def event(self) -> Event:
+        """A bare event to be succeeded manually."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator of events."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when all of *events* have fired."""
+        return AllOf(self, events)
+
+    # -- running ----------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap is empty (or virtual time ``until``).
+
+        Returns the final virtual time.
+        """
+        while self._heap:
+            time, _seq, callback, value = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callback(value)
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: Generator):
+        """Convenience: run a single process to completion and return its value."""
+        process = self.process(generator)
+        self.run()
+        if not process.event.triggered:
+            raise SimulationError("process did not finish (deadlock in the model?)")
+        return process.event.value

@@ -1,0 +1,255 @@
+"""Reusable simulated experiments behind the paper's figures.
+
+* :func:`run_append_growth_experiment` — Figure 2(a): a single client keeps
+  appending to a growing blob; the per-append bandwidth is reported against
+  the number of pages the blob holds.
+* :func:`run_read_concurrency_experiment` — Figure 2(b): a blob is grown
+  first, then 1 / N / M concurrent readers each read a distinct chunk and
+  the average per-reader bandwidth is reported.
+
+Both functions return plain dataclasses so that the benchmark harness, the
+pytest-benchmark targets and the examples can share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MiB, SimConfig
+from .client import SimClient
+from .deployment import SimDeployment
+
+
+@dataclass(frozen=True)
+class AppendSample:
+    """One point of the Figure 2(a) curve."""
+
+    pages_total: int
+    page_size: int
+    num_providers: int
+    bandwidth_mbps: float
+    elapsed: float
+    metadata_nodes_written: int
+    border_nodes_fetched: int
+
+
+@dataclass(frozen=True)
+class ReadConcurrencySample:
+    """One point of the Figure 2(b) curve."""
+
+    readers: int
+    page_size: int
+    num_providers: int
+    avg_bandwidth_mbps: float
+    min_bandwidth_mbps: float
+    aggregate_bandwidth_mbps: float
+    avg_metadata_nodes_fetched: float
+
+
+@dataclass(frozen=True)
+class MixedWorkloadSample:
+    """One point of the mixed readers + appenders experiment."""
+
+    readers: int
+    writers: int
+    page_size: int
+    num_providers: int
+    avg_read_bandwidth_mbps: float
+    avg_append_bandwidth_mbps: float
+    versions_published: int
+
+
+def run_append_growth_experiment(
+    num_provider_nodes: int,
+    page_size: int,
+    append_bytes: int,
+    num_appends: int,
+    sim_config: SimConfig | None = None,
+    co_deploy_metadata: bool = True,
+) -> list[AppendSample]:
+    """Single-client append throughput while the blob grows (Figure 2(a)).
+
+    A fresh deployment is built, one client appends ``append_bytes`` per
+    APPEND, ``num_appends`` times; every append produces one sample.
+    """
+    deployment = SimDeployment(
+        num_provider_nodes=num_provider_nodes,
+        page_size=page_size,
+        sim_config=sim_config,
+        co_deploy_metadata=co_deploy_metadata,
+    )
+    blob_id = deployment.create_blob()
+    client = SimClient(deployment, 0)
+    samples: list[AppendSample] = []
+    pages_total = 0
+    for _ in range(num_appends):
+        outcome = deployment.simulator.run_process(
+            client.append_process(blob_id, append_bytes)
+        )
+        pages_total += outcome.pages_written
+        samples.append(
+            AppendSample(
+                pages_total=pages_total,
+                page_size=page_size,
+                num_providers=num_provider_nodes,
+                bandwidth_mbps=outcome.bandwidth / MiB,
+                elapsed=outcome.elapsed,
+                metadata_nodes_written=outcome.metadata_nodes_written,
+                border_nodes_fetched=outcome.border_nodes_fetched,
+            )
+        )
+    return samples
+
+
+def run_read_concurrency_experiment(
+    num_provider_nodes: int,
+    page_size: int,
+    blob_bytes: int,
+    chunk_bytes: int,
+    reader_counts: list[int],
+    sim_config: SimConfig | None = None,
+    co_locate_clients: bool = True,
+    populate_append_bytes: int | None = None,
+) -> list[ReadConcurrencySample]:
+    """Concurrent-reader throughput on disjoint chunks (Figure 2(b)).
+
+    The blob is grown (untimed) to ``blob_bytes``; then for each entry of
+    ``reader_counts`` that many clients simultaneously read disjoint
+    ``chunk_bytes`` ranges and the per-reader bandwidth is averaged.  The
+    blob must be large enough for the largest reader count
+    (``max(reader_counts) * chunk_bytes <= blob_bytes``).
+    """
+    if max(reader_counts) * chunk_bytes > blob_bytes:
+        raise ValueError(
+            "blob is too small for the requested reader count and chunk size"
+        )
+    deployment = SimDeployment(
+        num_provider_nodes=num_provider_nodes,
+        page_size=page_size,
+        sim_config=sim_config,
+        co_locate_clients=co_locate_clients,
+    )
+    blob_id = deployment.create_blob()
+    version = deployment.populate_blob(
+        blob_id, blob_bytes, append_bytes=populate_append_bytes
+    )
+
+    samples: list[ReadConcurrencySample] = []
+    for readers in reader_counts:
+        deployment.reset_timing()
+        simulator = deployment.simulator
+        processes = []
+        for index in range(readers):
+            client = SimClient(deployment, index)
+            processes.append(
+                simulator.process(
+                    client.read_process(
+                        blob_id, version, index * chunk_bytes, chunk_bytes
+                    )
+                )
+            )
+        simulator.run()
+        outcomes = [process.event.value for process in processes]
+        if any(outcome is None for outcome in outcomes):
+            raise RuntimeError("a simulated reader did not finish")
+        bandwidths = [outcome.bandwidth / MiB for outcome in outcomes]
+        total_elapsed = max(outcome.elapsed for outcome in outcomes)
+        aggregate = sum(outcome.bytes_read for outcome in outcomes) / total_elapsed / MiB
+        samples.append(
+            ReadConcurrencySample(
+                readers=readers,
+                page_size=page_size,
+                num_providers=num_provider_nodes,
+                avg_bandwidth_mbps=sum(bandwidths) / len(bandwidths),
+                min_bandwidth_mbps=min(bandwidths),
+                aggregate_bandwidth_mbps=aggregate,
+                avg_metadata_nodes_fetched=(
+                    sum(outcome.metadata_nodes_fetched for outcome in outcomes)
+                    / len(outcomes)
+                ),
+            )
+        )
+    return samples
+
+
+def run_mixed_workload_experiment(
+    num_provider_nodes: int,
+    page_size: int,
+    blob_bytes: int,
+    chunk_bytes: int,
+    readers: int,
+    writer_counts: list[int],
+    append_bytes: int,
+    appends_per_writer: int = 2,
+    sim_config: SimConfig | None = None,
+) -> list[MixedWorkloadSample]:
+    """Concurrent readers and appenders on the same blob.
+
+    The paper's closing section announces experiments "demonstrating the
+    benefits of data and metadata distribution" under mixed load; this
+    experiment quantifies the isolation argument of Section 4.3: because
+    updates never modify existing pages or metadata, readers of a published
+    snapshot should be almost unaffected by concurrent appenders (and vice
+    versa), apart from fair sharing of the provider NICs.
+    """
+    samples: list[MixedWorkloadSample] = []
+    for writers in writer_counts:
+        deployment = SimDeployment(
+            num_provider_nodes=num_provider_nodes,
+            page_size=page_size,
+            sim_config=sim_config,
+            co_locate_clients=True,
+        )
+        blob_id = deployment.create_blob()
+        version = deployment.populate_blob(blob_id, blob_bytes)
+        simulator = deployment.simulator
+
+        read_processes = []
+        for index in range(readers):
+            client = SimClient(deployment, index)
+            read_processes.append(
+                simulator.process(
+                    client.read_process(
+                        blob_id, version, index * chunk_bytes, chunk_bytes
+                    )
+                )
+            )
+
+        def writer(index: int):
+            client = SimClient(deployment, readers + index)
+            outcomes = []
+            for _ in range(appends_per_writer):
+                outcome = yield from client.append_process(blob_id, append_bytes)
+                outcomes.append(outcome)
+            return outcomes
+
+        write_processes = [
+            simulator.process(writer(index)) for index in range(writers)
+        ]
+        simulator.run()
+
+        read_outcomes = [process.event.value for process in read_processes]
+        append_outcomes = [
+            outcome
+            for process in write_processes
+            for outcome in process.event.value
+        ]
+        read_bandwidths = [outcome.bandwidth / MiB for outcome in read_outcomes]
+        append_bandwidths = [outcome.bandwidth / MiB for outcome in append_outcomes]
+        samples.append(
+            MixedWorkloadSample(
+                readers=readers,
+                writers=writers,
+                page_size=page_size,
+                num_providers=num_provider_nodes,
+                avg_read_bandwidth_mbps=sum(read_bandwidths) / len(read_bandwidths),
+                avg_append_bandwidth_mbps=(
+                    sum(append_bandwidths) / len(append_bandwidths)
+                    if append_bandwidths
+                    else 0.0
+                ),
+                versions_published=deployment.version_manager.get_recent(blob_id)
+                - version,
+            )
+        )
+    return samples

@@ -1,0 +1,23 @@
+"""Operational tooling built on top of the core library.
+
+* :mod:`repro.tools.diff` — compare two snapshots (of the same blob or of a
+  blob and its branch) at page granularity by walking their segment trees,
+  skipping physically shared subtrees.
+* :mod:`repro.tools.gc` — reclaim pages and metadata nodes that are no
+  longer reachable from any snapshot the caller wants to keep.
+* :mod:`repro.tools.report` — cluster-wide storage and load reports.
+"""
+
+from .diff import ChangedRange, diff_versions, version_manifest
+from .gc import GarbageCollectionReport, collect_garbage
+from .report import ClusterReport, cluster_report
+
+__all__ = [
+    "ChangedRange",
+    "diff_versions",
+    "version_manifest",
+    "GarbageCollectionReport",
+    "collect_garbage",
+    "ClusterReport",
+    "cluster_report",
+]

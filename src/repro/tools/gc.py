@@ -1,0 +1,160 @@
+"""Garbage collection of unreachable pages and metadata nodes.
+
+BlobSeer never overwrites data, so dropping old snapshots is a *policy*
+decision layered on top: once the application decides which snapshots it
+still needs, every page and tree node reachable from none of them can be
+reclaimed.  This module implements that mark-and-sweep:
+
+* **mark** — walk the segment tree of every kept ``(blob, version)`` pair,
+  collecting reachable page ids and metadata node keys;
+* **sweep** — delete unreferenced pages from the data providers and
+  unreferenced nodes from the metadata DHT.
+
+The collector refuses to run while updates are in flight (their pages and
+nodes are not yet reachable from any published version) and requires every
+blob of the cluster to be listed in ``keep`` — branches share metadata and
+pages with their ancestors, so collecting "just one blob" is never safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from ..core.cluster import Cluster
+from ..errors import ConcurrencyError, UnknownBlobError
+from ..metadata.geometry import pages_for_size, span_for_pages
+from ..metadata.node import InnerNode, LeafNode, NodeKey
+from ..version.records import resolve_owner
+
+
+@dataclass(frozen=True)
+class GarbageCollectionReport:
+    """What a collection pass kept and what it reclaimed."""
+
+    kept_versions: int
+    reachable_pages: int
+    reachable_nodes: int
+    deleted_pages: int
+    deleted_nodes: int
+    reclaimed_bytes: int
+
+
+def collect_garbage(
+    cluster: Cluster,
+    keep: Mapping[str, Iterable[int]],
+    dry_run: bool = False,
+) -> GarbageCollectionReport:
+    """Reclaim everything not reachable from the kept snapshots.
+
+    Parameters
+    ----------
+    cluster:
+        The deployment to collect.
+    keep:
+        Maps every blob id of the cluster to the published versions of it
+        that must remain readable.  Version 0 (the empty snapshot) needs no
+        resources and may be omitted.  Unknown blob ids raise; blobs missing
+        from the mapping raise too (see the module docstring).
+    dry_run:
+        When True, nothing is deleted; the report shows what would happen.
+    """
+    vm = cluster.version_manager
+    known_blobs = set(vm.blob_ids())
+    requested_blobs = set(keep)
+    unknown = requested_blobs - known_blobs
+    if unknown:
+        raise UnknownBlobError(sorted(unknown)[0])
+    missing = known_blobs - requested_blobs
+    if missing:
+        raise ConcurrencyError(
+            "collect_garbage needs a keep-set entry for every blob "
+            f"(missing: {sorted(missing)}); branches share storage with "
+            "their ancestors"
+        )
+    for blob_id in known_blobs:
+        if vm.inflight_count(blob_id) > 0:
+            raise ConcurrencyError(
+                f"blob {blob_id!r} has in-flight updates; run the collector "
+                "only when the system is quiescent"
+            )
+
+    reachable_pages: dict[str, str] = {}   # page id -> provider id
+    reachable_nodes: set[str] = set()
+    kept_versions = 0
+
+    for blob_id, versions in keep.items():
+        record = vm.get_record(blob_id)
+        for version in sorted(set(versions)):
+            if version == 0:
+                continue
+            vm.get_size(blob_id, version)  # raises if not published
+            kept_versions += 1
+            _mark_version(cluster, record, version, reachable_pages, reachable_nodes)
+
+    deleted_pages = 0
+    reclaimed_bytes = 0
+    for provider in cluster.provider_manager.providers():
+        for page_id in provider.page_ids():
+            if page_id in reachable_pages:
+                continue
+            size = provider.page_size_of(page_id)
+            if not dry_run:
+                provider.delete_page(page_id)
+            deleted_pages += 1
+            reclaimed_bytes += size
+
+    deleted_nodes = 0
+    for bucket_id in cluster.dht.bucket_ids():
+        bucket = cluster.dht.bucket(bucket_id)
+        for key in bucket.keys():
+            if key in reachable_nodes:
+                continue
+            if not dry_run:
+                bucket.delete(key)
+            deleted_nodes += 1
+
+    return GarbageCollectionReport(
+        kept_versions=kept_versions,
+        reachable_pages=len(reachable_pages),
+        reachable_nodes=len(reachable_nodes),
+        deleted_pages=deleted_pages,
+        deleted_nodes=deleted_nodes,
+        reclaimed_bytes=reclaimed_bytes,
+    )
+
+
+def _mark_version(
+    cluster: Cluster,
+    record,
+    version: int,
+    reachable_pages: dict[str, str],
+    reachable_nodes: set[str],
+) -> None:
+    """Mark every node and page reachable from one snapshot's tree."""
+    vm = cluster.version_manager
+    meta = cluster.metadata_provider
+    page_size = record.page_size
+    num_pages = pages_for_size(vm.get_size(record.blob_id, version), page_size)
+    if num_pages == 0:
+        return
+    span = span_for_pages(num_pages)
+    stack = [(version, 0, span)]
+    while stack:
+        node_version, offset, size = stack.pop()
+        owner = resolve_owner(record, node_version)
+        key = NodeKey(owner, node_version, offset, size)
+        key_string = key.to_string()
+        if key_string in reachable_nodes:
+            continue  # shared subtree already marked through another version
+        reachable_nodes.add(key_string)
+        node = meta.get_node(key)
+        if isinstance(node, LeafNode):
+            reachable_pages[node.page_id] = node.provider_id
+            continue
+        if isinstance(node, InnerNode):
+            half = size // 2
+            if node.left_version is not None:
+                stack.append((node.left_version, offset, half))
+            if node.right_version is not None:
+                stack.append((node.right_version, offset + half, half))

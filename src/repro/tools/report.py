@@ -1,0 +1,90 @@
+"""Cluster-wide storage and load reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """A point-in-time summary of a deployment's storage and load."""
+
+    blobs: int
+    published_versions: int
+    data_providers: int
+    metadata_buckets: int
+    pages_stored: int
+    bytes_stored: int
+    metadata_nodes: int
+    logical_bytes: int
+    page_load_imbalance: float
+    metadata_load_imbalance: float
+    per_provider_bytes: dict[str, int] = field(default_factory=dict)
+    per_bucket_nodes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def physical_to_logical_ratio(self) -> float:
+        """Physical bytes stored per logical byte of the latest snapshots.
+
+        Values close to 1.0 mean old versions cost almost nothing extra
+        beyond the live data (heavy page sharing); large values mean the
+        version history dominates storage.
+        """
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.bytes_stored / self.logical_bytes
+
+    def format(self) -> str:
+        lines = [
+            "cluster report",
+            f"  blobs:               {self.blobs} "
+            f"({self.published_versions} published versions)",
+            f"  data providers:      {self.data_providers} "
+            f"holding {self.pages_stored} pages / {self.bytes_stored} bytes",
+            f"  metadata buckets:    {self.metadata_buckets} "
+            f"holding {self.metadata_nodes} tree nodes",
+            f"  logical bytes:       {self.logical_bytes} "
+            f"(physical/logical = {self.physical_to_logical_ratio:.2f})",
+            f"  page load imbalance: {self.page_load_imbalance:.2f} (max/mean)",
+            f"  node load imbalance: {self.metadata_load_imbalance:.2f} (max/mean)",
+        ]
+        return "\n".join(lines)
+
+
+def cluster_report(cluster: Cluster) -> ClusterReport:
+    """Collect a :class:`ClusterReport` from a live deployment."""
+    vm = cluster.version_manager
+    blob_ids = vm.blob_ids()
+    published_versions = 0
+    logical_bytes = 0
+    for blob_id in blob_ids:
+        recent = vm.get_recent(blob_id)
+        published_versions += recent
+        logical_bytes += vm.get_size(blob_id, recent)
+
+    page_loads = cluster.page_load_distribution()
+    node_loads = cluster.metadata_load_distribution()
+    return ClusterReport(
+        blobs=len(blob_ids),
+        published_versions=published_versions,
+        data_providers=len(cluster.provider_manager),
+        metadata_buckets=len(cluster.dht.bucket_ids()),
+        pages_stored=cluster.stored_page_count(),
+        bytes_stored=cluster.storage_bytes_used(),
+        metadata_nodes=cluster.metadata_node_count(),
+        logical_bytes=logical_bytes,
+        page_load_imbalance=_imbalance(page_loads),
+        metadata_load_imbalance=_imbalance(node_loads),
+        per_provider_bytes=dict(page_loads),
+        per_bucket_nodes=dict(node_loads),
+    )
+
+
+def _imbalance(loads: dict[str, int]) -> float:
+    values = [value for value in loads.values()]
+    if not values or sum(values) == 0:
+        return 0.0
+    mean = sum(values) / len(values)
+    return max(values) / mean

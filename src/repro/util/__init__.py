@@ -1,0 +1,32 @@
+"""Utility helpers shared by every subsystem (ranges, ids, checksums)."""
+
+from .ranges import (
+    ByteRange,
+    PageRange,
+    ceil_div,
+    covering_page_range,
+    intersects,
+    intersection,
+    is_aligned,
+    next_power_of_two,
+    split_aligned,
+)
+from .ids import IdGenerator, new_blob_id, new_page_id
+from .integrity import checksum, verify_checksum
+
+__all__ = [
+    "ByteRange",
+    "PageRange",
+    "ceil_div",
+    "covering_page_range",
+    "intersects",
+    "intersection",
+    "is_aligned",
+    "next_power_of_two",
+    "split_aligned",
+    "IdGenerator",
+    "new_blob_id",
+    "new_page_id",
+    "checksum",
+    "verify_checksum",
+]

@@ -1,0 +1,54 @@
+"""Globally unique identifier generation for blobs and pages.
+
+The paper requires blob ids to be globally unique and every WRITE/APPEND to
+generate fresh, globally unique page ids.  Two mechanisms are provided:
+
+* :func:`new_blob_id` / :func:`new_page_id` — UUID4-based ids for real
+  (threaded) deployments.
+* :class:`IdGenerator` — a deterministic, seedable generator used by the
+  discrete-event simulator and by tests that need reproducible runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+
+
+def new_blob_id() -> str:
+    """Return a fresh globally unique blob identifier."""
+    return f"blob-{uuid.uuid4().hex}"
+
+
+def new_page_id() -> str:
+    """Return a fresh globally unique page identifier."""
+    return f"page-{uuid.uuid4().hex}"
+
+
+class IdGenerator:
+    """Deterministic, thread-safe id generator.
+
+    Ids are of the form ``"{prefix}-{counter:08d}"``.  A single generator is
+    shared by a deployment so that ids never collide; determinism makes
+    simulator runs and tests reproducible.
+    """
+
+    def __init__(self, prefix: str = "id"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def next(self, kind: str = "") -> str:
+        """Return the next id, optionally tagged with a *kind* label."""
+        with self._lock:
+            value = next(self._counter)
+        if kind:
+            return f"{self._prefix}-{kind}-{value:08d}"
+        return f"{self._prefix}-{value:08d}"
+
+    def next_blob_id(self) -> str:
+        return self.next("blob")
+
+    def next_page_id(self) -> str:
+        return self.next("page")

@@ -1,0 +1,32 @@
+"""Checksum helpers used to (optionally) verify page payload integrity."""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+from ..errors import IntegrityError
+
+
+def checksum(data: bytes, algorithm: str = "crc32") -> str:
+    """Compute a checksum of *data*.
+
+    ``crc32`` is the cheap default used on the hot path; ``sha256`` is
+    available for stronger end-to-end verification in tests.
+    """
+    if algorithm == "crc32":
+        return f"crc32:{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+    if algorithm == "sha256":
+        return f"sha256:{hashlib.sha256(data).hexdigest()}"
+    raise ValueError(f"unknown checksum algorithm: {algorithm!r}")
+
+
+def verify_checksum(data: bytes, expected: str, what: str = "page") -> None:
+    """Verify that *data* matches the *expected* checksum string.
+
+    Raises :class:`repro.errors.IntegrityError` on mismatch.
+    """
+    algorithm = expected.split(":", 1)[0]
+    actual = checksum(data, algorithm)
+    if actual != expected:
+        raise IntegrityError(what, expected, actual)

@@ -1,0 +1,168 @@
+"""Range and page arithmetic.
+
+BlobSeer stripes blobs into fixed-size pages.  All metadata is expressed in
+terms of *page ranges* ``(offset, size)`` where both values are counted in
+pages, while the public API works in bytes.  This module centralizes the
+conversions and the interval arithmetic used by the segment tree (halving,
+intersection, alignment checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidRangeError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative *a* and positive *b*."""
+    return -(-a // b)
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two >= *value* (and >= 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def intersects(offset_a: int, size_a: int, offset_b: int, size_b: int) -> bool:
+    """Return True when the half-open ranges [a, a+size_a) and [b, b+size_b)
+    overlap.  Empty ranges never intersect anything."""
+    if size_a <= 0 or size_b <= 0:
+        return False
+    return offset_a < offset_b + size_b and offset_b < offset_a + size_a
+
+
+def intersection(
+    offset_a: int, size_a: int, offset_b: int, size_b: int
+) -> tuple[int, int] | None:
+    """Return the (offset, size) of the overlap of two ranges, or None."""
+    start = max(offset_a, offset_b)
+    end = min(offset_a + size_a, offset_b + size_b)
+    if end <= start:
+        return None
+    return start, end - start
+
+
+def is_aligned(offset: int, size: int, page_size: int) -> bool:
+    """Return True when a byte range covers a whole number of pages."""
+    return offset % page_size == 0 and size % page_size == 0
+
+
+def covering_page_range(offset: int, size: int, page_size: int) -> tuple[int, int]:
+    """Return the (first_page, page_count) covering a byte range.
+
+    The returned range is the smallest aligned page range that fully contains
+    ``[offset, offset + size)``.
+    """
+    if offset < 0 or size < 0:
+        raise InvalidRangeError(f"negative offset/size: ({offset}, {size})")
+    if size == 0:
+        return offset // page_size, 0
+    first = offset // page_size
+    last = (offset + size - 1) // page_size
+    return first, last - first + 1
+
+
+def split_aligned(offset: int, size: int, page_size: int) -> list[tuple[int, int, int]]:
+    """Split a byte range into per-page pieces.
+
+    Returns a list of ``(page_index, offset_in_page, length)`` tuples covering
+    exactly ``[offset, offset + size)`` in order.
+    """
+    if offset < 0 or size < 0:
+        raise InvalidRangeError(f"negative offset/size: ({offset}, {size})")
+    pieces: list[tuple[int, int, int]] = []
+    position = offset
+    end = offset + size
+    while position < end:
+        page_index = position // page_size
+        offset_in_page = position % page_size
+        length = min(page_size - offset_in_page, end - position)
+        pieces.append((page_index, offset_in_page, length))
+        position += length
+    return pieces
+
+
+@dataclass(frozen=True, order=True)
+class ByteRange:
+    """A half-open byte range ``[offset, offset + size)`` within a blob."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size < 0:
+            raise InvalidRangeError(
+                f"invalid byte range ({self.offset}, {self.size})"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def intersects(self, other: "ByteRange") -> bool:
+        return intersects(self.offset, self.size, other.offset, other.size)
+
+    def intersection(self, other: "ByteRange") -> "ByteRange | None":
+        hit = intersection(self.offset, self.size, other.offset, other.size)
+        if hit is None:
+            return None
+        return ByteRange(*hit)
+
+    def contains(self, other: "ByteRange") -> bool:
+        """True when *other* lies entirely within this range."""
+        if other.is_empty():
+            return self.offset <= other.offset <= self.end
+        return self.offset <= other.offset and other.end <= self.end
+
+    def to_pages(self, page_size: int) -> "PageRange":
+        """Smallest aligned page range covering this byte range."""
+        first, count = covering_page_range(self.offset, self.size, page_size)
+        return PageRange(first, count)
+
+
+@dataclass(frozen=True, order=True)
+class PageRange:
+    """A half-open range of pages ``[offset, offset + size)``, in page units."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size < 0:
+            raise InvalidRangeError(
+                f"invalid page range ({self.offset}, {self.size})"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def intersects(self, other: "PageRange") -> bool:
+        return intersects(self.offset, self.size, other.offset, other.size)
+
+    def intersection(self, other: "PageRange") -> "PageRange | None":
+        hit = intersection(self.offset, self.size, other.offset, other.size)
+        if hit is None:
+            return None
+        return PageRange(*hit)
+
+    def contains(self, other: "PageRange") -> bool:
+        if other.is_empty():
+            return self.offset <= other.offset <= self.end
+        return self.offset <= other.offset and other.end <= self.end
+
+    def pages(self) -> range:
+        """Iterate over the page indices in the range."""
+        return range(self.offset, self.end)
+
+    def to_bytes(self, page_size: int) -> ByteRange:
+        return ByteRange(self.offset * page_size, self.size * page_size)

@@ -1,0 +1,19 @@
+"""Version management: snapshot assignment, publication, branching.
+
+The version manager is "the key actor of the system" (Section 3.1): it
+registers update requests, assigns snapshot version numbers, and eventually
+publishes the updates, guaranteeing total ordering and atomicity.  It also
+supplies writers with the information needed to compute border nodes without
+waiting for concurrent writers (Section 4.2).
+"""
+
+from .records import BlobRecord, InFlightUpdate, UpdateTicket, resolve_owner
+from .version_manager import VersionManager
+
+__all__ = [
+    "BlobRecord",
+    "InFlightUpdate",
+    "UpdateTicket",
+    "resolve_owner",
+    "VersionManager",
+]

@@ -1,0 +1,351 @@
+"""The version manager: total ordering, publication and atomicity.
+
+Responsibilities (Sections 3.1, 4.2 and 4.3 of the paper):
+
+* assign strictly increasing snapshot versions to WRITE/APPEND requests
+  (serialized — the only mandatory synchronization point of the system);
+* for APPEND, provide the offset, i.e. the size of the previous snapshot;
+* track in-flight updates (assigned but unpublished) and hand their ranges to
+  later writers so border nodes can be computed without waiting;
+* publish completed updates strictly in version order, which makes every
+  update appear atomic: a snapshot becomes visible only when it and every
+  earlier snapshot are complete;
+* implement SYNC ("read your writes"), GET_RECENT, GET_SIZE and BRANCH.
+
+Extension beyond the paper: updates can be aborted explicitly or reaped
+after a configurable timeout so that one crashed writer cannot stall
+publication forever (the paper defers fault tolerance to future work).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..config import BlobSeerConfig
+from ..errors import (
+    ConcurrencyError,
+    InvalidRangeError,
+    UnknownBlobError,
+    UpdateAbortedError,
+    VersionNotPublishedError,
+)
+from ..util.ids import IdGenerator
+from ..util.ranges import covering_page_range
+from .records import BlobRecord, InFlightUpdate, UpdateTicket
+
+
+@dataclass
+class _InFlightState:
+    """Version-manager-side state of one assigned, unpublished update."""
+
+    version: int
+    page_offset: int
+    page_count: int
+    registered_at: float
+    completed: bool = False
+    aborted: bool = False
+
+
+@dataclass
+class _BlobState:
+    """Mutable per-blob state guarded by the blob's condition variable."""
+
+    record: BlobRecord
+    condition: threading.Condition = field(default_factory=threading.Condition)
+    next_version: int = 1
+    published: int = 0
+    sizes: dict[int, int] = field(default_factory=lambda: {0: 0})
+    inflight: dict[int, _InFlightState] = field(default_factory=dict)
+    aborted: set[int] = field(default_factory=set)
+
+
+class VersionManager:
+    """Centralized version manager (the paper's current implementation)."""
+
+    def __init__(
+        self,
+        config: BlobSeerConfig | None = None,
+        id_generator: IdGenerator | None = None,
+    ):
+        self._config = config if config is not None else BlobSeerConfig()
+        self._ids = id_generator if id_generator is not None else IdGenerator("bs")
+        self._blobs: dict[str, _BlobState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ blobs
+    def create_blob(self, page_size: int | None = None) -> BlobRecord:
+        """CREATE: register a new blob with an empty, published snapshot 0."""
+        record = BlobRecord(
+            blob_id=self._ids.next_blob_id(),
+            page_size=page_size if page_size is not None else self._config.page_size,
+        )
+        state = _BlobState(record=record)
+        with self._lock:
+            self._blobs[record.blob_id] = state
+        return record
+
+    def branch(self, blob_id: str, version: int) -> BlobRecord:
+        """BRANCH: virtually duplicate ``blob_id`` up to (and including)
+        ``version``.
+
+        The new blob shares all metadata and pages of versions ``<= version``
+        with the original; its first update will generate ``version + 1``.
+        Fails if ``version`` has not been published.
+        """
+        parent = self._state(blob_id)
+        with parent.condition:
+            if not self._is_published_locked(parent, version):
+                raise VersionNotPublishedError(blob_id, version)
+            base_sizes = {
+                v: s for v, s in parent.sizes.items() if v <= version
+            }
+            base_aborted = {v for v in parent.aborted if v <= version}
+        record = BlobRecord(
+            blob_id=self._ids.next_blob_id(),
+            page_size=parent.record.page_size,
+            lineage=((blob_id, version),) + parent.record.lineage,
+        )
+        state = _BlobState(
+            record=record,
+            next_version=version + 1,
+            published=version,
+            sizes=base_sizes,
+            aborted=base_aborted,
+        )
+        with self._lock:
+            self._blobs[record.blob_id] = state
+        return record
+
+    def get_record(self, blob_id: str) -> BlobRecord:
+        return self._state(blob_id).record
+
+    def blob_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._blobs)
+
+    def _state(self, blob_id: str) -> _BlobState:
+        with self._lock:
+            state = self._blobs.get(blob_id)
+        if state is None:
+            raise UnknownBlobError(blob_id)
+        return state
+
+    # -------------------------------------------------------------- assignment
+    def register_update(
+        self,
+        blob_id: str,
+        size: int,
+        offset: int | None = None,
+        is_append: bool = False,
+    ) -> UpdateTicket:
+        """Assign the next snapshot version to a WRITE or APPEND.
+
+        For WRITE, ``offset`` is mandatory and must not exceed the size of the
+        previous snapshot.  For APPEND the offset is chosen by the version
+        manager (the previous snapshot's size).  Returns an
+        :class:`UpdateTicket` carrying everything the writer needs to build
+        its metadata without waiting on concurrent writers.
+        """
+        if size <= 0:
+            raise InvalidRangeError("updates must write at least one byte")
+        state = self._state(blob_id)
+        page_size = state.record.page_size
+        with state.condition:
+            self._reap_expired_locked(state)
+            prev_version = state.next_version - 1
+            prev_size = state.sizes[prev_version]
+            if is_append:
+                byte_offset = prev_size
+            else:
+                if offset is None:
+                    raise InvalidRangeError("WRITE requires an explicit offset")
+                if offset > prev_size:
+                    raise InvalidRangeError(
+                        f"write offset {offset} is beyond the size {prev_size} "
+                        f"of snapshot {prev_version}"
+                    )
+                byte_offset = offset
+
+            version = state.next_version
+            state.next_version += 1
+            new_size = max(prev_size, byte_offset + size)
+            state.sizes[version] = new_size
+
+            published_version = self._recent_locked(state)
+            published_size = state.sizes[published_version]
+
+            inflight = tuple(
+                InFlightUpdate(entry.version, entry.page_offset, entry.page_count)
+                for entry in sorted(state.inflight.values(), key=lambda e: e.version)
+                if not entry.aborted and entry.version < version
+            )
+
+            page_offset, page_count = covering_page_range(
+                byte_offset, size, page_size
+            )
+            state.inflight[version] = _InFlightState(
+                version=version,
+                page_offset=page_offset,
+                page_count=page_count,
+                registered_at=time.monotonic(),
+            )
+
+        return UpdateTicket(
+            blob_id=blob_id,
+            version=version,
+            byte_offset=byte_offset,
+            byte_size=size,
+            prev_size=prev_size,
+            new_size=new_size,
+            page_size=page_size,
+            published_version=published_version,
+            published_size=published_size,
+            inflight=inflight,
+        )
+
+    # -------------------------------------------------------------- completion
+    def complete_update(self, blob_id: str, version: int) -> None:
+        """Writer notification of success (Algorithm 2, line 12).
+
+        Marks the update complete and publishes it — together with any
+        later completed updates — as soon as every earlier version is
+        published, preserving total order.
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            if version in state.aborted:
+                raise UpdateAbortedError(blob_id, version, "aborted before completion")
+            entry = state.inflight.get(version)
+            if entry is None:
+                raise ConcurrencyError(
+                    f"version {version} of blob {blob_id!r} was never assigned "
+                    "or is already published"
+                )
+            entry.completed = True
+            self._advance_publication_locked(state)
+
+    def abort_update(self, blob_id: str, version: int, reason: str = "") -> None:
+        """Abort an in-flight update so publication of later versions proceeds.
+
+        The aborted version becomes a hole: GET_RECENT skips it, READ and
+        GET_SIZE on it fail.  Aborting is an extension over the paper (which
+        assumes writers never fail); see DESIGN.md for its limitations under
+        concurrency.
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            entry = state.inflight.get(version)
+            if entry is None:
+                raise ConcurrencyError(
+                    f"version {version} of blob {blob_id!r} is not in flight"
+                )
+            self._abort_locked(state, entry)
+            self._advance_publication_locked(state)
+
+    def _abort_locked(self, state: _BlobState, entry: _InFlightState) -> None:
+        """Mark an in-flight entry aborted.
+
+        When no later version has been assigned yet, the aborted snapshot's
+        size falls back to its predecessor's so that a subsequent APPEND does
+        not leave a hole.  When later versions were already assigned their
+        offsets depend on the aborted update, so sizes are left untouched
+        (see DESIGN.md for the documented limitation).
+        """
+        entry.aborted = True
+        state.aborted.add(entry.version)
+        if entry.version == state.next_version - 1:
+            state.sizes[entry.version] = state.sizes[entry.version - 1]
+
+    def _advance_publication_locked(self, state: _BlobState) -> None:
+        advanced = False
+        while True:
+            candidate = state.published + 1
+            entry = state.inflight.get(candidate)
+            if entry is None or not (entry.completed or entry.aborted):
+                break
+            state.published = candidate
+            del state.inflight[candidate]
+            advanced = True
+        if advanced:
+            state.condition.notify_all()
+
+    def _reap_expired_locked(self, state: _BlobState) -> None:
+        timeout = self._config.update_timeout
+        if timeout is None:
+            return
+        now = time.monotonic()
+        for entry in list(state.inflight.values()):
+            if entry.completed or entry.aborted:
+                continue
+            if now - entry.registered_at > timeout:
+                self._abort_locked(state, entry)
+        self._advance_publication_locked(state)
+
+    # ---------------------------------------------------------------- queries
+    def _recent_locked(self, state: _BlobState) -> int:
+        version = state.published
+        while version > 0 and version in state.aborted:
+            version -= 1
+        return version
+
+    def _is_published_locked(self, state: _BlobState, version: int) -> bool:
+        return 0 <= version <= state.published and version not in state.aborted
+
+    def get_recent(self, blob_id: str) -> int:
+        """GET_RECENT: a recently published version of the blob.
+
+        Guaranteed to be at least as large as any version published before
+        the call (the paper's monotonicity guarantee).
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            return self._recent_locked(state)
+
+    def is_published(self, blob_id: str, version: int) -> bool:
+        state = self._state(blob_id)
+        with state.condition:
+            return self._is_published_locked(state, version)
+
+    def get_size(self, blob_id: str, version: int) -> int:
+        """GET_SIZE: size in bytes of a published snapshot."""
+        state = self._state(blob_id)
+        with state.condition:
+            if not self._is_published_locked(state, version):
+                raise VersionNotPublishedError(blob_id, version)
+            return state.sizes[version]
+
+    def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
+        """SYNC: block until ``version`` is published.
+
+        Raises :class:`UpdateAbortedError` if the version was aborted, and
+        :class:`VersionNotPublishedError` on timeout or if the version was
+        never assigned.
+        """
+        state = self._state(blob_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with state.condition:
+            while True:
+                if version in state.aborted:
+                    raise UpdateAbortedError(blob_id, version)
+                if version <= state.published:
+                    return
+                if version >= state.next_version:
+                    raise VersionNotPublishedError(blob_id, version)
+                if deadline is None:
+                    state.condition.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not state.condition.wait(remaining):
+                        if version in state.aborted:
+                            raise UpdateAbortedError(blob_id, version)
+                        if version <= state.published:
+                            return
+                        raise VersionNotPublishedError(blob_id, version)
+
+    def inflight_count(self, blob_id: str) -> int:
+        """Number of assigned-but-unpublished updates (introspection)."""
+        state = self._state(blob_id)
+        with state.condition:
+            return len(state.inflight)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against a small in-memory cluster with a tiny page size so
+that multi-page and multi-level-tree behaviour is exercised with small
+buffers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BlobStore, Cluster
+from repro.config import BlobSeerConfig
+
+#: Tiny page size so a few hundred bytes already span many pages/tree levels.
+TEST_PAGE_SIZE = 64
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A small in-memory deployment (8 data providers, 8 DHT buckets)."""
+    return Cluster.in_memory(
+        num_data_providers=8,
+        num_metadata_providers=8,
+        page_size=TEST_PAGE_SIZE,
+    )
+
+
+@pytest.fixture
+def store(cluster) -> BlobStore:
+    return BlobStore(cluster)
+
+
+@pytest.fixture
+def blob_id(store) -> str:
+    return store.create()
+
+
+@pytest.fixture
+def replicated_cluster() -> Cluster:
+    """A deployment with 3-way metadata replication and checksum verification."""
+    config = BlobSeerConfig(
+        page_size=TEST_PAGE_SIZE,
+        num_data_providers=6,
+        num_metadata_providers=6,
+        replication=3,
+        verify_checksums=True,
+    )
+    return Cluster(config)
+
+
+def make_payload(size: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random payload of ``size`` bytes."""
+    pattern = bytes((seed * 131 + index * 7) % 256 for index in range(251))
+    repeats = -(-size // len(pattern))
+    return (pattern * repeats)[:size]

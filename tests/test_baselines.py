@@ -1,0 +1,106 @@
+"""Tests for the centralized-metadata and full-copy baselines."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    CentralizedMetadataServer,
+    run_centralized_read_experiment,
+)
+from repro.baselines.fullcopy import FullCopyVersionedStore
+from repro.config import KiB, MiB
+from repro.errors import InvalidRangeError, UnknownBlobError, VersionNotPublishedError
+from repro.metadata.node import PageDescriptor
+
+PAGE = 64 * KiB
+
+
+def descriptors(start, count, version=1):
+    return [
+        PageDescriptor(index, f"v{version}-p{index}", f"data-{index % 4:04d}", PAGE)
+        for index in range(start, start + count)
+    ]
+
+
+class TestCentralizedMetadataServer:
+    def test_publish_and_lookup(self):
+        server = CentralizedMetadataServer(PAGE)
+        server.create_blob("blob")
+        version = server.publish_update("blob", descriptors(0, 8), 8 * PAGE)
+        assert version == 1
+        assert server.latest_version("blob") == 1
+        assert server.get_size("blob", 1) == 8 * PAGE
+        found = server.lookup("blob", 1, 2 * PAGE, 3 * PAGE)
+        assert [d.page_index for d in found] == [2, 3, 4]
+
+    def test_versions_copy_the_whole_table(self):
+        server = CentralizedMetadataServer(PAGE)
+        server.create_blob("blob")
+        server.publish_update("blob", descriptors(0, 8), 8 * PAGE)
+        before = server.descriptor_writes
+        server.publish_update("blob", descriptors(0, 1, version=2), 8 * PAGE)
+        # The flat scheme re-serializes all 8 descriptors for a 1-page update.
+        assert server.descriptor_writes - before == 8
+        assert server.descriptor_count() == 16
+        old = server.lookup("blob", 1, 0, PAGE)
+        new = server.lookup("blob", 2, 0, PAGE)
+        assert old[0].page_id == "v1-p0"
+        assert new[0].page_id == "v2-p0"
+
+    def test_unknown_blob_and_version(self):
+        server = CentralizedMetadataServer(PAGE)
+        with pytest.raises(UnknownBlobError):
+            server.lookup("nope", 1, 0, PAGE)
+        server.create_blob("blob")
+        with pytest.raises(VersionNotPublishedError):
+            server.lookup("blob", 3, 0, PAGE)
+        with pytest.raises(VersionNotPublishedError):
+            server.get_size("blob", 3)
+
+    def test_read_experiment_shows_server_bottleneck(self):
+        samples = run_centralized_read_experiment(
+            num_provider_nodes=16, page_size=PAGE, blob_bytes=128 * MiB,
+            chunk_bytes=4 * MiB, reader_counts=[1, 16],
+        )
+        single, many = samples
+        assert many.avg_bandwidth_mbps < single.avg_bandwidth_mbps
+        assert many.metadata_requests > single.metadata_requests
+
+
+class TestFullCopyVersionedStore:
+    def test_append_write_read_roundtrip(self):
+        store = FullCopyVersionedStore()
+        v1 = store.append(b"hello ")
+        v2 = store.append(b"world")
+        v3 = store.write(b"W", 6)
+        assert (v1, v2, v3) == (1, 2, 3)
+        assert store.read(2, 0, 11) == b"hello world"
+        assert store.read(3, 0, 11) == b"hello World"
+        assert store.get_recent() == 3
+        assert store.get_size(1) == 6
+
+    def test_write_beyond_end_rejected(self):
+        store = FullCopyVersionedStore()
+        store.append(b"abc")
+        with pytest.raises(InvalidRangeError):
+            store.write(b"x", 10)
+
+    def test_read_validation(self):
+        store = FullCopyVersionedStore()
+        store.append(b"abc")
+        with pytest.raises(VersionNotPublishedError):
+            store.read(5, 0, 1)
+        with pytest.raises(InvalidRangeError):
+            store.read(1, 2, 5)
+
+    def test_empty_write_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            FullCopyVersionedStore().write(b"", 0)
+
+    def test_bytes_stored_grows_linearly_with_versions(self):
+        store = FullCopyVersionedStore()
+        store.append(b"x" * 1000)
+        for _ in range(4):
+            store.write(b"y", 0)
+        # 5 versions of ~1000 bytes each (plus the empty version 0).
+        assert store.bytes_stored() == 5 * 1000
+        assert store.version_count() == 6

@@ -1,0 +1,69 @@
+"""Tests for the benchmark harness: result formatting, CLI, shape helpers.
+
+The heavy experiment content itself is covered by the ``benchmarks/`` suite;
+here we verify the harness plumbing with the smallest presets.
+"""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+from repro.bench.fig2a import run_fig2a, shape_checks as fig2a_checks
+from repro.bench.fig2b import run_fig2b, shape_checks as fig2b_checks
+from repro.bench.runner import ExperimentResult, check_scale, format_table
+
+
+class TestRunnerHelpers:
+    def test_check_scale(self):
+        assert check_scale("small") == "small"
+        with pytest.raises(ValueError):
+            check_scale("enormous")
+
+    def test_format_table_alignment_and_notes(self):
+        result = ExperimentResult("T-1", "A title")
+        result.add(alpha=1, beta=2.34567, gamma="x")
+        result.add(alpha=100, beta=None, gamma="longer")
+        result.note("something to remember")
+        text = result.format()
+        lines = text.splitlines()
+        assert lines[0] == "== T-1: A title =="
+        assert "alpha" in lines[1] and "beta" in lines[1]
+        assert "2.35" in text          # floats are rounded
+        assert "-" in lines[4]         # None rendered as a dash
+        assert text.endswith("note: something to remember")
+
+    def test_format_table_without_rows(self):
+        result = ExperimentResult("T-2", "Empty")
+        assert format_table(result) == "== T-2: Empty =="
+
+
+class TestFigureHarnesses:
+    def test_fig2a_small_scale_shape(self):
+        result = run_fig2a("small")
+        checks = fig2a_checks(result)
+        assert all(checks.values()), checks
+
+    def test_fig2b_small_scale_shape(self):
+        result = run_fig2b("small")
+        checks = fig2b_checks(result)
+        assert all(checks.values()), checks
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig2a("galactic")
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        args = build_parser().parse_args(["fig2a", "--scale", "small"])
+        assert args.experiment == "fig2a"
+        assert args.scale == "small"
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9z"])
+
+    def test_main_runs_one_experiment(self, capsys):
+        assert main(["ablation-space", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "ABL-space" in output
+        assert "fullcopy_bytes" in output

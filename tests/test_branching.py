@@ -1,0 +1,112 @@
+"""Integration tests for BRANCH: cheap blob duplication and divergence."""
+
+import pytest
+
+from repro.errors import VersionNotPublishedError
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+PAGE = TEST_PAGE_SIZE
+
+
+class TestBranchBasics:
+    def test_branch_shares_history_up_to_the_branch_point(self, store, blob_id):
+        payload = make_payload(6 * PAGE, seed=1)
+        store.append(blob_id, payload)
+        version = store.write(blob_id, make_payload(PAGE, seed=2), PAGE)
+        store.sync(blob_id, version)
+        branch = store.branch(blob_id, version)
+        for v in (1, 2):
+            size = store.get_size(branch, v)
+            assert size == store.get_size(blob_id, v)
+            assert store.read(branch, v, 0, size) == store.read(blob_id, v, 0, size)
+
+    def test_branch_of_unpublished_version_fails(self, store, blob_id):
+        with pytest.raises(VersionNotPublishedError):
+            store.branch(blob_id, 4)
+
+    def test_branch_of_empty_snapshot(self, store, blob_id):
+        branch = store.branch(blob_id, 0)
+        version = store.append(branch, b"fresh start")
+        store.sync(branch, version)
+        assert store.read(branch, version, 0, 11) == b"fresh start"
+        assert store.get_size(blob_id, 0) == 0
+
+    def test_branches_do_not_see_each_others_updates(self, store, blob_id):
+        base = make_payload(4 * PAGE, seed=3)
+        store.append(blob_id, base)
+        store.sync(blob_id, 1)
+        branch_a = store.branch(blob_id, 1)
+        branch_b = store.branch(blob_id, 1)
+        va = store.write(branch_a, b"A" * PAGE, 0)
+        vb = store.write(branch_b, b"B" * PAGE, PAGE)
+        store.sync(branch_a, va)
+        store.sync(branch_b, vb)
+        a_data = store.read(branch_a, va, 0, 4 * PAGE)
+        b_data = store.read(branch_b, vb, 0, 4 * PAGE)
+        original = store.read(blob_id, 1, 0, 4 * PAGE)
+        assert a_data == b"A" * PAGE + base[PAGE:]
+        assert b_data == base[:PAGE] + b"B" * PAGE + base[2 * PAGE:]
+        assert original == base
+
+    def test_original_blob_keeps_evolving_after_a_branch(self, store, blob_id):
+        store.append(blob_id, make_payload(2 * PAGE, seed=4))
+        store.sync(blob_id, 1)
+        branch = store.branch(blob_id, 1)
+        v_orig = store.append(blob_id, make_payload(PAGE, seed=5))
+        store.sync(blob_id, v_orig)
+        assert store.get_size(blob_id, v_orig) == 3 * PAGE
+        assert store.get_size(branch, store.get_recent(branch)) == 2 * PAGE
+
+
+class TestBranchStorageSharing:
+    def test_branching_consumes_no_extra_pages(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(8 * PAGE))
+        store.sync(blob_id, 1)
+        pages_before = cluster.stored_page_count()
+        nodes_before = cluster.metadata_node_count()
+        store.branch(blob_id, 1)
+        assert cluster.stored_page_count() == pages_before
+        assert cluster.metadata_node_count() == nodes_before
+
+    def test_branch_updates_only_add_their_own_pages(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(8 * PAGE))
+        store.sync(blob_id, 1)
+        pages_before = cluster.stored_page_count()
+        branch = store.branch(blob_id, 1)
+        version = store.write(branch, make_payload(2 * PAGE, seed=6), 2 * PAGE)
+        store.sync(branch, version)
+        assert cluster.stored_page_count() == pages_before + 2
+
+
+class TestNestedBranches:
+    def test_branch_of_a_branch_reads_through_the_whole_lineage(self, store, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE, seed=7))
+        store.sync(blob_id, 1)
+        child = store.branch(blob_id, 1)
+        v2 = store.write(child, b"C" * PAGE, 0)
+        store.sync(child, v2)
+        grandchild = store.branch(child, v2)
+        v3 = store.append(grandchild, b"G" * PAGE)
+        store.sync(grandchild, v3)
+        data = store.read(grandchild, v3, 0, 5 * PAGE)
+        base = make_payload(4 * PAGE, seed=7)
+        assert data == b"C" * PAGE + base[PAGE:] + b"G" * PAGE
+        # Versions 1 and 2 are still served through the ancestors' metadata.
+        assert store.read(grandchild, 1, 0, 4 * PAGE) == base
+
+    def test_deep_branch_chain(self, store, blob_id):
+        expected = bytearray(make_payload(2 * PAGE, seed=8))
+        store.append(blob_id, bytes(expected))
+        store.sync(blob_id, 1)
+        current = blob_id
+        for depth in range(5):
+            current = store.branch(current, store.get_recent(current))
+            patch = bytes([depth + 65]) * 32
+            offset = depth * 32
+            version = store.write(current, patch, offset)
+            store.sync(current, version)
+            expected[offset:offset + 32] = patch
+        assert store.read(current, store.get_recent(current), 0, len(expected)) == bytes(
+            expected
+        )

@@ -1,0 +1,211 @@
+"""Concurrency tests with real threads: atomicity, total order, isolation.
+
+These tests exercise the guarantees of Section 4.3 with genuinely concurrent
+clients (threads) against the in-process cluster: updates are atomic and
+totally ordered, concurrent appenders never lose data, readers always see a
+consistent published snapshot, and writers never wait for each other's
+metadata (the border-node hand-off).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import BlobStore, Cluster
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+PAGE = TEST_PAGE_SIZE
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentAppenders:
+    def test_no_append_is_lost_and_order_is_total(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        writers = 8
+        appends_each = 6
+        chunk = PAGE  # one page per append, tagged with the writer id
+
+        def appender(writer_id: int):
+            def work():
+                for index in range(appends_each):
+                    payload = bytes([writer_id]) * chunk
+                    store.append(blob_id, payload)
+            return work
+
+        run_threads([appender(writer_id) for writer_id in range(writers)])
+        final = store.get_recent(blob_id)
+        assert final == writers * appends_each
+        store.sync(blob_id, final)
+        data = store.read(blob_id, final, 0, store.get_size(blob_id, final))
+        assert len(data) == writers * appends_each * chunk
+        # Every page is exactly one writer's payload and per-writer counts match.
+        counts = {writer_id: 0 for writer_id in range(writers)}
+        for page_start in range(0, len(data), chunk):
+            page = data[page_start:page_start + chunk]
+            assert len(set(page)) == 1
+            counts[page[0]] += 1
+        assert all(count == appends_each for count in counts.values())
+
+    def test_every_intermediate_version_is_consistent(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        writers = 6
+
+        def appender(writer_id: int):
+            def work():
+                store.append(blob_id, bytes([writer_id + 1]) * (2 * PAGE))
+            return work
+
+        run_threads([appender(writer_id) for writer_id in range(writers)])
+        final = store.get_recent(blob_id)
+        assert final == writers
+        for version in range(1, final + 1):
+            size = store.get_size(blob_id, version)
+            assert size == version * 2 * PAGE
+            data = store.read(blob_id, version, 0, size)
+            # A prefix property: each earlier snapshot is a prefix of later ones.
+            if version > 1:
+                previous = store.read(blob_id, version - 1, 0, size - 2 * PAGE)
+                assert data.startswith(previous)
+
+
+class TestConcurrentWritersOnDisjointRanges:
+    def test_disjoint_overwrites_all_land(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        regions = 10
+        store.append(blob_id, bytes(regions * 2 * PAGE))
+        store.sync(blob_id, 1)
+
+        def writer(region: int):
+            def work():
+                payload = bytes([region + 1]) * (2 * PAGE)
+                store.write(blob_id, payload, region * 2 * PAGE)
+            return work
+
+        run_threads([writer(region) for region in range(regions)])
+        final = store.get_recent(blob_id)
+        assert final == regions + 1
+        data = store.read(blob_id, final, 0, regions * 2 * PAGE)
+        for region in range(regions):
+            segment = data[region * 2 * PAGE:(region + 1) * 2 * PAGE]
+            assert segment == bytes([region + 1]) * (2 * PAGE)
+
+
+class TestConcurrentReadersAndWriters:
+    def test_readers_always_see_published_consistent_snapshots(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def appender():
+            for index in range(25):
+                store.append(blob_id, bytes([index % 251 + 1]) * PAGE)
+            stop.set()
+
+        def reader():
+            rng = random.Random(42)
+            while not stop.is_set():
+                version = store.get_recent(blob_id)
+                size = store.get_size(blob_id, version)
+                assert size == version * PAGE
+                if size == 0:
+                    continue
+                offset = rng.randrange(0, size)
+                length = rng.randrange(0, size - offset) if size > offset else 0
+                data = store.read(blob_id, version, offset, length)
+                if len(data) != length:
+                    errors.append(f"short read at version {version}")
+                # Page contents must be uniform by construction.
+                for page_start in range(offset - offset % PAGE, offset + length, PAGE):
+                    lo = max(page_start, offset)
+                    hi = min(page_start + PAGE, offset + length)
+                    chunk = data[lo - offset:hi - offset]
+                    if chunk and len(set(chunk)) != 1:
+                        errors.append(f"torn page at version {version}")
+
+        run_threads([appender] + [reader] * 4)
+        assert errors == []
+
+    def test_sync_provides_read_your_writes(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        results: list[bool] = []
+        lock = threading.Lock()
+
+        def writer(writer_id: int):
+            def work():
+                payload = bytes([writer_id + 1]) * PAGE
+                version = store.append(blob_id, payload)
+                store.sync(blob_id, version)
+                offset = store.get_size(blob_id, version) - PAGE
+                data = store.read(blob_id, version, offset, PAGE)
+                with lock:
+                    results.append(data == payload)
+            return work
+
+        run_threads([writer(writer_id) for writer_id in range(8)])
+        assert len(results) == 8
+        assert all(results)
+
+
+class TestConcurrentBranching:
+    def test_branches_created_concurrently_stay_isolated(self, cluster):
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        base = make_payload(4 * PAGE, seed=1)
+        store.append(blob_id, base)
+        store.sync(blob_id, 1)
+        branch_data: dict[int, tuple[str, bytes]] = {}
+        lock = threading.Lock()
+
+        def brancher(index: int):
+            def work():
+                branch = store.branch(blob_id, 1)
+                payload = bytes([index + 1]) * PAGE
+                version = store.write(branch, payload, PAGE * (index % 4))
+                store.sync(branch, version)
+                with lock:
+                    branch_data[index] = (branch, payload)
+            return work
+
+        run_threads([brancher(index) for index in range(6)])
+        assert len(branch_data) == 6
+        for index, (branch, payload) in branch_data.items():
+            data = store.read(branch, store.get_recent(branch), 0, 4 * PAGE)
+            offset = PAGE * (index % 4)
+            assert data[offset:offset + PAGE] == payload
+        # The original is untouched.
+        assert store.read(blob_id, 1, 0, 4 * PAGE) == base
+
+
+class TestParallelClientsSeparateStores:
+    def test_one_store_per_thread_is_equivalent(self):
+        cluster = Cluster.in_memory(
+            num_data_providers=6, num_metadata_providers=6, page_size=PAGE
+        )
+        blob_id = BlobStore(cluster).create()
+
+        def appender(writer_id: int):
+            def work():
+                local_store = BlobStore(cluster)
+                for _ in range(4):
+                    local_store.append(blob_id, bytes([writer_id + 1]) * PAGE)
+            return work
+
+        run_threads([appender(writer_id) for writer_id in range(5)])
+        store = BlobStore(cluster)
+        final = store.get_recent(blob_id)
+        assert final == 20
+        assert store.get_size(blob_id, final) == 20 * PAGE

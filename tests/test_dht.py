@@ -1,0 +1,142 @@
+"""Unit tests for the bucket store and the replicated DHT."""
+
+import pytest
+
+from repro.dht.dht import DHT
+from repro.dht.storage import BucketStore
+from repro.errors import MetadataNotFoundError, ProviderUnavailableError
+
+
+class TestBucketStore:
+    def test_put_get_roundtrip(self):
+        store = BucketStore("meta-0000")
+        store.put("key", {"value": 1})
+        assert store.get("key") == {"value": 1}
+
+    def test_missing_key_raises(self):
+        store = BucketStore("meta-0000")
+        with pytest.raises(MetadataNotFoundError):
+            store.get("absent")
+
+    def test_no_overwrite_mode_keeps_first_value(self):
+        store = BucketStore("meta-0000")
+        store.put("key", "first")
+        store.put("key", "second", overwrite=False)
+        assert store.get("key") == "first"
+
+    def test_delete(self):
+        store = BucketStore("meta-0000")
+        store.put("key", 1)
+        assert store.delete("key") is True
+        assert store.delete("key") is False
+        assert len(store) == 0
+
+    def test_contains_and_keys(self):
+        store = BucketStore("meta-0000")
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.contains("a")
+        assert not store.contains("c")
+        assert sorted(store.keys()) == ["a", "b"]
+
+    def test_kill_blocks_access_and_revive_restores(self):
+        store = BucketStore("meta-0000")
+        store.put("key", 1)
+        store.kill()
+        assert not store.alive
+        with pytest.raises(ProviderUnavailableError):
+            store.get("key")
+        with pytest.raises(ProviderUnavailableError):
+            store.put("other", 2)
+        store.revive()
+        assert store.get("key") == 1  # contents survive a restart
+
+    def test_stats_track_hits_and_misses(self):
+        store = BucketStore("meta-0000")
+        store.put("key", 1)
+        store.get("key")
+        with pytest.raises(MetadataNotFoundError):
+            store.get("nope")
+        stats = store.stats
+        assert stats.puts == 1
+        assert stats.gets == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.keys == 1
+
+
+class TestDHT:
+    def test_roundtrip_and_missing(self):
+        dht = DHT(num_buckets=8)
+        dht.put("k1", "v1")
+        assert dht.get("k1") == "v1"
+        assert dht.contains("k1")
+        with pytest.raises(MetadataNotFoundError):
+            dht.get("missing")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DHT(num_buckets=0)
+        with pytest.raises(ValueError):
+            DHT(num_buckets=4, replication=0)
+
+    def test_replication_capped_at_bucket_count(self):
+        dht = DHT(num_buckets=2, replication=5)
+        assert dht.replication == 2
+
+    def test_keys_distribute_over_buckets(self):
+        dht = DHT(num_buckets=8)
+        for index in range(400):
+            dht.put(f"blob/{index // 20}/{index % 20}/1", index)
+        distribution = dht.load_distribution()
+        assert sum(distribution.values()) == 400
+        assert sum(1 for count in distribution.values() if count > 0) >= 6
+
+    def test_replicated_value_survives_primary_failure(self):
+        dht = DHT(num_buckets=6, replication=3)
+        dht.put("important", 42)
+        primary = dht.buckets_for("important")[0]
+        dht.kill_bucket(primary)
+        assert dht.get("important") == 42
+
+    def test_unreplicated_value_unavailable_after_failure(self):
+        dht = DHT(num_buckets=6, replication=1)
+        dht.put("fragile", 42)
+        primary = dht.buckets_for("fragile")[0]
+        dht.kill_bucket(primary)
+        with pytest.raises(ProviderUnavailableError):
+            dht.get("fragile")
+        dht.revive_bucket(primary)
+        assert dht.get("fragile") == 42
+
+    def test_put_fails_only_when_all_replicas_down(self):
+        dht = DHT(num_buckets=3, replication=3)
+        for bucket_id in dht.bucket_ids():
+            dht.kill_bucket(bucket_id)
+        with pytest.raises(ProviderUnavailableError):
+            dht.put("key", 1)
+        dht.revive_bucket(dht.bucket_ids()[0])
+        dht.put("key", 1)  # one live replica is enough
+        assert dht.get("key") == 1
+
+    def test_delete_removes_from_all_replicas(self):
+        dht = DHT(num_buckets=4, replication=2)
+        dht.put("key", "value")
+        assert dht.delete("key") is True
+        assert not dht.contains("key")
+
+    def test_stats_aggregate(self):
+        dht = DHT(num_buckets=4, replication=2)
+        dht.put("a", 1)
+        dht.get("a")
+        stats = dht.stats()
+        assert stats.buckets == 4
+        assert stats.puts == 2  # one per replica
+        assert stats.keys == 2
+        assert stats.hits == 1
+
+    def test_consistent_strategy_works(self):
+        dht = DHT(num_buckets=8, strategy="consistent", replication=2)
+        dht.put("k", "v")
+        assert dht.get("k") == "v"
+        assert len(set(dht.buckets_for("k"))) == 2

@@ -1,0 +1,112 @@
+"""Unit and property tests for DHT key placement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dht.hashing import (
+    ConsistentHashRing,
+    StaticPlacement,
+    make_placement,
+    stable_hash,
+)
+
+BUCKETS = [f"meta-{index:04d}" for index in range(16)]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_salt_changes_value(self):
+        assert stable_hash("abc") != stable_hash("abc", salt="vn1:")
+
+    def test_spread(self):
+        values = {stable_hash(f"key-{index}") % 16 for index in range(500)}
+        assert len(values) == 16  # every bucket index is hit
+
+
+class TestStaticPlacement:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            StaticPlacement([])
+
+    def test_primary_is_deterministic(self):
+        placement = StaticPlacement(BUCKETS)
+        assert placement.buckets_for("key") == placement.buckets_for("key")
+
+    def test_replicas_are_distinct_and_bounded(self):
+        placement = StaticPlacement(BUCKETS)
+        replicas = placement.buckets_for("key", replicas=3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert placement.buckets_for("key", replicas=100) == placement.buckets_for(
+            "key", replicas=len(BUCKETS)
+        )
+
+    def test_all_buckets(self):
+        assert StaticPlacement(BUCKETS).all_buckets() == BUCKETS
+
+    @given(st.text(min_size=1, max_size=50))
+    def test_every_key_lands_on_a_known_bucket(self, key):
+        placement = StaticPlacement(BUCKETS)
+        assert placement.buckets_for(key)[0] in BUCKETS
+
+    def test_keys_spread_over_buckets(self):
+        placement = StaticPlacement(BUCKETS)
+        hits = {placement.buckets_for(f"blob/{v}/{o}/8")[0]
+                for v in range(20) for o in range(20)}
+        assert len(hits) >= len(BUCKETS) // 2
+
+
+class TestConsistentHashRing:
+    def test_requires_buckets_and_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+        with pytest.raises(ValueError):
+            ConsistentHashRing(BUCKETS, virtual_nodes=0)
+
+    def test_deterministic(self):
+        ring = ConsistentHashRing(BUCKETS)
+        assert ring.buckets_for("key") == ring.buckets_for("key")
+
+    def test_replicas_distinct(self):
+        ring = ConsistentHashRing(BUCKETS)
+        replicas = ring.buckets_for("some-key", replicas=4)
+        assert len(set(replicas)) == 4
+
+    def test_removing_a_bucket_only_moves_its_keys(self):
+        ring = ConsistentHashRing(BUCKETS, virtual_nodes=64)
+        keys = [f"key-{index}" for index in range(300)]
+        before = {key: ring.buckets_for(key)[0] for key in keys}
+        ring.remove_bucket(BUCKETS[3])
+        after = {key: ring.buckets_for(key)[0] for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # Only keys previously owned by the removed bucket may move.
+        assert all(before[key] == BUCKETS[3] for key in moved)
+        assert all(after[key] != BUCKETS[3] for key in keys)
+
+    def test_adding_a_bucket_is_idempotent(self):
+        ring = ConsistentHashRing(BUCKETS)
+        ring.add_bucket(BUCKETS[0])
+        assert ring.all_buckets() == BUCKETS
+
+    def test_reasonable_balance_with_virtual_nodes(self):
+        ring = ConsistentHashRing(BUCKETS, virtual_nodes=128)
+        counts = {bucket: 0 for bucket in BUCKETS}
+        total = 4000
+        for index in range(total):
+            counts[ring.buckets_for(f"key-{index}")[0]] += 1
+        expected = total / len(BUCKETS)
+        assert max(counts.values()) < 3 * expected
+
+
+class TestFactory:
+    def test_static(self):
+        assert isinstance(make_placement("static", BUCKETS), StaticPlacement)
+
+    def test_consistent(self):
+        assert isinstance(make_placement("consistent", BUCKETS), ConsistentHashRing)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_placement("magic", BUCKETS)

@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts: each must run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "picture_analytics",
+        "branching_pipelines",
+        "simulated_grid_run",
+        "dataset_curation",
+    ],
+)
+def test_example_runs_to_completion(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {name} produced no output"
+
+
+def test_quickstart_demonstrates_versioning(capsys):
+    load_example("quickstart").main()
+    output = capsys.readouterr().out
+    assert "The quick brown fox" in output
+    assert "branch" in output
+
+
+def test_picture_analytics_reports_every_camera_family(capsys):
+    load_example("picture_analytics").main()
+    output = capsys.readouterr().out
+    assert "average contrast" in output
+    assert "enhanced the first picture" in output
+
+
+def test_branching_pipelines_storage_savings(capsys):
+    load_example("branching_pipelines").main()
+    output = capsys.readouterr().out
+    assert "full copies would need" in output
+
+
+def test_dataset_curation_reports_and_collects(capsys):
+    load_example("dataset_curation").main()
+    output = capsys.readouterr().out
+    assert "pages added" in output
+    assert "cluster report" in output
+    assert "reclaimed" in output
+    assert "verified readable after collection" in output

@@ -1,0 +1,138 @@
+"""Unit and property tests for segment-tree geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidRangeError
+from repro.metadata.geometry import (
+    children_of,
+    is_leaf_range,
+    node_ranges_covering,
+    pages_for_size,
+    parent_of,
+    span_for_pages,
+    tree_depth,
+    validate_node_range,
+)
+from repro.util.ranges import intersects
+
+
+class TestPagesAndSpan:
+    @pytest.mark.parametrize(
+        "size,page,expected", [(0, 64, 0), (1, 64, 1), (64, 64, 1), (65, 64, 2), (640, 64, 10)]
+    )
+    def test_pages_for_size(self, size, page, expected):
+        assert pages_for_size(size, page) == expected
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            pages_for_size(-1, 64)
+
+    @pytest.mark.parametrize("pages,expected", [(0, 0), (1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024)])
+    def test_span_for_pages(self, pages, expected):
+        assert span_for_pages(pages) == expected
+
+    @pytest.mark.parametrize("span,depth", [(0, 0), (1, 1), (2, 2), (4, 3), (1024, 11)])
+    def test_tree_depth(self, span, depth):
+        assert tree_depth(span) == depth
+
+
+class TestNodeRangeValidation:
+    def test_valid_ranges(self):
+        validate_node_range(0, 1)
+        validate_node_range(4, 4)
+        validate_node_range(8, 2)
+
+    @pytest.mark.parametrize("offset,size", [(0, 0), (0, 3), (1, 2), (3, 4), (-2, 2)])
+    def test_invalid_ranges(self, offset, size):
+        with pytest.raises(InvalidRangeError):
+            validate_node_range(offset, size)
+
+    def test_leaf_detection(self):
+        assert is_leaf_range(7, 1)
+        assert not is_leaf_range(0, 2)
+
+
+class TestParentsAndChildren:
+    def test_children(self):
+        assert children_of(0, 4) == ((0, 2), (2, 2))
+        assert children_of(4, 2) == ((4, 1), (5, 1))
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(InvalidRangeError):
+            children_of(3, 1)
+
+    def test_parent_left_and_right(self):
+        assert parent_of(0, 2) == (0, 4, "LEFT")
+        assert parent_of(2, 2) == (0, 4, "RIGHT")
+        assert parent_of(4, 1) == (4, 2, "LEFT")
+        assert parent_of(5, 1) == (4, 2, "RIGHT")
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=2**10),
+    )
+    def test_parent_child_roundtrip(self, level, block):
+        size = 1 << level
+        offset = block * size
+        parent_offset, parent_size, position = parent_of(offset, size)
+        left, right = children_of(parent_offset, parent_size)
+        child = left if position == "LEFT" else right
+        assert child == (offset, size)
+
+
+class TestNodeRangesCovering:
+    def test_full_tree(self):
+        ranges = node_ranges_covering(0, 4, 4)
+        assert set(ranges) == {(0, 1), (1, 1), (2, 1), (3, 1), (0, 2), (2, 2), (0, 4)}
+        # Bottom-up order: leaves first, root last.
+        assert ranges[-1] == (0, 4)
+        assert all(size == 1 for _, size in ranges[:4])
+
+    def test_partial_update_matches_paper_figure_1b(self):
+        """Figure 1(b): overwriting pages 2 and 3 of a 4-page blob creates
+        the grey nodes (2,1), (3,1), (2,2) and (0,4)."""
+        ranges = node_ranges_covering(2, 2, 4)
+        assert set(ranges) == {(2, 1), (3, 1), (2, 2), (0, 4)}
+
+    def test_append_expansion_matches_paper_figure_1c(self):
+        """Figure 1(c): appending the 5th page (index 4) to a 4-page blob
+        with a new span of 8 creates nodes along the path to the new root."""
+        ranges = node_ranges_covering(4, 1, 8)
+        assert set(ranges) == {(4, 1), (4, 2), (4, 4), (0, 8)}
+
+    def test_empty_inputs(self):
+        assert node_ranges_covering(0, 0, 4) == []
+        assert node_ranges_covering(0, 4, 0) == []
+
+    @given(
+        span_exp=st.integers(min_value=0, max_value=8),
+        data=st.data(),
+    )
+    def test_covering_property(self, span_exp, data):
+        """A node range is produced iff it intersects the update range."""
+        span = 1 << span_exp
+        offset = data.draw(st.integers(min_value=0, max_value=span - 1))
+        size = data.draw(st.integers(min_value=1, max_value=span - offset))
+        produced = set(node_ranges_covering(offset, size, span))
+        # Enumerate all node ranges of the tree and compare.
+        expected = set()
+        node_size = 1
+        while node_size <= span:
+            for node_offset in range(0, span, node_size):
+                if intersects(node_offset, node_size, offset, size):
+                    expected.add((node_offset, node_size))
+            node_size *= 2
+        assert produced == expected
+
+    @given(
+        span_exp=st.integers(min_value=0, max_value=8),
+        data=st.data(),
+    )
+    def test_node_count_is_about_twice_the_update_plus_depth(self, span_exp, data):
+        span = 1 << span_exp
+        offset = data.draw(st.integers(min_value=0, max_value=span - 1))
+        size = data.draw(st.integers(min_value=1, max_value=span - offset))
+        count = len(node_ranges_covering(offset, size, span))
+        assert count <= 2 * size + 2 * tree_depth(span)
+        assert count >= size  # at least one leaf per updated page

@@ -1,0 +1,122 @@
+"""Integration tests across multiple blobs sharing one deployment."""
+
+import pytest
+
+from repro import BlobStore, Cluster
+from repro.config import BlobSeerConfig
+from repro.tools import cluster_report, collect_garbage, diff_versions
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+PAGE = TEST_PAGE_SIZE
+
+
+class TestMultipleBlobsShareTheCluster:
+    def test_blobs_are_fully_isolated(self, store):
+        blob_a = store.create()
+        blob_b = store.create()
+        payload_a = make_payload(5 * PAGE, seed=1)
+        payload_b = make_payload(3 * PAGE, seed=2)
+        store.sync(blob_a, store.append(blob_a, payload_a))
+        store.sync(blob_b, store.append(blob_b, payload_b))
+        assert store.get_recent(blob_a) == 1
+        assert store.get_recent(blob_b) == 1
+        assert store.read(blob_a, 1, 0, len(payload_a)) == payload_a
+        assert store.read(blob_b, 1, 0, len(payload_b)) == payload_b
+        # Updating one blob does not advance the other's versions.
+        store.sync(blob_a, store.append(blob_a, payload_b))
+        assert store.get_recent(blob_b) == 1
+
+    def test_blobs_with_different_page_sizes_coexist(self, store, cluster):
+        coarse = store.create(page_size=4 * PAGE)
+        fine = store.create(page_size=PAGE)
+        payload = make_payload(8 * PAGE, seed=3)
+        store.sync(coarse, store.append(coarse, payload))
+        store.sync(fine, store.append(fine, payload))
+        assert store.read(coarse, 1, PAGE, PAGE) == payload[PAGE:2 * PAGE]
+        assert store.read(fine, 1, PAGE, PAGE) == payload[PAGE:2 * PAGE]
+        # The fine-grained blob needs more pages and more metadata.
+        report = cluster_report(cluster)
+        assert report.blobs == 2
+        assert report.pages_stored == 8 + 2
+
+    def test_report_aggregates_branches_and_blobs(self, store, cluster):
+        origin = store.create()
+        store.sync(origin, store.append(origin, make_payload(4 * PAGE)))
+        branch = store.branch(origin, 1)
+        store.sync(branch, store.append(branch, make_payload(PAGE, seed=4)))
+        report = cluster_report(cluster)
+        assert report.blobs == 2
+        assert report.published_versions == 3     # origin v1 + branch v1..v2
+        assert report.logical_bytes == 4 * PAGE + 5 * PAGE
+        assert report.pages_stored == 5           # branch shares the first 4
+
+    def test_gc_across_blobs_and_branches(self, store, cluster):
+        origin = store.create()
+        store.sync(origin, store.append(origin, make_payload(6 * PAGE, seed=5)))
+        store.sync(origin, store.write(origin, make_payload(2 * PAGE, seed=6), 0))
+        branch = store.branch(origin, 2)
+        store.sync(branch, store.append(branch, make_payload(PAGE, seed=7)))
+        other = store.create()
+        store.sync(other, store.append(other, make_payload(2 * PAGE, seed=8)))
+
+        report = collect_garbage(
+            cluster,
+            {origin: [2], branch: [3], other: [1]},
+        )
+        # Only origin v1's two overwritten pages are unreachable.
+        assert report.deleted_pages == 2
+        assert store.read(origin, 2, 0, 2 * PAGE) == make_payload(2 * PAGE, seed=6)
+        assert store.read(branch, 3, 6 * PAGE, PAGE) == make_payload(PAGE, seed=7)
+        assert store.read(other, 1, 0, 2 * PAGE) == make_payload(2 * PAGE, seed=8)
+
+    def test_diff_is_per_blob(self, store, cluster):
+        blob_a = store.create()
+        blob_b = store.create()
+        store.sync(blob_a, store.append(blob_a, make_payload(4 * PAGE, seed=1)))
+        store.sync(blob_b, store.append(blob_b, make_payload(4 * PAGE, seed=2)))
+        store.sync(blob_a, store.write(blob_a, make_payload(PAGE, seed=3), PAGE))
+        changes_a = diff_versions(cluster, blob_a, 1, 2)
+        assert len(changes_a) == 1 and changes_a[0].page_offset == 1
+        assert diff_versions(cluster, blob_b, 1, 1) == []
+
+
+class TestAlternativeStrategyDeployments:
+    @pytest.mark.parametrize("allocation", ["least_loaded", "random"])
+    def test_end_to_end_with_other_allocation_strategies(self, allocation):
+        cluster = Cluster(
+            BlobSeerConfig(
+                page_size=PAGE,
+                num_data_providers=5,
+                num_metadata_providers=5,
+                allocation_strategy=allocation,
+            ),
+            seed=3,
+        )
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        payload = make_payload(20 * PAGE, seed=9)
+        version = store.append(blob_id, payload)
+        store.sync(blob_id, version)
+        assert store.read(blob_id, version, 0, len(payload)) == payload
+        assert cluster.stored_page_count() == 20
+
+    def test_end_to_end_with_consistent_hash_metadata(self):
+        cluster = Cluster(
+            BlobSeerConfig(
+                page_size=PAGE,
+                num_data_providers=4,
+                num_metadata_providers=6,
+                dht_strategy="consistent",
+            )
+        )
+        store = BlobStore(cluster)
+        blob_id = store.create()
+        payload = make_payload(16 * PAGE, seed=11)
+        store.append(blob_id, payload)
+        version = store.write(blob_id, make_payload(2 * PAGE, seed=12), 4 * PAGE)
+        store.sync(blob_id, version)
+        expected = payload[:4 * PAGE] + make_payload(2 * PAGE, seed=12) + payload[6 * PAGE:]
+        assert store.read(blob_id, version, 0, len(payload)) == expected
+        loads = cluster.metadata_load_distribution()
+        assert sum(loads.values()) == cluster.metadata_node_count()

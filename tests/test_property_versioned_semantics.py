@@ -1,0 +1,151 @@
+"""Property-based end-to-end test: BlobSeer vs. a reference model.
+
+Hypothesis drives random sequences of APPEND / WRITE / BRANCH operations
+against both the real system (BlobStore on an in-memory cluster) and the
+trivially-correct full-copy reference model.  After every operation, every
+published snapshot of every blob must read back identical to the model —
+this is the paper's snapshot semantics stated as one invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import BlobStore, Cluster
+from repro.baselines.fullcopy import FullCopyVersionedStore
+
+PAGE = 32
+
+
+class ReferenceBlob:
+    """Reference model: per-blob full-copy history plus branch bookkeeping."""
+
+    def __init__(self):
+        self.snapshots: list[bytes] = [b""]
+
+    def apply_write(self, data: bytes, offset: int) -> None:
+        current = bytearray(self.snapshots[-1])
+        if offset + len(data) > len(current):
+            current.extend(bytes(offset + len(data) - len(current)))
+        current[offset:offset + len(data)] = data
+        self.snapshots.append(bytes(current))
+
+    def branch(self, version: int) -> "ReferenceBlob":
+        child = ReferenceBlob()
+        child.snapshots = self.snapshots[:version + 1]
+        return child
+
+
+operation_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(1, 3 * PAGE), st.integers(0, 255)),
+        st.tuples(st.just("write"), st.integers(1, 2 * PAGE), st.integers(0, 255)),
+        st.tuples(st.just("branch"), st.integers(0, 10), st.integers(0, 255)),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(operations=operation_strategy, data=st.data())
+def test_blobseer_matches_reference_model(operations, data):
+    cluster = Cluster.in_memory(
+        num_data_providers=4, num_metadata_providers=4, page_size=PAGE
+    )
+    store = BlobStore(cluster)
+    root = store.create()
+    blobs: list[tuple[str, ReferenceBlob]] = [(root, ReferenceBlob())]
+
+    for kind, size, fill in operations:
+        blob_index = data.draw(
+            st.integers(0, len(blobs) - 1), label="target blob"
+        )
+        blob_id, model = blobs[blob_index]
+        payload = bytes([fill]) * size
+
+        if kind == "append":
+            version = store.append(blob_id, payload)
+            store.sync(blob_id, version)
+            model.apply_write(payload, len(model.snapshots[-1]))
+        elif kind == "write":
+            current_size = len(model.snapshots[-1])
+            offset = data.draw(st.integers(0, current_size), label="write offset")
+            version = store.write(blob_id, payload, offset)
+            store.sync(blob_id, version)
+            model.apply_write(payload, offset)
+        else:  # branch
+            latest = store.get_recent(blob_id)
+            branch_version = min(size % (latest + 1), latest)
+            branch_id = store.branch(blob_id, branch_version)
+            blobs.append((branch_id, model.branch(branch_version)))
+
+    # Invariant: every published snapshot of every blob equals the model.
+    for blob_id, model in blobs:
+        recent = store.get_recent(blob_id)
+        assert recent == len(model.snapshots) - 1
+        for version, expected in enumerate(model.snapshots):
+            assert store.get_size(blob_id, version) == len(expected)
+            if expected:
+                assert store.read(blob_id, version, 0, len(expected)) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=5 * PAGE), min_size=1, max_size=10)
+)
+def test_append_stream_equals_concatenation(chunks):
+    """Appending arbitrary binary chunks reads back as their concatenation,
+    at every intermediate version."""
+    cluster = Cluster.in_memory(
+        num_data_providers=3, num_metadata_providers=3, page_size=PAGE
+    )
+    store = BlobStore(cluster)
+    blob_id = store.create()
+    accumulated = b""
+    for version, chunk in enumerate(chunks, start=1):
+        store.append(blob_id, chunk)
+        accumulated += chunk
+        store.sync(blob_id, version)
+        assert store.read(blob_id, version, 0, len(accumulated)) == accumulated
+    # Storage never exceeds the page-rounded total of written bytes.
+    pages_written = sum(-(-len(chunk) // PAGE) + 1 for chunk in chunks)
+    assert cluster.stored_page_count() <= pages_written + len(chunks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    base_size=st.integers(1, 6 * PAGE),
+    overwrites=st.lists(
+        st.tuples(st.integers(0, 6 * PAGE), st.integers(1, 2 * PAGE), st.integers(0, 255)),
+        max_size=6,
+    ),
+)
+def test_full_copy_baseline_agrees_with_blobseer(base_size, overwrites):
+    """The FullCopyVersionedStore baseline and BlobSeer stay byte-identical
+    under the same workload (it is used as the oracle in the benchmarks)."""
+    cluster = Cluster.in_memory(
+        num_data_providers=4, num_metadata_providers=4, page_size=PAGE
+    )
+    store = BlobStore(cluster)
+    baseline = FullCopyVersionedStore()
+    blob_id = store.create()
+    base = b"\x7f" * base_size
+    store.sync(blob_id, store.append(blob_id, base))
+    baseline.append(base)
+    for offset, size, fill in overwrites:
+        payload = bytes([fill]) * size
+        offset = min(offset, store.get_size(blob_id, store.get_recent(blob_id)))
+        version = store.write(blob_id, payload, offset)
+        store.sync(blob_id, version)
+        baseline.write(payload, offset)
+    recent = store.get_recent(blob_id)
+    assert recent == baseline.get_recent()
+    for version in range(recent + 1):
+        size = store.get_size(blob_id, version)
+        assert size == baseline.get_size(version)
+        assert store.read(blob_id, version, 0, size) == baseline.read(version, 0, size)

@@ -1,0 +1,121 @@
+"""Tests for the simulated experiments behind Figures 2(a) and 2(b)."""
+
+import pytest
+
+from repro.config import KiB, MiB
+from repro.sim.experiments import (
+    run_append_growth_experiment,
+    run_mixed_workload_experiment,
+    run_read_concurrency_experiment,
+)
+
+
+class TestAppendGrowthExperiment:
+    def test_samples_track_blob_growth(self):
+        samples = run_append_growth_experiment(
+            num_provider_nodes=10, page_size=64 * KiB, append_bytes=1 * MiB,
+            num_appends=5,
+        )
+        assert len(samples) == 5
+        assert [s.pages_total for s in samples] == [16, 32, 48, 64, 80]
+        assert all(s.bandwidth_mbps > 0 for s in samples)
+
+    def test_bandwidth_does_not_degrade_with_blob_size(self):
+        samples = run_append_growth_experiment(
+            num_provider_nodes=10, page_size=64 * KiB, append_bytes=1 * MiB,
+            num_appends=12,
+        )
+        assert samples[-1].bandwidth_mbps >= 0.9 * samples[0].bandwidth_mbps
+
+    def test_larger_pages_yield_higher_bandwidth(self):
+        small = run_append_growth_experiment(
+            num_provider_nodes=10, page_size=64 * KiB, append_bytes=2 * MiB,
+            num_appends=3,
+        )
+        large = run_append_growth_experiment(
+            num_provider_nodes=10, page_size=256 * KiB, append_bytes=2 * MiB,
+            num_appends=3,
+        )
+        assert large[-1].bandwidth_mbps > small[-1].bandwidth_mbps
+
+    def test_border_fetches_grow_with_tree_depth(self):
+        samples = run_append_growth_experiment(
+            num_provider_nodes=6, page_size=64 * KiB, append_bytes=256 * KiB,
+            num_appends=40,
+        )
+        assert samples[0].border_nodes_fetched <= samples[-1].border_nodes_fetched
+        assert samples[-1].border_nodes_fetched <= 12  # logarithmic, not linear
+
+
+class TestReadConcurrencyExperiment:
+    def test_per_reader_bandwidth_degrades_gently(self):
+        samples = run_read_concurrency_experiment(
+            num_provider_nodes=16, page_size=64 * KiB, blob_bytes=128 * MiB,
+            chunk_bytes=4 * MiB, reader_counts=[1, 8, 16],
+        )
+        assert [s.readers for s in samples] == [1, 8, 16]
+        single, most = samples[0], samples[-1]
+        assert most.avg_bandwidth_mbps <= single.avg_bandwidth_mbps
+        assert most.avg_bandwidth_mbps >= 0.5 * single.avg_bandwidth_mbps
+        assert most.aggregate_bandwidth_mbps > 5 * single.aggregate_bandwidth_mbps
+
+    def test_metadata_fetches_per_read_are_logarithmic_in_blob_size(self):
+        samples = run_read_concurrency_experiment(
+            num_provider_nodes=8, page_size=64 * KiB, blob_bytes=64 * MiB,
+            chunk_bytes=2 * MiB, reader_counts=[1],
+        )
+        pages_per_chunk = 2 * MiB // (64 * KiB)
+        nodes = samples[0].avg_metadata_nodes_fetched
+        # Tree traversal: ~2 * pages + path to the root, far below pages^2.
+        assert nodes >= pages_per_chunk
+        assert nodes <= 3 * pages_per_chunk + 20
+
+    def test_blob_must_accommodate_all_readers(self):
+        with pytest.raises(ValueError):
+            run_read_concurrency_experiment(
+                num_provider_nodes=4, page_size=64 * KiB, blob_bytes=8 * MiB,
+                chunk_bytes=4 * MiB, reader_counts=[1, 4],
+            )
+
+    def test_results_are_deterministic(self):
+        kwargs = dict(
+            num_provider_nodes=8, page_size=64 * KiB, blob_bytes=32 * MiB,
+            chunk_bytes=2 * MiB, reader_counts=[1, 8],
+        )
+        first = run_read_concurrency_experiment(**kwargs)
+        second = run_read_concurrency_experiment(**kwargs)
+        assert [s.avg_bandwidth_mbps for s in first] == [
+            s.avg_bandwidth_mbps for s in second
+        ]
+
+
+class TestMixedWorkloadExperiment:
+    def test_readers_and_writers_both_progress(self):
+        samples = run_mixed_workload_experiment(
+            num_provider_nodes=12, page_size=64 * KiB, blob_bytes=64 * MiB,
+            chunk_bytes=4 * MiB, readers=6, writer_counts=[0, 3, 6],
+            append_bytes=2 * MiB,
+        )
+        assert [s.writers for s in samples] == [0, 3, 6]
+        baseline = samples[0]
+        assert baseline.avg_append_bandwidth_mbps == 0.0
+        assert baseline.versions_published == 0
+        for sample in samples[1:]:
+            assert sample.avg_read_bandwidth_mbps > 0
+            assert sample.avg_append_bandwidth_mbps > 0
+            assert sample.versions_published == 2 * sample.writers
+            # Readers never collapse because of concurrent appends.
+            assert sample.avg_read_bandwidth_mbps >= (
+                0.4 * baseline.avg_read_bandwidth_mbps
+            )
+
+    def test_every_concurrent_append_exercises_inflight_borders(self):
+        """With several concurrent appenders, later writers must resolve
+        border versions against in-flight updates; the run completing at all
+        (and publishing every version) exercises that code path end to end."""
+        samples = run_mixed_workload_experiment(
+            num_provider_nodes=8, page_size=64 * KiB, blob_bytes=16 * MiB,
+            chunk_bytes=2 * MiB, readers=2, writer_counts=[6],
+            append_bytes=1 * MiB, appends_per_writer=3,
+        )
+        assert samples[0].versions_published == 18

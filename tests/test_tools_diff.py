@@ -1,0 +1,120 @@
+"""Tests for snapshot diffing and version manifests."""
+
+import pytest
+
+from repro.errors import VersionNotPublishedError
+from repro.tools.diff import ChangedRange, diff_versions, version_manifest
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+PAGE = TEST_PAGE_SIZE
+
+
+class TestVersionManifest:
+    def test_manifest_lists_every_page_in_order(self, store, cluster, blob_id):
+        version = store.append(blob_id, make_payload(5 * PAGE))
+        store.sync(blob_id, version)
+        manifest = version_manifest(cluster, blob_id, version)
+        assert [d.page_index for d in manifest] == [0, 1, 2, 3, 4]
+        assert len({d.page_id for d in manifest}) == 5
+
+    def test_manifest_of_empty_snapshot(self, store, cluster, blob_id):
+        assert version_manifest(cluster, blob_id, 0) == []
+
+    def test_manifest_requires_published_version(self, store, cluster, blob_id):
+        with pytest.raises(VersionNotPublishedError):
+            version_manifest(cluster, blob_id, 9)
+
+    def test_manifests_share_unmodified_pages(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE))
+        version = store.write(blob_id, make_payload(PAGE, seed=2), 2 * PAGE)
+        store.sync(blob_id, version)
+        first = {d.page_index: d.page_id for d in version_manifest(cluster, blob_id, 1)}
+        second = {d.page_index: d.page_id for d in version_manifest(cluster, blob_id, 2)}
+        assert first[0] == second[0] and first[1] == second[1] and first[3] == second[3]
+        assert first[2] != second[2]
+
+
+class TestDiffVersions:
+    def test_identical_versions_have_no_diff(self, store, cluster, blob_id):
+        version = store.append(blob_id, make_payload(6 * PAGE))
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, version, version) == []
+
+    def test_overwrite_produces_modified_range(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(8 * PAGE))
+        version = store.write(blob_id, make_payload(2 * PAGE, seed=3), 3 * PAGE)
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, 1, version) == [
+            ChangedRange(3, 2, "modified")
+        ]
+
+    def test_append_produces_added_range(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE))
+        version = store.append(blob_id, make_payload(3 * PAGE, seed=2))
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, 1, version) == [
+            ChangedRange(4, 3, "added")
+        ]
+
+    def test_reverse_diff_reports_removed_pages(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE))
+        version = store.append(blob_id, make_payload(2 * PAGE, seed=2))
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, version, 1) == [
+            ChangedRange(4, 2, "removed")
+        ]
+
+    def test_unaligned_overwrite_flags_boundary_pages(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE))
+        version = store.write(blob_id, b"Z" * 10, PAGE + 5)
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, 1, version) == [
+            ChangedRange(1, 1, "modified")
+        ]
+
+    def test_disjoint_changes_produce_separate_runs(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(16 * PAGE))
+        store.write(blob_id, make_payload(PAGE, seed=5), 0)
+        version = store.write(blob_id, make_payload(2 * PAGE, seed=6), 10 * PAGE)
+        store.sync(blob_id, version)
+        diff = diff_versions(cluster, blob_id, 1, version)
+        assert diff == [ChangedRange(0, 1, "modified"), ChangedRange(10, 2, "modified")]
+
+    def test_diff_across_appends_and_overwrites(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(4 * PAGE))
+        store.write(blob_id, make_payload(PAGE, seed=7), PAGE)
+        version = store.append(blob_id, make_payload(2 * PAGE, seed=8))
+        store.sync(blob_id, version)
+        diff = diff_versions(cluster, blob_id, 1, version)
+        assert ChangedRange(1, 1, "modified") in diff
+        assert ChangedRange(4, 2, "added") in diff
+        assert len(diff) == 2
+
+    def test_diff_between_branch_and_origin(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(6 * PAGE))
+        store.sync(blob_id, 1)
+        branch = store.branch(blob_id, 1)
+        version = store.write(branch, make_payload(PAGE, seed=9), 4 * PAGE)
+        store.sync(branch, version)
+        # Diff within the branch blob: its version 1 is shared with the origin.
+        assert diff_versions(cluster, branch, 1, version) == [
+            ChangedRange(4, 1, "modified")
+        ]
+
+    def test_byte_range_helper(self):
+        changed = ChangedRange(3, 2, "modified")
+        assert changed.byte_range(PAGE) == (3 * PAGE, 2 * PAGE)
+
+    def test_diff_requires_published_versions(self, store, cluster, blob_id):
+        store.append(blob_id, make_payload(PAGE))
+        store.sync(blob_id, 1)
+        with pytest.raises(VersionNotPublishedError):
+            diff_versions(cluster, blob_id, 1, 5)
+
+    def test_diff_against_empty_snapshot(self, store, cluster, blob_id):
+        version = store.append(blob_id, make_payload(3 * PAGE))
+        store.sync(blob_id, version)
+        assert diff_versions(cluster, blob_id, 0, version) == [
+            ChangedRange(0, 3, "added")
+        ]

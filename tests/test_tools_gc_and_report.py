@@ -1,0 +1,124 @@
+"""Tests for garbage collection and the cluster report."""
+
+import pytest
+
+from repro import BlobStore
+from repro.errors import ConcurrencyError, UnknownBlobError
+from repro.tools.gc import collect_garbage
+from repro.tools.report import cluster_report
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+PAGE = TEST_PAGE_SIZE
+
+
+def build_history(store, blob_id, versions=4, pages_per_version=4):
+    payloads = {}
+    for index in range(versions):
+        payload = make_payload(pages_per_version * PAGE, seed=index)
+        if index == 0:
+            version = store.append(blob_id, payload)
+        else:
+            version = store.write(blob_id, payload, 0)
+        payloads[version] = payload
+        store.sync(blob_id, version)
+    return payloads
+
+
+class TestCollectGarbage:
+    def test_dropping_old_versions_reclaims_their_exclusive_pages(
+        self, store, cluster, blob_id
+    ):
+        payloads = build_history(store, blob_id)
+        latest = store.get_recent(blob_id)
+        before = cluster.storage_bytes_used()
+        report = collect_garbage(cluster, {blob_id: [latest]})
+        after = cluster.storage_bytes_used()
+        assert report.deleted_pages == 12          # 3 dropped versions x 4 pages
+        assert report.reclaimed_bytes == before - after
+        assert after == 4 * PAGE
+        # The kept snapshot is still fully readable.
+        assert store.read(blob_id, latest, 0, 4 * PAGE) == payloads[latest]
+
+    def test_kept_versions_survive_collection(self, store, cluster, blob_id):
+        payloads = build_history(store, blob_id)
+        keep = [2, 4]
+        collect_garbage(cluster, {blob_id: keep})
+        for version in keep:
+            assert store.read(blob_id, version, 0, 4 * PAGE) == payloads[version]
+
+    def test_dry_run_deletes_nothing(self, store, cluster, blob_id):
+        build_history(store, blob_id)
+        before_pages = cluster.stored_page_count()
+        report = collect_garbage(cluster, {blob_id: [store.get_recent(blob_id)]},
+                                 dry_run=True)
+        assert report.deleted_pages > 0
+        assert cluster.stored_page_count() == before_pages
+
+    def test_metadata_nodes_are_swept_too(self, store, cluster, blob_id):
+        build_history(store, blob_id)
+        nodes_before = cluster.metadata_node_count()
+        report = collect_garbage(cluster, {blob_id: [store.get_recent(blob_id)]})
+        assert report.deleted_nodes > 0
+        assert cluster.metadata_node_count() == nodes_before - report.deleted_nodes
+        assert cluster.metadata_node_count() == report.reachable_nodes
+
+    def test_every_blob_must_be_listed(self, store, cluster):
+        blob_a = store.create()
+        blob_b = store.create()
+        store.sync(blob_a, store.append(blob_a, make_payload(PAGE)))
+        store.sync(blob_b, store.append(blob_b, make_payload(PAGE)))
+        with pytest.raises(ConcurrencyError):
+            collect_garbage(cluster, {blob_a: [1]})
+
+    def test_unknown_blob_rejected(self, cluster):
+        with pytest.raises(UnknownBlobError):
+            collect_garbage(cluster, {"ghost": [1]})
+
+    def test_branches_keep_shared_pages_alive(self, store, cluster, blob_id):
+        base = make_payload(6 * PAGE)
+        store.append(blob_id, base)
+        store.sync(blob_id, 1)
+        branch = store.branch(blob_id, 1)
+        branch_version = store.write(branch, make_payload(PAGE, seed=3), 0)
+        store.sync(branch, branch_version)
+        # Drop every version of the origin but keep the branch: the shared
+        # pages must survive because the branch still references them.
+        collect_garbage(cluster, {blob_id: [], branch: [branch_version]})
+        data = store.read(branch, branch_version, 0, 6 * PAGE)
+        assert data[PAGE:] == base[PAGE:]
+
+    def test_inflight_updates_block_collection(self, store, cluster, blob_id):
+        store.sync(blob_id, store.append(blob_id, make_payload(PAGE)))
+        cluster.version_manager.register_update(blob_id, PAGE, is_append=True)
+        with pytest.raises(ConcurrencyError):
+            collect_garbage(cluster, {blob_id: [1]})
+
+
+class TestClusterReport:
+    def test_report_counts_match_cluster_state(self, store, cluster, blob_id):
+        store.sync(blob_id, store.append(blob_id, make_payload(8 * PAGE)))
+        store.sync(blob_id, store.write(blob_id, make_payload(PAGE, seed=2), 0))
+        report = cluster_report(cluster)
+        assert report.blobs == 1
+        assert report.published_versions == 2
+        assert report.pages_stored == 9
+        assert report.bytes_stored == 9 * PAGE
+        assert report.logical_bytes == 8 * PAGE
+        assert report.physical_to_logical_ratio == pytest.approx(9 / 8)
+        assert report.data_providers == 8
+        assert report.metadata_buckets == 8
+        assert report.page_load_imbalance >= 1.0
+
+    def test_report_on_empty_cluster(self, cluster):
+        report = cluster_report(cluster)
+        assert report.blobs == 0
+        assert report.bytes_stored == 0
+        assert report.physical_to_logical_ratio == 0.0
+
+    def test_format_is_human_readable(self, store, cluster, blob_id):
+        store.sync(blob_id, store.append(blob_id, make_payload(2 * PAGE)))
+        text = cluster_report(cluster).format()
+        assert "cluster report" in text
+        assert "data providers" in text
+        assert "physical/logical" in text

@@ -1,0 +1,74 @@
+"""Unit tests for id generation and checksum helpers."""
+
+import threading
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.util.ids import IdGenerator, new_blob_id, new_page_id
+from repro.util.integrity import checksum, verify_checksum
+
+
+class TestUuidIds:
+    def test_blob_ids_are_unique_and_prefixed(self):
+        ids = {new_blob_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(blob_id.startswith("blob-") for blob_id in ids)
+
+    def test_page_ids_are_unique_and_prefixed(self):
+        ids = {new_page_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(page_id.startswith("page-") for page_id in ids)
+
+
+class TestIdGenerator:
+    def test_deterministic_sequence(self):
+        generator = IdGenerator("t")
+        assert generator.next_blob_id() == "t-blob-00000000"
+        assert generator.next_page_id() == "t-page-00000001"
+        assert generator.next() == "t-00000002"
+
+    def test_two_generators_restart_from_zero(self):
+        assert IdGenerator("a").next() == IdGenerator("a").next()
+
+    def test_thread_safety_produces_no_duplicates(self):
+        generator = IdGenerator("x")
+        results: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [generator.next() for _ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == len(set(results)) == 1600
+
+
+class TestChecksums:
+    def test_crc32_roundtrip(self):
+        digest = checksum(b"hello world")
+        assert digest.startswith("crc32:")
+        verify_checksum(b"hello world", digest)
+
+    def test_sha256_roundtrip(self):
+        digest = checksum(b"hello world", algorithm="sha256")
+        assert digest.startswith("sha256:")
+        verify_checksum(b"hello world", digest)
+
+    def test_mismatch_raises(self):
+        digest = checksum(b"hello world")
+        with pytest.raises(IntegrityError) as excinfo:
+            verify_checksum(b"hello mars", digest, what="unit-test page")
+        assert "unit-test page" in str(excinfo.value)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            checksum(b"data", algorithm="md5999")
+
+    def test_empty_payload(self):
+        verify_checksum(b"", checksum(b""))

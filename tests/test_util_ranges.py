@@ -1,0 +1,178 @@
+"""Unit and property tests for range/page arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidRangeError
+from repro.util.ranges import (
+    ByteRange,
+    PageRange,
+    ceil_div,
+    covering_page_range,
+    intersection,
+    intersects,
+    is_aligned,
+    next_power_of_two,
+    split_aligned,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1023, 1024), (1025, 2048)],
+    )
+    def test_known_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_is_power_of_two_and_bounds(self, value):
+        result = next_power_of_two(value)
+        assert result & (result - 1) == 0
+        assert result >= value
+        assert result < 2 * value
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        assert intersects(0, 10, 5, 10)
+
+    def test_adjacent_ranges_do_not_intersect(self):
+        assert not intersects(0, 10, 10, 5)
+
+    def test_contained(self):
+        assert intersects(0, 100, 10, 5)
+
+    def test_empty_never_intersects(self):
+        assert not intersects(5, 0, 0, 100)
+        assert not intersects(0, 100, 5, 0)
+
+    @given(
+        st.integers(0, 1000), st.integers(0, 100),
+        st.integers(0, 1000), st.integers(0, 100),
+    )
+    def test_symmetric(self, a, sa, b, sb):
+        assert intersects(a, sa, b, sb) == intersects(b, sb, a, sa)
+
+    @given(
+        st.integers(0, 1000), st.integers(1, 100),
+        st.integers(0, 1000), st.integers(1, 100),
+    )
+    def test_consistent_with_intersection(self, a, sa, b, sb):
+        hit = intersection(a, sa, b, sb)
+        assert (hit is not None) == intersects(a, sa, b, sb)
+        if hit is not None:
+            offset, size = hit
+            assert size > 0
+            assert offset >= max(a, b)
+            assert offset + size <= min(a + sa, b + sb)
+
+
+class TestAlignment:
+    def test_aligned_range(self):
+        assert is_aligned(128, 256, 64)
+
+    def test_unaligned_offset(self):
+        assert not is_aligned(100, 256, 64)
+
+    def test_unaligned_size(self):
+        assert not is_aligned(128, 100, 64)
+
+
+class TestCoveringPageRange:
+    def test_exact_pages(self):
+        assert covering_page_range(128, 256, 64) == (2, 4)
+
+    def test_partial_boundaries(self):
+        assert covering_page_range(100, 100, 64) == (1, 3)
+
+    def test_empty_range(self):
+        assert covering_page_range(100, 0, 64) == (1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            covering_page_range(-1, 10, 64)
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**5), st.sampled_from([16, 64, 256, 4096]))
+    def test_covers_the_byte_range(self, offset, size, page):
+        first, count = covering_page_range(offset, size, page)
+        assert first * page <= offset
+        assert (first + count) * page >= offset + size
+        # Minimality: one page less would not cover.
+        assert (first + count - 1) * page < offset + size
+
+
+class TestSplitAligned:
+    def test_single_partial_page(self):
+        assert split_aligned(10, 20, 64) == [(0, 10, 20)]
+
+    def test_spanning_pages(self):
+        pieces = split_aligned(60, 10, 64)
+        assert pieces == [(0, 60, 4), (1, 0, 6)]
+
+    @given(st.integers(0, 10**5), st.integers(0, 10**4), st.sampled_from([16, 64, 256]))
+    def test_pieces_tile_the_range(self, offset, size, page):
+        pieces = split_aligned(offset, size, page)
+        assert sum(length for _, _, length in pieces) == size
+        position = offset
+        for page_index, offset_in_page, length in pieces:
+            assert page_index * page + offset_in_page == position
+            assert 0 < length <= page or size == 0
+            assert offset_in_page + length <= page
+            position += length
+
+
+class TestByteRange:
+    def test_end_and_empty(self):
+        byte_range = ByteRange(10, 20)
+        assert byte_range.end == 30
+        assert not byte_range.is_empty()
+        assert ByteRange(5, 0).is_empty()
+
+    def test_contains(self):
+        assert ByteRange(0, 100).contains(ByteRange(10, 20))
+        assert not ByteRange(0, 100).contains(ByteRange(90, 20))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            ByteRange(-1, 5)
+        with pytest.raises(InvalidRangeError):
+            ByteRange(0, -5)
+
+    def test_to_pages_roundtrip(self):
+        page_range = ByteRange(100, 100).to_pages(64)
+        assert page_range == PageRange(1, 3)
+        assert page_range.to_bytes(64) == ByteRange(64, 192)
+
+    def test_intersection(self):
+        assert ByteRange(0, 10).intersection(ByteRange(5, 10)) == ByteRange(5, 5)
+        assert ByteRange(0, 10).intersection(ByteRange(20, 10)) is None
+
+
+class TestPageRange:
+    def test_pages_iteration(self):
+        assert list(PageRange(3, 4).pages()) == [3, 4, 5, 6]
+
+    def test_intersects_and_contains(self):
+        assert PageRange(0, 4).intersects(PageRange(3, 4))
+        assert not PageRange(0, 4).intersects(PageRange(4, 4))
+        assert PageRange(0, 8).contains(PageRange(2, 3))
+
+    def test_ordering_is_by_offset_then_size(self):
+        assert PageRange(1, 2) < PageRange(2, 1)
+        assert PageRange(1, 1) < PageRange(1, 2)

@@ -1,0 +1,274 @@
+"""Unit tests for the version manager: assignment, publication order,
+SYNC, GET_RECENT/GET_SIZE, aborts and branching bookkeeping."""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import BlobSeerConfig
+from repro.errors import (
+    ConcurrencyError,
+    InvalidRangeError,
+    UnknownBlobError,
+    UpdateAbortedError,
+    VersionNotPublishedError,
+)
+from repro.version.records import resolve_owner
+from repro.version.version_manager import VersionManager
+
+PAGE = 64
+
+
+@pytest.fixture
+def vm() -> VersionManager:
+    return VersionManager(BlobSeerConfig(page_size=PAGE, num_data_providers=4,
+                                         num_metadata_providers=4))
+
+
+@pytest.fixture
+def blob(vm) -> str:
+    return vm.create_blob().blob_id
+
+
+class TestCreateAndQueries:
+    def test_create_publishes_empty_snapshot_zero(self, vm, blob):
+        assert vm.get_recent(blob) == 0
+        assert vm.get_size(blob, 0) == 0
+        assert vm.is_published(blob, 0)
+
+    def test_blob_ids_are_unique(self, vm):
+        assert vm.create_blob().blob_id != vm.create_blob().blob_id
+
+    def test_unknown_blob_raises(self, vm):
+        with pytest.raises(UnknownBlobError):
+            vm.get_recent("nope")
+        with pytest.raises(UnknownBlobError):
+            vm.register_update("nope", 10, offset=0)
+
+    def test_page_size_override(self, vm):
+        record = vm.create_blob(page_size=128)
+        assert record.page_size == 128
+
+    def test_unpublished_version_queries_fail(self, vm, blob):
+        with pytest.raises(VersionNotPublishedError):
+            vm.get_size(blob, 1)
+        assert not vm.is_published(blob, 1)
+
+
+class TestAssignment:
+    def test_versions_are_sequential(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        t2 = vm.register_update(blob, PAGE, is_append=True)
+        assert (t1.version, t2.version) == (1, 2)
+
+    def test_append_offset_is_previous_size(self, vm, blob):
+        t1 = vm.register_update(blob, 100, is_append=True)
+        t2 = vm.register_update(blob, 50, is_append=True)
+        assert t1.byte_offset == 0
+        assert t2.byte_offset == 100
+        assert t2.prev_size == 100
+        assert t2.new_size == 150
+
+    def test_write_requires_offset_within_previous_size(self, vm, blob):
+        vm.register_update(blob, 100, is_append=True)
+        vm.register_update(blob, 10, offset=100)  # exactly at the end: allowed
+        with pytest.raises(InvalidRangeError):
+            vm.register_update(blob, 10, offset=200)
+
+    def test_write_without_offset_rejected(self, vm, blob):
+        with pytest.raises(InvalidRangeError):
+            vm.register_update(blob, 10)
+
+    def test_empty_update_rejected(self, vm, blob):
+        with pytest.raises(InvalidRangeError):
+            vm.register_update(blob, 0, is_append=True)
+
+    def test_ticket_geometry(self, vm, blob):
+        ticket = vm.register_update(blob, 3 * PAGE, offset=0)
+        assert ticket.page_offset == 0
+        assert ticket.page_count == 3
+        assert ticket.new_num_pages == 3
+        assert ticket.span == 4
+        assert ticket.prev_num_pages == 0
+
+    def test_inflight_hints_list_earlier_unpublished_updates(self, vm, blob):
+        t1 = vm.register_update(blob, 2 * PAGE, is_append=True)
+        t2 = vm.register_update(blob, PAGE, is_append=True)
+        t3 = vm.register_update(blob, PAGE, is_append=True)
+        assert [u.version for u in t3.inflight] == [1, 2]
+        assert t3.inflight[0].page_offset == 0
+        assert t3.inflight[0].page_count == 2
+        assert t3.inflight[1].page_offset == 2
+        assert t2.published_version == 0
+        # Once version 1 is published, it leaves the hint list.
+        vm.complete_update(blob, t1.version)
+        t4 = vm.register_update(blob, PAGE, is_append=True)
+        assert [u.version for u in t4.inflight] == [2, 3]
+        assert t4.published_version == 1
+
+
+class TestPublication:
+    def test_publication_waits_for_earlier_versions(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        t2 = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, t2.version)
+        assert vm.get_recent(blob) == 0          # v1 still in flight
+        assert not vm.is_published(blob, t2.version)
+        vm.complete_update(blob, t1.version)
+        assert vm.get_recent(blob) == 2          # both published together
+        assert vm.is_published(blob, 1) and vm.is_published(blob, 2)
+
+    def test_completing_unknown_version_raises(self, vm, blob):
+        with pytest.raises(ConcurrencyError):
+            vm.complete_update(blob, 1)
+
+    def test_completing_twice_raises(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, ticket.version)
+        with pytest.raises(ConcurrencyError):
+            vm.complete_update(blob, ticket.version)
+
+    def test_get_size_reflects_published_versions_only(self, vm, blob):
+        ticket = vm.register_update(blob, 100, is_append=True)
+        with pytest.raises(VersionNotPublishedError):
+            vm.get_size(blob, ticket.version)
+        vm.complete_update(blob, ticket.version)
+        assert vm.get_size(blob, ticket.version) == 100
+
+    def test_inflight_count(self, vm, blob):
+        assert vm.inflight_count(blob) == 0
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        assert vm.inflight_count(blob) == 1
+        vm.complete_update(blob, ticket.version)
+        assert vm.inflight_count(blob) == 0
+
+
+class TestSync:
+    def test_sync_returns_for_published_version(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, ticket.version)
+        vm.sync(blob, ticket.version)  # returns immediately
+
+    def test_sync_blocks_until_publication(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        released = threading.Event()
+
+        def completer():
+            time.sleep(0.05)
+            vm.complete_update(blob, ticket.version)
+            released.set()
+
+        thread = threading.Thread(target=completer)
+        thread.start()
+        vm.sync(blob, ticket.version, timeout=5)
+        assert released.is_set()
+        thread.join()
+
+    def test_sync_timeout(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        with pytest.raises(VersionNotPublishedError):
+            vm.sync(blob, ticket.version, timeout=0.05)
+
+    def test_sync_on_never_assigned_version_fails_fast(self, vm, blob):
+        with pytest.raises(VersionNotPublishedError):
+            vm.sync(blob, 7, timeout=0.05)
+
+    def test_sync_on_aborted_version_raises(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        vm.abort_update(blob, ticket.version)
+        with pytest.raises(UpdateAbortedError):
+            vm.sync(blob, ticket.version, timeout=1)
+
+
+class TestAborts:
+    def test_abort_unblocks_later_versions(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        t2 = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, t2.version)
+        vm.abort_update(blob, t1.version)
+        assert vm.is_published(blob, t2.version)
+        assert vm.get_recent(blob) == t2.version
+
+    def test_aborted_version_is_skipped_by_get_recent(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, t1.version)
+        t2 = vm.register_update(blob, PAGE, is_append=True)
+        vm.abort_update(blob, t2.version)
+        assert vm.get_recent(blob) == t1.version
+        with pytest.raises(VersionNotPublishedError):
+            vm.get_size(blob, t2.version)
+
+    def test_abort_then_append_does_not_leave_a_hole(self, vm, blob):
+        t1 = vm.register_update(blob, 100, is_append=True)
+        vm.abort_update(blob, t1.version)
+        t2 = vm.register_update(blob, 50, is_append=True)
+        assert t2.byte_offset == 0  # the aborted bytes are not accounted
+
+    def test_abort_unknown_version_raises(self, vm, blob):
+        with pytest.raises(ConcurrencyError):
+            vm.abort_update(blob, 3)
+
+    def test_completing_aborted_version_raises(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        vm.abort_update(blob, ticket.version)
+        with pytest.raises(UpdateAbortedError):
+            vm.complete_update(blob, ticket.version)
+
+    def test_timeout_reaps_stuck_updates(self):
+        vm = VersionManager(BlobSeerConfig(page_size=PAGE, update_timeout=0.05))
+        blob = vm.create_blob().blob_id
+        stuck = vm.register_update(blob, PAGE, is_append=True)
+        time.sleep(0.08)
+        fresh = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, fresh.version)
+        assert vm.get_recent(blob) == fresh.version
+        assert not vm.is_published(blob, stuck.version)
+
+
+class TestBranching:
+    def test_branch_requires_published_version(self, vm, blob):
+        ticket = vm.register_update(blob, PAGE, is_append=True)
+        with pytest.raises(VersionNotPublishedError):
+            vm.branch(blob, ticket.version)
+        vm.complete_update(blob, ticket.version)
+        branch = vm.branch(blob, ticket.version)
+        assert branch.lineage == ((blob, 1),)
+
+    def test_branch_starts_after_the_branch_point(self, vm, blob):
+        t1 = vm.register_update(blob, 2 * PAGE, is_append=True)
+        vm.complete_update(blob, t1.version)
+        branch = vm.branch(blob, 1).blob_id
+        assert vm.get_recent(branch) == 1
+        assert vm.get_size(branch, 1) == 2 * PAGE
+        ticket = vm.register_update(branch, PAGE, is_append=True)
+        assert ticket.version == 2
+        assert ticket.byte_offset == 2 * PAGE
+
+    def test_branches_diverge_independently(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, t1.version)
+        branch = vm.branch(blob, 1).blob_id
+        tb = vm.register_update(branch, PAGE, is_append=True)
+        to = vm.register_update(blob, 3 * PAGE, is_append=True)
+        vm.complete_update(branch, tb.version)
+        vm.complete_update(blob, to.version)
+        assert vm.get_size(blob, 2) == 4 * PAGE
+        assert vm.get_size(branch, 2) == 2 * PAGE
+
+    def test_nested_branch_lineage(self, vm, blob):
+        t1 = vm.register_update(blob, PAGE, is_append=True)
+        vm.complete_update(blob, t1.version)
+        child = vm.branch(blob, 1)
+        t2 = vm.register_update(child.blob_id, PAGE, is_append=True)
+        vm.complete_update(child.blob_id, t2.version)
+        grandchild = vm.branch(child.blob_id, 2)
+        assert grandchild.lineage == ((child.blob_id, 2), (blob, 1))
+        assert resolve_owner(grandchild, 1) == blob
+        assert resolve_owner(grandchild, 2) == child.blob_id
+        assert resolve_owner(grandchild, 3) == grandchild.blob_id
+
+    def test_resolve_owner_for_plain_blob(self, vm, blob):
+        record = vm.get_record(blob)
+        assert resolve_owner(record, 0) == blob
+        assert resolve_owner(record, 5) == blob

@@ -1,0 +1,84 @@
+"""Unit tests for UpdateTicket geometry and BlobRecord lineage resolution."""
+
+from repro.version.records import BlobRecord, InFlightUpdate, UpdateTicket, resolve_owner
+
+
+class TestUpdateTicketGeometry:
+    def _ticket(self, **overrides):
+        defaults = dict(
+            blob_id="blob",
+            version=3,
+            byte_offset=0,
+            byte_size=256,
+            prev_size=0,
+            new_size=256,
+            page_size=64,
+            published_version=0,
+            published_size=0,
+        )
+        defaults.update(overrides)
+        return UpdateTicket(**defaults)
+
+    def test_aligned_geometry(self):
+        ticket = self._ticket()
+        assert ticket.page_offset == 0
+        assert ticket.page_count == 4
+        assert ticket.new_num_pages == 4
+        assert ticket.span == 4
+        assert ticket.prev_num_pages == 0
+
+    def test_unaligned_geometry_covers_boundary_pages(self):
+        ticket = self._ticket(byte_offset=100, byte_size=100,
+                              prev_size=150, new_size=200)
+        assert ticket.page_offset == 1
+        assert ticket.page_count == 3     # pages 1, 2, 3
+        assert ticket.prev_num_pages == 3
+        assert ticket.new_num_pages == 4
+        assert ticket.span == 4
+
+    def test_span_is_power_of_two(self):
+        ticket = self._ticket(byte_offset=0, byte_size=64 * 5, new_size=64 * 5)
+        assert ticket.span == 8
+
+    def test_published_pages(self):
+        ticket = self._ticket(published_version=2, published_size=130)
+        assert ticket.published_num_pages == 3
+
+    def test_inflight_tuples(self):
+        ticket = self._ticket(
+            inflight=(InFlightUpdate(1, 0, 2), InFlightUpdate(2, 2, 1))
+        )
+        assert ticket.inflight_tuples() == [(1, 0, 2), (2, 2, 1)]
+
+
+class TestLineageResolution:
+    def test_plain_blob_owns_everything(self):
+        record = BlobRecord("root", 64)
+        assert not record.is_branch
+        assert resolve_owner(record, 0) == "root"
+        assert resolve_owner(record, 99) == "root"
+
+    def test_single_branch(self):
+        record = BlobRecord("child", 64, lineage=(("root", 5),))
+        assert record.is_branch
+        assert resolve_owner(record, 5) == "root"
+        assert resolve_owner(record, 3) == "root"
+        assert resolve_owner(record, 6) == "child"
+
+    def test_nested_branches(self):
+        record = BlobRecord(
+            "grandchild", 64, lineage=(("child", 8), ("root", 5))
+        )
+        assert resolve_owner(record, 9) == "grandchild"
+        assert resolve_owner(record, 8) == "child"
+        assert resolve_owner(record, 6) == "child"
+        assert resolve_owner(record, 5) == "root"
+        assert resolve_owner(record, 1) == "root"
+
+    def test_branch_taken_before_parents_branch_point(self):
+        # child branched from root at 10; grandchild branched from child at 3,
+        # which is below root's branch point, so versions <= 3 belong to root.
+        record = BlobRecord("grandchild", 64, lineage=(("child", 3), ("root", 10)))
+        assert resolve_owner(record, 4) == "grandchild"
+        assert resolve_owner(record, 3) == "root"
+        assert resolve_owner(record, 1) == "root"
