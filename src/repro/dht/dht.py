@@ -5,11 +5,16 @@ the paper: "Tree nodes are stored on the metadata provider in a distributed
 way, using a simple DHT").  Values are written to ``replication`` buckets and
 read from the first live replica, which is the minimal fault-tolerance hook
 the paper defers to future work.
+
+Besides the per-key ``get``/``put``, the DHT exposes true multi-ops
+(:meth:`DHT.multi_get` / :meth:`DHT.multi_put`): keys are grouped by bucket
+and each :class:`~repro.dht.storage.BucketStore` lock is taken once per
+batch instead of once per key, which is what lets the client resolve a whole
+metadata-tree frontier in one round trip.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 from ..errors import MetadataNotFoundError, ProviderUnavailableError
@@ -19,7 +24,11 @@ from .storage import BucketStore
 
 @dataclass
 class DHTStats:
-    """Aggregate access statistics across all buckets."""
+    """Aggregate access statistics across all buckets.
+
+    ``batch_gets`` / ``batch_puts`` count bucket-lock acquisitions made by
+    the batched multi-key operations (see :class:`~repro.dht.storage.BucketStats`).
+    """
 
     puts: int = 0
     gets: int = 0
@@ -27,10 +36,9 @@ class DHTStats:
     misses: int = 0
     keys: int = 0
     buckets: int = 0
-
-    @property
-    def max_keys_per_bucket(self) -> int:  # populated by DHT.stats()
-        return getattr(self, "_max_keys_per_bucket", 0)
+    batch_gets: int = 0
+    batch_puts: int = 0
+    max_keys_per_bucket: int = 0
 
 
 class DHT:
@@ -53,7 +61,6 @@ class DHT:
         }
         self._placement: HashPlacement = make_placement(strategy, bucket_ids)
         self._replication = min(replication, num_buckets)
-        self._lock = threading.Lock()
 
     # -- topology ----------------------------------------------------------
     @property
@@ -108,6 +115,127 @@ class DHT:
             raise last_error
         raise MetadataNotFoundError(key)
 
+    @staticmethod
+    def _run_batches_serial(jobs: list) -> list:
+        return [job() for job in jobs]
+
+    def multi_put(self, items: list[tuple[str, object]], run_batches=None) -> None:
+        """Store a batch of key/value pairs, grouping keys by replica bucket.
+
+        Each live bucket receives all of its keys in one
+        :meth:`~repro.dht.storage.BucketStore.multi_put` call — one lock
+        acquisition per bucket per batch instead of one per key.  Like
+        :meth:`put`, every key must reach at least one live replica; the
+        batch raises :class:`ProviderUnavailableError` when some key could
+        not be stored anywhere.
+
+        ``run_batches`` optionally executes the per-bucket jobs (zero-arg
+        callables, one per touched bucket) concurrently; it must return
+        their results in order.  Grouping stays in the DHT either way, so
+        callers never re-derive placement.
+        """
+        if not items:
+            return
+        if run_batches is None:
+            run_batches = self._run_batches_serial
+        by_bucket: dict[str, list[int]] = {}
+        for index, (key, _value) in enumerate(items):
+            for bucket_id in self.buckets_for(key):
+                by_bucket.setdefault(bucket_id, []).append(index)
+
+        def make_job(bucket_id: str, indices: list[int]):
+            def job():
+                try:
+                    self._buckets[bucket_id].multi_put(
+                        [items[index] for index in indices]
+                    )
+                    return None
+                except ProviderUnavailableError as error:
+                    return error
+
+            return job
+
+        groups = list(by_bucket.items())
+        outcomes = run_batches(
+            [make_job(bucket_id, indices) for bucket_id, indices in groups]
+        )
+        replicas_stored = [0] * len(items)
+        last_error: ProviderUnavailableError | None = None
+        for (_bucket_id, indices), outcome in zip(groups, outcomes):
+            if outcome is not None:
+                last_error = outcome
+                continue
+            for index in indices:
+                replicas_stored[index] += 1
+        if last_error is not None and any(
+            stored == 0 for stored in replicas_stored
+        ):
+            raise last_error
+
+    def multi_get(self, keys: list[str], run_batches=None) -> list[object]:
+        """Fetch a batch of keys; returns values aligned with ``keys``.
+
+        Keys are grouped by bucket and resolved replica wave by replica
+        wave: every key is first looked up on its primary replica (one
+        :meth:`~repro.dht.storage.BucketStore.multi_get` per bucket — one
+        lock acquisition per bucket per batch), and only keys whose replica
+        was dead or missing move on to the next replica.  Like :meth:`get`,
+        a key raises :class:`ProviderUnavailableError` when its last failure
+        was a dead replica and :class:`MetadataNotFoundError` when every
+        live replica lacked it.
+
+        ``run_batches`` optionally executes the per-bucket lookup jobs of
+        one replica wave concurrently (see :meth:`multi_put`).
+        """
+        if run_batches is None:
+            run_batches = self._run_batches_serial
+        values: dict[str, object] = {}
+        unavailable: dict[str, ProviderUnavailableError] = {}
+        pending = list(dict.fromkeys(keys))
+        for attempt in range(self._replication):
+            if not pending:
+                break
+            by_bucket: dict[str, list[str]] = {}
+            for key in pending:
+                replicas = self.buckets_for(key)
+                if attempt < len(replicas):
+                    by_bucket.setdefault(replicas[attempt], []).append(key)
+
+            def make_job(bucket_id: str, bucket_keys: list[str]):
+                def job():
+                    try:
+                        return self._buckets[bucket_id].multi_get(bucket_keys)
+                    except ProviderUnavailableError as error:
+                        return error
+
+                return job
+
+            groups = list(by_bucket.items())
+            outcomes = run_batches(
+                [make_job(bucket_id, bucket_keys) for bucket_id, bucket_keys in groups]
+            )
+            retry: list[str] = []
+            for (_bucket_id, bucket_keys), outcome in zip(groups, outcomes):
+                if isinstance(outcome, ProviderUnavailableError):
+                    for key in bucket_keys:
+                        unavailable[key] = outcome
+                    retry.extend(bucket_keys)
+                    continue
+                found, missing = outcome
+                values.update(found)
+                for key in found:
+                    unavailable.pop(key, None)
+                for key in missing:
+                    unavailable.pop(key, None)
+                retry.extend(missing)
+            pending = retry
+        for key in keys:
+            if key not in values:
+                if key in unavailable:
+                    raise unavailable[key]
+                raise MetadataNotFoundError(key)
+        return [values[key] for key in keys]
+
     def contains(self, key: str) -> bool:
         for bucket_id in self.buckets_for(key):
             try:
@@ -130,7 +258,6 @@ class DHT:
     def stats(self) -> DHTStats:
         """Aggregate statistics across buckets (used by benchmarks/tests)."""
         total = DHTStats(buckets=len(self._buckets))
-        max_keys = 0
         for store in self._buckets.values():
             snap = store.stats
             total.puts += snap.puts
@@ -138,8 +265,9 @@ class DHT:
             total.hits += snap.hits
             total.misses += snap.misses
             total.keys += snap.keys
-            max_keys = max(max_keys, snap.keys)
-        total._max_keys_per_bucket = max_keys  # type: ignore[attr-defined]
+            total.batch_gets += snap.batch_gets
+            total.batch_puts += snap.batch_puts
+            total.max_keys_per_bucket = max(total.max_keys_per_bucket, snap.keys)
         return total
 
     def load_distribution(self) -> dict[str, int]:

@@ -17,16 +17,33 @@ from ..errors import MetadataNotFoundError, ProviderUnavailableError
 
 @dataclass
 class BucketStats:
-    """Access counters of a single bucket store."""
+    """Access counters of a single bucket store.
+
+    ``batch_gets`` / ``batch_puts`` count *lock acquisitions* made by the
+    batched multi-key operations: one per :meth:`BucketStore.multi_get` /
+    :meth:`BucketStore.multi_put` call, however many keys the batch holds.
+    ``gets`` / ``puts`` keep counting individual keys, so the per-key
+    counters are unchanged by batching.
+    """
 
     puts: int = 0
     gets: int = 0
     hits: int = 0
     misses: int = 0
     keys: int = 0
+    batch_gets: int = 0
+    batch_puts: int = 0
 
     def snapshot(self) -> "BucketStats":
-        return BucketStats(self.puts, self.gets, self.hits, self.misses, self.keys)
+        return BucketStats(
+            self.puts,
+            self.gets,
+            self.hits,
+            self.misses,
+            self.keys,
+            self.batch_gets,
+            self.batch_puts,
+        )
 
 
 class BucketStore:
@@ -87,6 +104,47 @@ class BucketStore:
                 raise MetadataNotFoundError(key)
             self._stats.hits += 1
             return self._items[key]
+
+    def multi_put(self, items: list[tuple[str, object]]) -> None:
+        """Store a batch of key/value pairs under one lock acquisition.
+
+        The batch is all-or-nothing with respect to liveness: a killed
+        bucket rejects the whole batch with
+        :class:`ProviderUnavailableError` before storing anything.
+        """
+        with self._lock:
+            self._check_alive()
+            for key, value in items:
+                self._items[key] = value
+                self._stats.puts += 1
+            self._stats.batch_puts += 1
+            self._stats.keys = len(self._items)
+
+    def multi_get(
+        self, keys: list[str]
+    ) -> tuple[dict[str, object], list[str]]:
+        """Look up a batch of keys under one lock acquisition.
+
+        Returns ``(found, missing)``: the values of the keys present in this
+        bucket, and the keys that are not — absence is *reported*, not
+        raised, so a replicated caller can retry only the missing keys on the
+        next replica.  A killed bucket raises
+        :class:`ProviderUnavailableError` for the whole batch.
+        """
+        with self._lock:
+            self._check_alive()
+            found: dict[str, object] = {}
+            missing: list[str] = []
+            for key in keys:
+                self._stats.gets += 1
+                if key in self._items:
+                    self._stats.hits += 1
+                    found[key] = self._items[key]
+                else:
+                    self._stats.misses += 1
+                    missing.append(key)
+            self._stats.batch_gets += 1
+            return found, missing
 
     def contains(self, key: str) -> bool:
         with self._lock:

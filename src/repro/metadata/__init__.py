@@ -3,12 +3,21 @@
 Metadata is organized as a segment tree per snapshot version; nodes are
 shared between versions ("weaving") and stored in a DHT.  The algorithms are
 implemented *sans-IO*: tree traversal and border-node discovery are
-generators that yield node-fetch requests, and tree construction is a pure
-function.  The threaded client (:mod:`repro.core`) and the discrete-event
-simulator (:mod:`repro.sim`) drive the exact same code.
+generators that yield batched node-fetch requests (:class:`Frontier` — one
+batch per tree level), and tree construction is a pure function.  The
+threaded client (:mod:`repro.core`) and the discrete-event simulator
+(:mod:`repro.sim`) drive the exact same code.
 """
 
-from .node import InnerNode, LeafNode, NodeKey, NodeRef, PageDescriptor, TreeNode
+from .node import (
+    Frontier,
+    InnerNode,
+    LeafNode,
+    NodeKey,
+    NodeRef,
+    PageDescriptor,
+    TreeNode,
+)
 from .geometry import (
     children_of,
     is_leaf_range,
@@ -18,7 +27,12 @@ from .geometry import (
     span_for_pages,
     validate_node_range,
 )
-from .read_plan import ReadPlanResult, drive_plan, read_plan
+from .read_plan import (
+    ReadPlanResult,
+    drive_plan,
+    multi_range_read_plan,
+    read_plan,
+)
 from .build import (
     BorderSpec,
     BuildResult,
@@ -29,6 +43,7 @@ from .build import (
 from .metadata_provider import MetadataProvider
 
 __all__ = [
+    "Frontier",
     "InnerNode",
     "LeafNode",
     "NodeKey",
@@ -44,6 +59,7 @@ __all__ = [
     "validate_node_range",
     "ReadPlanResult",
     "drive_plan",
+    "multi_range_read_plan",
     "read_plan",
     "BorderSpec",
     "BuildResult",

@@ -16,7 +16,9 @@ The three pieces are:
 * :func:`border_targets` — which border child ranges need a version, and
   which are dangling (no older pages underneath);
 * :func:`border_plan` — a generator resolving the needed versions: in-flight
-  ranges first, then a descent of the published tree (yields node fetches);
+  ranges first, then a descent of the published tree (yields one
+  :class:`~repro.metadata.node.Frontier` of batched node fetches per tree
+  level, like :func:`repro.metadata.read_plan.read_plan`);
 * :func:`build_nodes` — a pure function materializing every new tree node
   bottom-up.
 """
@@ -29,7 +31,7 @@ from collections.abc import Generator, Sequence
 from ..errors import ConcurrencyError, InvalidRangeError, MetadataNotFoundError
 from ..util.ranges import intersects
 from .geometry import children_of, node_ranges_covering, span_for_pages
-from .node import InnerNode, LeafNode, NodeRef, PageDescriptor, TreeNode
+from .node import Frontier, InnerNode, LeafNode, NodeRef, PageDescriptor, TreeNode
 
 
 @dataclass
@@ -43,6 +45,7 @@ class BorderSpec:
 
     versions: dict[tuple[int, int], int | None] = field(default_factory=dict)
     nodes_fetched: int = 0
+    round_trips: int = 0
 
     def version_for(self, offset: int, size: int) -> int | None:
         try:
@@ -152,38 +155,51 @@ def border_plan(
 
     published_span = span_for_pages(published_num_pages)
     remaining = set(unresolved)
-    # Descend the published tree, only entering subtrees that still contain
-    # an unresolved target.  A target equal to the current node's range is
-    # resolved by the version recorded in the parent pointer we followed.
-    stack: list[NodeRef] = [NodeRef(published_version, 0, published_span)]
-    while stack and remaining:
-        ref = stack.pop()
-        current = (ref.offset, ref.size)
-        if current in remaining:
-            spec.versions[current] = ref.version
-            remaining.discard(current)
-        needs_descent = any(
-            _strictly_inside(target, current) for target in remaining
-        )
-        if not needs_descent or ref.size == 1:
-            continue
-        node = yield ref
-        spec.nodes_fetched += 1
-        if not isinstance(node, InnerNode):
-            raise MetadataNotFoundError(
-                f"expected an inner node at {current} while resolving border nodes"
+    # Descend the published tree level by level, only entering subtrees that
+    # still contain an unresolved target.  A target equal to a node's range
+    # is resolved by the version recorded in the parent pointer we followed,
+    # so only nodes with a strictly-smaller unresolved target need fetching —
+    # and all fetches of one level are batched into a single frontier.
+    level: list[NodeRef] = [NodeRef(published_version, 0, published_span)]
+    while level and remaining:
+        for ref in level:
+            current = (ref.offset, ref.size)
+            if current in remaining:
+                spec.versions[current] = ref.version
+                remaining.discard(current)
+        to_fetch = [
+            ref
+            for ref in level
+            if ref.size > 1
+            and any(
+                _strictly_inside(target, (ref.offset, ref.size))
+                for target in remaining
             )
-        (left_offset, left_size), (right_offset, right_size) = children_of(
-            ref.offset, ref.size
-        )
-        if node.left_version is not None and any(
-            _inside(target, (left_offset, left_size)) for target in remaining
-        ):
-            stack.append(NodeRef(node.left_version, left_offset, left_size))
-        if node.right_version is not None and any(
-            _inside(target, (right_offset, right_size)) for target in remaining
-        ):
-            stack.append(NodeRef(node.right_version, right_offset, right_size))
+        ]
+        if not to_fetch:
+            break
+        nodes = yield Frontier(tuple(to_fetch))
+        spec.round_trips += 1
+        spec.nodes_fetched += len(to_fetch)
+        next_level: list[NodeRef] = []
+        for ref, node in zip(to_fetch, nodes):
+            if not isinstance(node, InnerNode):
+                raise MetadataNotFoundError(
+                    f"expected an inner node at ({ref.offset}, {ref.size}) "
+                    "while resolving border nodes"
+                )
+            (left_offset, left_size), (right_offset, right_size) = children_of(
+                ref.offset, ref.size
+            )
+            if node.left_version is not None and any(
+                _inside(target, (left_offset, left_size)) for target in remaining
+            ):
+                next_level.append(NodeRef(node.left_version, left_offset, left_size))
+            if node.right_version is not None and any(
+                _inside(target, (right_offset, right_size)) for target in remaining
+            ):
+                next_level.append(NodeRef(node.right_version, right_offset, right_size))
+        level = next_level
 
     if remaining:
         raise ConcurrencyError(

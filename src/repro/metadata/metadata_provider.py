@@ -38,19 +38,47 @@ class MetadataProvider:
         value = encode_node(node) if self._encode else node
         self._dht.put(key.to_string(), value)
 
-    def put_nodes(self, items: list[tuple[NodeKey, TreeNode]]) -> None:
-        """Store a batch of tree nodes (one DHT put per node).
+    def put_nodes(
+        self, items: list[tuple[NodeKey, TreeNode]], run_batches=None
+    ) -> None:
+        """Store a batch of tree nodes in one DHT multi-put.
 
-        The paper writes all new nodes "in parallel" (Algorithm 4, line 34);
-        in-process the puts are independent and order-insensitive, so a simple
-        loop preserves the semantics.
+        The paper writes all new nodes "in parallel" (Algorithm 4, line 34):
+        the batch is grouped by bucket and each bucket lock is taken once,
+        so an update publishes its whole tree in one round of bucket visits
+        instead of one put per node.  ``run_batches`` is forwarded to
+        :meth:`repro.dht.DHT.multi_put` to run the per-bucket sub-batches
+        concurrently.
         """
+        encoded: list[tuple[str, object]] = []
         for key, node in items:
-            self.put_node(key, node)
+            if not isinstance(node, (InnerNode, LeafNode)):
+                raise TypeError(f"not a tree node: {node!r}")
+            value = encode_node(node) if self._encode else node
+            encoded.append((key.to_string(), value))
+        self._dht.multi_put(encoded, run_batches=run_batches)
 
     def get_node(self, key: NodeKey) -> TreeNode:
         """Fetch one tree node; raises :class:`MetadataNotFoundError` if absent."""
         value = self._dht.get(key.to_string())
+        return self._as_node(key, value)
+
+    def get_nodes(self, keys: list[NodeKey], run_batches=None) -> list[TreeNode]:
+        """Fetch a batch of tree nodes in one DHT multi-get.
+
+        The values are returned aligned with ``keys``; a missing node raises
+        :class:`MetadataNotFoundError` exactly like :meth:`get_node`.  This
+        is the provider-side half of the frontier protocol: one call
+        resolves a whole tree level.  ``run_batches`` is forwarded to
+        :meth:`repro.dht.DHT.multi_get` to run the per-bucket sub-batches
+        concurrently.
+        """
+        values = self._dht.multi_get(
+            [key.to_string() for key in keys], run_batches=run_batches
+        )
+        return [self._as_node(key, value) for key, value in zip(keys, values)]
+
+    def _as_node(self, key: NodeKey, value: object) -> TreeNode:
         if isinstance(value, bytes):
             return decode_node(value)
         if not isinstance(value, (InnerNode, LeafNode)):

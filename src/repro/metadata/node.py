@@ -51,6 +51,29 @@ class NodeRef:
 
 
 @dataclass(frozen=True)
+class Frontier:
+    """A batch of independent node fetches, one tree level of a traversal.
+
+    The sans-IO plans (:func:`repro.metadata.read_plan.read_plan`,
+    :func:`repro.metadata.build.border_plan`) yield one ``Frontier`` per tree
+    level instead of one :class:`NodeRef` per node: every ref in a frontier
+    can be resolved concurrently, so a driver needs only one (batched)
+    round trip per frontier — O(tree depth) trips instead of O(nodes).
+
+    The plan must be sent back a list of :class:`TreeNode` values aligned
+    with :attr:`refs`.
+    """
+
+    refs: tuple[NodeRef, ...]
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+    def __iter__(self):
+        return iter(self.refs)
+
+
+@dataclass(frozen=True)
 class LeafNode:
     """A leaf covers exactly one page and records where it is stored.
 

@@ -1,38 +1,63 @@
-"""Sans-IO implementation of READ_META (paper, Algorithm 3).
+"""Sans-IO implementation of READ_META (paper, Algorithm 3) using the
+*frontier protocol*.
 
-:func:`read_plan` is a generator that descends the segment tree of a
-snapshot to find the page descriptors covering a requested page range.  It
-*yields* :class:`~repro.metadata.node.NodeRef` fetch requests and is *sent*
-the corresponding :class:`TreeNode` values; it finally returns a
-:class:`ReadPlanResult`.
+:func:`read_plan` descends the segment tree of a snapshot to find the page
+descriptors covering a requested page range.  Instead of yielding one
+:class:`~repro.metadata.node.NodeRef` fetch at a time, it traverses the tree
+level by level and *yields* :class:`~repro.metadata.node.Frontier` batches —
+all the independent node fetches of one tree level — and is *sent* the list
+of corresponding :class:`TreeNode` values (aligned with ``Frontier.refs``).
+It finally returns a :class:`ReadPlanResult`.
+
+The frontier protocol is what makes metadata access scale the way the paper
+argues it should: tree nodes live in a DHT precisely so that concurrent
+fetches can proceed in parallel, so a traversal needs only one *batched*
+round trip per tree level — O(log pages) trips — rather than one synchronous
+round trip per node.  ``ReadPlanResult.round_trips`` counts the frontiers so
+callers can report the metadata round-trip cost of a READ.
+
+:func:`multi_range_read_plan` generalizes the traversal to several disjoint
+page ranges in a *single* tree walk (used for the boundary pages of
+unaligned writes, which need old bytes from the first and last page of the
+update without traversing the metadata in between).
 
 Drivers:
 
-* the threaded client calls :func:`drive_plan` with a fetch function that
-  performs synchronous DHT lookups;
-* the discrete-event simulator advances the same generator, charging network
-  latency for each fetch.
+* the threaded client calls :func:`drive_plan` with a batched ``fetch_many``
+  function that performs one grouped DHT multi-get per frontier;
+* the discrete-event simulator advances the same generator, charging one
+  (parallel) network round trip per frontier.
+
+``drive_plan`` also accepts a per-node ``fetch`` function and plans that
+yield bare :class:`NodeRef` requests, so ad-hoc plans and reference models
+keep working unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Callable, Generator
+from collections.abc import Callable, Generator, Sequence
 
 from ..errors import InvalidRangeError, MetadataNotFoundError
 from ..util.ranges import intersects
 from .geometry import children_of, is_leaf_range, validate_node_range
-from .node import InnerNode, LeafNode, NodeRef, PageDescriptor, TreeNode
+from .node import Frontier, InnerNode, LeafNode, NodeRef, PageDescriptor, TreeNode
 
 
 @dataclass
 class ReadPlanResult:
-    """Outcome of a metadata read: the page descriptors plus traversal stats."""
+    """Outcome of a metadata read: the page descriptors plus traversal stats.
+
+    ``nodes_fetched`` counts individual tree nodes (unchanged by batching);
+    ``round_trips`` counts the frontiers the traversal yielded — the number
+    of batched metadata round trips a driver needed.
+    """
 
     descriptors: list[PageDescriptor] = field(default_factory=list)
     nodes_fetched: int = 0
     leaves_visited: int = 0
     inner_visited: int = 0
+    round_trips: int = 0
 
     def sorted_descriptors(self) -> list[PageDescriptor]:
         return sorted(self.descriptors, key=lambda d: d.page_index)
@@ -43,81 +68,154 @@ def read_plan(
     span: int,
     page_offset: int,
     page_count: int,
-) -> Generator[NodeRef, TreeNode, ReadPlanResult]:
+) -> Generator[Frontier, Sequence[TreeNode], ReadPlanResult]:
     """Plan the metadata traversal for reading ``page_count`` pages starting
     at ``page_offset`` from the snapshot whose root node has version
     ``root_version`` and spans ``span`` pages.
 
     The traversal explores a node only when its range intersects the
-    requested range (Algorithm 3, lines 8–13).  Dangling child pointers
-    (``None``) are never followed: a read bounded by the snapshot size never
-    needs them.
+    requested range (Algorithm 3, lines 8–13) and batches each tree level
+    into one :class:`Frontier`.  Dangling child pointers (``None``) are never
+    followed: a read bounded by the snapshot size never needs them.
     """
-    result = ReadPlanResult()
-    if page_count <= 0:
-        return result
-    if span <= 0:
+    if page_count > 0 and span <= 0:
         raise InvalidRangeError("cannot read from an empty snapshot")
-    if page_offset < 0 or page_offset + page_count > span:
+    if page_count > 0 and (page_offset < 0 or page_offset + page_count > span):
         raise InvalidRangeError(
             f"page range ({page_offset}, {page_count}) outside tree span {span}"
         )
+    result = yield from _frontier_walk(
+        root_version, span, [(page_offset, page_count)]
+    )
+    return result
 
-    # Stack of (version, offset, size) node references still to explore.
-    stack: list[NodeRef] = [NodeRef(root_version, 0, span)]
-    while stack:
-        ref = stack.pop()
-        validate_node_range(ref.offset, ref.size)
-        node = yield ref
-        result.nodes_fetched += 1
-        if is_leaf_range(ref.offset, ref.size):
-            if not isinstance(node, LeafNode):
-                raise MetadataNotFoundError(
-                    f"expected a leaf at ({ref.offset}, {ref.size}), got {node!r}"
+
+def multi_range_read_plan(
+    root_version: int,
+    span: int,
+    ranges: Sequence[tuple[int, int]],
+) -> Generator[Frontier, Sequence[TreeNode], ReadPlanResult]:
+    """Plan one combined traversal covering several disjoint page ranges.
+
+    Equivalent to running :func:`read_plan` once per range, but nodes shared
+    between the ranges' root-to-leaf paths are fetched once and every tree
+    level is still resolved in a single frontier, keeping the round-trip
+    count at O(tree depth) regardless of how many ranges are requested.
+    """
+    active = [(offset, count) for offset, count in ranges if count > 0]
+    if active:
+        if span <= 0:
+            raise InvalidRangeError("cannot read from an empty snapshot")
+        for page_offset, page_count in active:
+            if page_offset < 0 or page_offset + page_count > span:
+                raise InvalidRangeError(
+                    f"page range ({page_offset}, {page_count}) outside tree "
+                    f"span {span}"
                 )
-            result.leaves_visited += 1
-            result.descriptors.append(
-                PageDescriptor(
-                    page_index=ref.offset,
-                    page_id=node.page_id,
-                    provider_id=node.provider_id,
-                    length=node.length,
-                )
-            )
-            continue
-        if not isinstance(node, InnerNode):
-            raise MetadataNotFoundError(
-                f"expected an inner node at ({ref.offset}, {ref.size}), got {node!r}"
-            )
-        result.inner_visited += 1
-        (left_offset, left_size), (right_offset, right_size) = children_of(
-            ref.offset, ref.size
+    result = yield from _frontier_walk(root_version, span, active)
+    return result
+
+
+def _frontier_walk(
+    root_version: int,
+    span: int,
+    ranges: list[tuple[int, int]],
+) -> Generator[Frontier, Sequence[TreeNode], ReadPlanResult]:
+    """Level-order traversal shared by the single- and multi-range plans."""
+    result = ReadPlanResult()
+    if not any(count > 0 for _, count in ranges):
+        return result
+
+    def wanted(offset: int, size: int) -> bool:
+        return any(
+            intersects(offset, size, page_offset, page_count)
+            for page_offset, page_count in ranges
         )
-        if node.right_version is not None and intersects(
-            right_offset, right_size, page_offset, page_count
-        ):
-            stack.append(NodeRef(node.right_version, right_offset, right_size))
-        if node.left_version is not None and intersects(
-            left_offset, left_size, page_offset, page_count
-        ):
-            stack.append(NodeRef(node.left_version, left_offset, left_size))
+
+    frontier: list[NodeRef] = [NodeRef(root_version, 0, span)]
+    while frontier:
+        for ref in frontier:
+            validate_node_range(ref.offset, ref.size)
+        nodes = yield Frontier(tuple(frontier))
+        result.round_trips += 1
+        result.nodes_fetched += len(frontier)
+        next_frontier: list[NodeRef] = []
+        for ref, node in zip(frontier, nodes):
+            if is_leaf_range(ref.offset, ref.size):
+                if not isinstance(node, LeafNode):
+                    raise MetadataNotFoundError(
+                        f"expected a leaf at ({ref.offset}, {ref.size}), "
+                        f"got {node!r}"
+                    )
+                result.leaves_visited += 1
+                result.descriptors.append(
+                    PageDescriptor(
+                        page_index=ref.offset,
+                        page_id=node.page_id,
+                        provider_id=node.provider_id,
+                        length=node.length,
+                    )
+                )
+                continue
+            if not isinstance(node, InnerNode):
+                raise MetadataNotFoundError(
+                    f"expected an inner node at ({ref.offset}, {ref.size}), "
+                    f"got {node!r}"
+                )
+            result.inner_visited += 1
+            (left_offset, left_size), (right_offset, right_size) = children_of(
+                ref.offset, ref.size
+            )
+            if node.left_version is not None and wanted(left_offset, left_size):
+                next_frontier.append(
+                    NodeRef(node.left_version, left_offset, left_size)
+                )
+            if node.right_version is not None and wanted(right_offset, right_size):
+                next_frontier.append(
+                    NodeRef(node.right_version, right_offset, right_size)
+                )
+        frontier = next_frontier
     return result
 
 
 def drive_plan(
-    plan: Generator[NodeRef, TreeNode, "ReadPlanResult"],
-    fetch: Callable[[NodeRef], TreeNode],
+    plan: Generator,
+    fetch: Callable[[NodeRef], TreeNode] | None = None,
+    fetch_many: Callable[[list[NodeRef]], Sequence[TreeNode]] | None = None,
 ):
     """Run a sans-IO plan to completion with a synchronous fetch function.
 
     Works for any generator following the "yield a request, receive a value,
     return a result" protocol (both :func:`read_plan` and
-    :func:`repro.metadata.build.border_plan`).
+    :func:`repro.metadata.build.border_plan`).  Requests may be single
+    :class:`NodeRef` objects or :class:`Frontier` batches:
+
+    * a :class:`Frontier` is resolved with ``fetch_many(refs)`` when given —
+      one batched round trip per tree level — or by mapping ``fetch`` over
+      its refs otherwise;
+    * a bare :class:`NodeRef` is resolved with ``fetch`` (or a one-element
+      ``fetch_many`` call).
     """
+    if fetch is None and fetch_many is None:
+        raise TypeError("drive_plan needs a fetch or fetch_many function")
     try:
         request = next(plan)
         while True:
-            value = fetch(request)
+            if isinstance(request, Frontier):
+                refs = list(request.refs)
+                if fetch_many is not None:
+                    value = list(fetch_many(refs))
+                else:
+                    value = [fetch(ref) for ref in refs]
+                if len(value) != len(refs):
+                    raise MetadataNotFoundError(
+                        f"frontier fetch returned {len(value)} nodes "
+                        f"for {len(refs)} refs"
+                    )
+            elif fetch is not None:
+                value = fetch(request)
+            else:
+                value = fetch_many([request])[0]
             request = plan.send(value)
     except StopIteration as stop:
         return stop.value

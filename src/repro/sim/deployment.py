@@ -198,8 +198,16 @@ class SimDeployment:
         )
         spec = drive_plan(
             plan,
-            lambda ref: meta.get_node(
-                NodeKey(resolve_owner(record, ref.version), ref.version, ref.offset, ref.size)
+            fetch_many=lambda refs: meta.get_nodes(
+                [
+                    NodeKey(
+                        resolve_owner(record, ref.version),
+                        ref.version,
+                        ref.offset,
+                        ref.size,
+                    )
+                    for ref in refs
+                ]
             ),
         )
         build = build_nodes(

@@ -56,13 +56,20 @@ def version_manifest(
         return []
     span = span_for_pages(num_pages)
 
-    def fetch(ref):
-        owner = resolve_owner(record, ref.version)
-        return cluster.metadata_provider.get_node(
-            NodeKey(owner, ref.version, ref.offset, ref.size)
+    def fetch_many(refs):
+        return cluster.metadata_provider.get_nodes(
+            [
+                NodeKey(
+                    resolve_owner(record, ref.version),
+                    ref.version,
+                    ref.offset,
+                    ref.size,
+                )
+                for ref in refs
+            ]
         )
 
-    result = drive_plan(read_plan(version, span, 0, num_pages), fetch)
+    result = drive_plan(read_plan(version, span, 0, num_pages), fetch_many=fetch_many)
     return result.sorted_descriptors()
 
 

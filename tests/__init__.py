@@ -1,0 +1,7 @@
+"""Package context for the test suite.
+
+Makes ``tests`` a proper package so ``from .conftest import ...`` resolves
+regardless of which directory pytest collects first (``benchmarks/`` also
+has a ``conftest.py``, so relying on rootdir sys.path insertion would make
+the two conftests shadow each other).
+"""
