@@ -1,0 +1,195 @@
+"""Perf-regression gate: rerun a figure benchmark and compare it to a
+committed baseline.
+
+Used by the CI ``perf-gate`` job::
+
+    python benchmarks/compare_bench.py --figure fig2b --scale small \
+        --baseline BENCH_pr1.json --output perf-gate.json
+
+The baseline may be a ``BENCH_prN.json`` snapshot (the comparison uses the
+``scales.<scale>.<figure>_rows`` section, preferring its ``after`` side), a
+``{"rows": [...]}`` object, or a bare list of row dicts.  Rows are matched
+by figure-specific keys (reader count for fig2b, series + blob size for
+fig2a) and every metric present in both rows is compared: throughput-like
+metrics may not drop by more than ``--tolerance`` (default 15 %), counter
+metrics (round trips, nodes fetched) may not grow by more than the same
+factor.  The run fails (exit code 1) on any regression, and always writes a
+machine-readable report for the workflow-artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.fig2a import run_fig2a  # noqa: E402
+from repro.bench.fig2b import run_fig2b  # noqa: E402
+
+_FIGURES = {"fig2a": run_fig2a, "fig2b": run_fig2b}
+
+#: Keys identifying a row within one figure's result table.
+_MATCH_KEYS = {
+    "fig2a": ("series", "pages_total"),
+    "fig2b": ("readers",),
+}
+
+#: Metrics where bigger is better (gate on drops).
+_HIGHER_IS_BETTER = (
+    "avg_bandwidth_mbps",
+    "min_bandwidth_mbps",
+    "aggregate_mbps",
+    "bandwidth_mbps",
+)
+
+#: Metrics where smaller is better (gate on growth): round-trip and
+#: node-count counters.
+_LOWER_IS_BETTER = (
+    "meta_nodes_per_read",
+    "meta_trips_per_read",
+    "data_trips_per_read",
+    "metadata_nodes",
+    "border_fetches",
+    "data_trips",
+)
+
+
+def load_baseline_rows(path: Path, figure: str, scale: str) -> list[dict]:
+    """Extract the baseline's row list for one figure at one scale."""
+    document = json.loads(path.read_text())
+    if isinstance(document, list):
+        return document
+    if "rows" in document:
+        return document["rows"]
+    try:
+        section = document["scales"][scale][f"{figure}_rows"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{path}: cannot find rows for {figure}/{scale} ({error} missing)"
+        )
+    if isinstance(section, dict):
+        # BENCH_prN.json keeps a before/after pair; the "after" side is the
+        # state the PR shipped, i.e. the baseline for the next PR.
+        return section.get("after", section.get("before", []))
+    return section
+
+
+def row_key(row: dict, figure: str) -> tuple:
+    return tuple(row.get(key) for key in _MATCH_KEYS[figure])
+
+
+def compare_rows(
+    current: list[dict], baseline: list[dict], figure: str, tolerance: float
+) -> tuple[list[dict], list[str]]:
+    """Compare matched rows metric by metric; return (records, failures)."""
+    baseline_by_key = {row_key(row, figure): row for row in baseline}
+    records: list[dict] = []
+    failures: list[str] = []
+    matched = 0
+    for row in current:
+        key = row_key(row, figure)
+        base = baseline_by_key.get(key)
+        if base is None:
+            continue
+        matched += 1
+        label = ", ".join(
+            f"{name}={value}" for name, value in zip(_MATCH_KEYS[figure], key)
+        )
+        for metric, gate in (
+            (_HIGHER_IS_BETTER, "min"),
+            (_LOWER_IS_BETTER, "max"),
+        ):
+            for name in metric:
+                if name not in row or name not in base:
+                    continue
+                now, then = float(row[name]), float(base[name])
+                if gate == "min":
+                    limit = then * (1.0 - tolerance)
+                    ok = now >= limit
+                else:
+                    limit = then * (1.0 + tolerance)
+                    ok = now <= limit
+                records.append(
+                    {
+                        "row": label,
+                        "metric": name,
+                        "baseline": then,
+                        "current": now,
+                        "limit": limit,
+                        "ok": ok,
+                    }
+                )
+                if not ok:
+                    failures.append(
+                        f"{label}: {name} {now:.2f} vs baseline {then:.2f} "
+                        f"(limit {limit:.2f})"
+                    )
+    if matched == 0:
+        failures.append(
+            f"no baseline rows matched the current {figure} rows — "
+            "baseline layout or presets changed?"
+        )
+    return records, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--figure", choices=sorted(_FIGURES), default="fig2b")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative regression (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_rows = load_baseline_rows(args.baseline, args.figure, args.scale)
+    result = _FIGURES[args.figure](scale=args.scale)
+    records, failures = compare_rows(
+        result.rows, baseline_rows, args.figure, args.tolerance
+    )
+
+    report = {
+        "figure": args.figure,
+        "scale": args.scale,
+        "baseline_file": str(args.baseline),
+        "tolerance": args.tolerance,
+        "passed": not failures,
+        "failures": failures,
+        "comparisons": records,
+        "current_rows": result.rows,
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=1) + "\n")
+
+    checked = len(records)
+    print(
+        f"perf gate [{args.figure}/{args.scale}] vs {args.baseline}: "
+        f"{checked} metric comparisons, {len(failures)} regressions "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    for record in records:
+        if record["metric"] in ("avg_bandwidth_mbps", "bandwidth_mbps"):
+            delta = (
+                (record["current"] / record["baseline"] - 1.0) * 100
+                if record["baseline"]
+                else 0.0
+            )
+            print(
+                f"  {record['row']}: {record['metric']} "
+                f"{record['baseline']:.2f} -> {record['current']:.2f} "
+                f"({delta:+.1f}%)"
+            )
+    for failure in failures:
+        print(f"  REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ import pytest
 from repro import BlobStore, Cluster
 from repro.config import KiB
 from repro.metadata.build import BorderSpec, border_targets, build_nodes
-from repro.metadata.node import InnerNode, LeafNode, NodeRef, PageDescriptor
+from repro.metadata.node import PageDescriptor
 from repro.metadata.read_plan import drive_plan, read_plan
 
 PAGE_SIZE = 4 * KiB

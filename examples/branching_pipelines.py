@@ -36,12 +36,17 @@ def write_dataset(store: BlobStore, samples: list[float]) -> str:
     return blob_id
 
 
-def read_dataset(store: BlobStore, blob_id: str, version: int | None = None) -> list[float]:
+def read_dataset(
+    store: BlobStore, blob_id: str, version: int | None = None
+) -> list[float]:
     if version is None:
         version = store.get_recent(blob_id)
     size = store.get_size(blob_id, version)
     data = store.read(blob_id, version, 0, size)
-    return [SAMPLE.unpack_from(data, offset)[0] for offset in range(0, size, SAMPLE.size)]
+    return [
+        SAMPLE.unpack_from(data, offset)[0]
+        for offset in range(0, size, SAMPLE.size)
+    ]
 
 
 def clip_outliers(store: BlobStore, blob_id: str, limit: float) -> int:
@@ -51,7 +56,9 @@ def clip_outliers(store: BlobStore, blob_id: str, limit: float) -> int:
     for index, value in enumerate(samples):
         if abs(value) > limit:
             version = store.write(
-                blob_id, SAMPLE.pack(limit if value > 0 else -limit), index * SAMPLE.size
+                blob_id,
+                SAMPLE.pack(limit if value > 0 else -limit),
+                index * SAMPLE.size,
             )
     store.sync(blob_id, version)
     return version
@@ -88,9 +95,11 @@ def main() -> None:
     clipped = read_dataset(store, clipped_branch)
     rescaled = read_dataset(store, rescaled_branch)
 
-    print(f"original  max={max(original):8.1f} mean={sum(original) / len(original):8.2f}")
+    mean_original = sum(original) / len(original)
+    print(f"original  max={max(original):8.1f} mean={mean_original:8.2f}")
     print(f"clipped   max={max(clipped):8.1f} mean={sum(clipped) / len(clipped):8.2f}")
-    print(f"rescaled  max={max(rescaled):8.1f} mean={sum(rescaled) / len(rescaled):8.2f}")
+    mean_rescaled = sum(rescaled) / len(rescaled)
+    print(f"rescaled  max={max(rescaled):8.1f} mean={mean_rescaled:8.2f}")
     assert max(clipped) <= 100.0
     assert abs(max(rescaled) - max(original) * 0.5) < 1e-9
     # The original snapshot is untouched by either pipeline.
@@ -105,9 +114,11 @@ def main() -> None:
             full_copy_bytes += store.get_size(blob_id, version)
     stored = cluster.storage_bytes_used()
     versions_total = sum(
-        store.get_recent(blob_id) for blob_id in (dataset, clipped_branch, rescaled_branch)
+        store.get_recent(blob_id)
+        for blob_id in (dataset, clipped_branch, rescaled_branch)
     )
-    print(f"{versions_total} snapshots across 3 blobs; physically stored: {stored} bytes; "
+    print(f"{versions_total} snapshots across 3 blobs; "
+          f"physically stored: {stored} bytes; "
           f"full copies would need {full_copy_bytes} bytes "
           f"({full_copy_bytes / stored:.1f}x more)")
 

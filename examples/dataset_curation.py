@@ -67,7 +67,8 @@ def retire_old_snapshots(store: BlobStore, cluster: Cluster, blob_id: str,
     keep = list(range(max(1, current - keep_last + 1), current + 1))
     report = collect_garbage(cluster, {blob_id: keep})
     print(f"retired snapshots below {keep[0]}: reclaimed {report.deleted_pages} pages "
-          f"({report.reclaimed_bytes} bytes) and {report.deleted_nodes} metadata nodes; "
+          f"({report.reclaimed_bytes} bytes) "
+          f"and {report.deleted_nodes} metadata nodes; "
           f"{report.reachable_pages} pages remain reachable")
 
 

@@ -90,7 +90,10 @@ def analyze_snapshot(store: BlobStore, blob_id: str, workers: int):
             with lock:
                 scores[metadata["camera"]].append(metadata["contrast"])
 
-    threads = [threading.Thread(target=map_worker, args=(index,)) for index in range(workers)]
+    threads = [
+        threading.Thread(target=map_worker, args=(index,))
+        for index in range(workers)
+    ]
     for thread in threads:
         thread.start()
     for thread in threads:
@@ -133,7 +136,8 @@ def main() -> None:
     uploads_per_site = 8
     uploaders = [
         threading.Thread(
-            target=upload_site, args=(store, blob_id, site, uploads_per_site, 1000 + site)
+            target=upload_site,
+            args=(store, blob_id, site, uploads_per_site, 1000 + site),
         )
         for site in range(sites)
     ]

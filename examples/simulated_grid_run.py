@@ -55,7 +55,8 @@ def main() -> None:
         )
     single = samples[0].avg_bandwidth_mbps
     most = samples[-1].avg_bandwidth_mbps
-    print(f"  per-reader bandwidth retained at full concurrency: {100 * most / single:.0f}%")
+    retained = 100 * most / single
+    print(f"  per-reader bandwidth retained at full concurrency: {retained:.0f}%")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from ..config import MiB, SimConfig
 from ..errors import UnknownBlobError, VersionNotPublishedError
 from ..metadata.node import PageDescriptor
-from ..sim.deployment import SimDeployment
 from ..sim.engine import Simulator
 from ..sim.network import Network, SimNode
 from ..util.ranges import covering_page_range

@@ -75,7 +75,9 @@ def run_ablation_metadata(scale: str = "small") -> ExperimentResult:
             readers=dist.readers,
             blobseer_avg_mbps=dist.avg_bandwidth_mbps,
             centralized_avg_mbps=cent.avg_bandwidth_mbps,
-            blobseer_retention=dist.avg_bandwidth_mbps / distributed[0].avg_bandwidth_mbps,
+            blobseer_retention=(
+                dist.avg_bandwidth_mbps / distributed[0].avg_bandwidth_mbps
+            ),
             centralized_retention=(
                 cent.avg_bandwidth_mbps / centralized[0].avg_bandwidth_mbps
             ),
@@ -114,7 +116,8 @@ def run_ablation_metadata(scale: str = "small") -> ExperimentResult:
     )
     result.note(
         f"metadata write work for one {update_pages}-page update on a "
-        f"{pages_total}-page blob: BlobSeer {outcome.metadata_nodes_written} tree nodes, "
+        f"{pages_total}-page blob: "
+        f"BlobSeer {outcome.metadata_nodes_written} tree nodes, "
         f"centralized flat table {centralized_write_work} descriptors"
     )
     return result

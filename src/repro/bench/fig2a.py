@@ -55,6 +55,7 @@ def run_fig2a(scale: str = "small") -> ExperimentResult:
                     bandwidth_mbps=sample.bandwidth_mbps,
                     metadata_nodes=sample.metadata_nodes_written,
                     border_fetches=sample.border_nodes_fetched,
+                    data_trips=sample.data_round_trips,
                 )
     result.note(
         f"each APPEND writes {append_bytes // MiB} MiB, as in the paper's description"
@@ -79,6 +80,7 @@ def run_fig2a(scale: str = "small") -> ExperimentResult:
             bandwidth_mbps=sample.bandwidth_mbps,
             metadata_nodes=sample.metadata_nodes_written,
             border_fetches=sample.border_nodes_fetched,
+            data_trips=sample.data_round_trips,
         )
     result.note(
         "fine-grained series appends "

@@ -32,7 +32,8 @@ def run_fig2b(scale: str = "small") -> ExperimentResult:
     providers, page_size, blob_bytes, chunk_bytes, reader_counts = _PRESETS[scale]
     result = ExperimentResult(
         "FIG-2b",
-        "Read throughput vs. number of concurrent readers (disjoint 64 MB-class chunks)",
+        "Read throughput vs. number of concurrent readers "
+        "(disjoint 64 MB-class chunks)",
     )
     samples = run_read_concurrency_experiment(
         num_provider_nodes=providers,
@@ -52,6 +53,8 @@ def run_fig2b(scale: str = "small") -> ExperimentResult:
             min_bandwidth_mbps=sample.min_bandwidth_mbps,
             aggregate_mbps=sample.aggregate_bandwidth_mbps,
             meta_nodes_per_read=sample.avg_metadata_nodes_fetched,
+            meta_trips_per_read=sample.avg_metadata_round_trips,
+            data_trips_per_read=sample.avg_data_round_trips,
         )
     if scale != "paper":
         result.note(

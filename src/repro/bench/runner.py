@@ -52,7 +52,9 @@ def format_table(result: ExperimentResult) -> str:
         lines.append(header)
         lines.append("  ".join("-" * widths[column] for column in columns))
         for row in rendered:
-            lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+            lines.append(
+                "  ".join(row[column].ljust(widths[column]) for column in columns)
+            )
     for note in result.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -11,7 +11,7 @@ Two dataclasses are exposed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .errors import ConfigurationError
 
@@ -125,6 +125,12 @@ class SimConfig:
     metadata_node_size: int = 128
     #: Per-page service time at a data provider (buffer handling, disk cache).
     page_service_time: float = 0.03e-3
+    #: Per-page marshalling cost at the endpoint that serializes the payload
+    #: of a *batched* multi-page request (framing, per-page checksum,
+    #: descriptor bookkeeping).  Batching amortizes ``rpc_overhead`` across
+    #: a batch but cannot remove this per-page share of the work, which is
+    #: what keeps larger pages faster (Figure 2(a)) even with batching.
+    page_marshalling_time: float = 0.08e-3
 
     def __post_init__(self) -> None:
         _require(self.nic_bandwidth > 0, "nic_bandwidth must be > 0")
@@ -139,6 +145,8 @@ class SimConfig:
         _require(self.metadata_node_size >= 0,
                  "metadata_node_size must be >= 0")
         _require(self.page_service_time >= 0, "page_service_time must be >= 0")
+        _require(self.page_marshalling_time >= 0,
+                 "page_marshalling_time must be >= 0")
 
 
 #: Simulation profile matching the paper's measured testbed numbers.

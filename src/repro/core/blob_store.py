@@ -31,6 +31,17 @@ all of its new tree nodes in one batched multi-put — Algorithm 4 line 34's
 O(tree depth) = O(log pages), not O(nodes touched); the ``*_ex`` stats
 report both ``metadata_nodes_fetched`` (unchanged by batching) and
 ``metadata_round_trips``.
+
+Data I/O is *provider-parallel* the same way: the page descriptors of a READ
+(or the payloads of a WRITE) are grouped by data provider and each provider
+receives ONE batched ``multi_fetch``/``multi_store`` request carrying all of
+its pages (:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch`),
+the per-provider sub-batches going through the same ``parallel_io`` thread
+pool.  Data round trips per READ/WRITE are therefore O(providers touched),
+not O(pages) — the striping across providers the paper's WRITE algorithm
+stores "in parallel" (Algorithm 2, line 4).  The ``*_ex`` stats report
+``data_round_trips`` next to ``metadata_round_trips`` so both axes of the
+concurrency story are measurable.
 """
 
 from __future__ import annotations
@@ -66,6 +77,11 @@ class WriteResult:
     #: Batched metadata round trips: one per border-plan frontier plus one
     #: for the batched publish of the new tree nodes.
     metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page store per provider touched
+    #: (plus one multi-page fetch per provider supplying boundary bytes for
+    #: an unaligned write) — compare ``pages_written``, which counts
+    #: individual pages and is unchanged by batching.
+    data_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -80,6 +96,10 @@ class ReadStats:
     #: i.e. O(log pages) — compare ``metadata_nodes_fetched``, which counts
     #: individual nodes and is unchanged by batching.
     metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page fetch per provider touched,
+    #: i.e. O(providers), not O(pages) — compare ``pages_fetched``, which
+    #: counts individual pages and is unchanged by batching.
+    data_round_trips: int = 0
 
 
 class BlobStore:
@@ -90,9 +110,10 @@ class BlobStore:
     cluster:
         The deployment to operate against.
     parallel_io:
-        When > 1, pages are stored/fetched with a thread pool of that many
-        workers, mirroring the paper's parallel page transfers.  The default
-        (sequential) is usually faster in-process because of the GIL.
+        When > 1, per-provider page batches and per-bucket metadata batches
+        run on a thread pool of that many workers, mirroring the paper's
+        parallel page transfers.  The default (sequential) is usually faster
+        in-process because of the GIL.
     strict_unaligned:
         When True, unaligned WRITEs register their version first and wait for
         the previous snapshot before filling boundary pages, giving exact
@@ -173,11 +194,14 @@ class BlobStore:
                 # snapshot: wait for it so the boundary bytes are exact.
                 self._vm.sync(record.blob_id, ticket.version - 1)
                 reference_version = ticket.version - 1
-            payloads = self._compose_page_payloads(
+            payloads, boundary_trips = self._compose_page_payloads(
                 record, ticket, data, reference_version=reference_version
             )
-            descriptors = self._store_pages(record, ticket, payloads)
-            return self._finish_update(record, ticket, descriptors)
+            descriptors, store_trips = self._store_pages(record, ticket, payloads)
+            trips = boundary_trips + store_trips
+            return self._finish_update(
+                record, ticket, descriptors, data_round_trips=trips
+            )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "append failed")
             raise
@@ -212,17 +236,20 @@ class BlobStore:
         page_size = record.page_size
         page_offset, page_count = covering_page_range(offset, size, page_size)
         span = span_for_pages(pages_for_size(snapshot_size, page_size))
-        plan_result = self._run_read_plan(record, version, span, page_offset, page_count)
+        plan_result = self._run_read_plan(
+            record, version, span, page_offset, page_count
+        )
 
         buffer = bytearray(size)
         descriptors = plan_result.sorted_descriptors()
-        self._fetch_pages_into(record, descriptors, buffer, offset, size)
+        data_trips = self._fetch_pages_into(record, descriptors, buffer, offset, size)
         stats = ReadStats(
             version=version,
             bytes_read=size,
             pages_fetched=len(descriptors),
             metadata_nodes_fetched=plan_result.nodes_fetched,
             metadata_round_trips=plan_result.round_trips,
+            data_round_trips=data_trips,
         )
         return bytes(buffer), stats
 
@@ -261,14 +288,16 @@ class BlobStore:
             (first_page + index, data[index * page_size:(index + 1) * page_size])
             for index in range(len(data) // page_size)
         ]
-        descriptors = self._store_payloads(payloads)
+        descriptors, store_trips = self._store_payloads(payloads)
         try:
             ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
         except Exception:
             self._discard_pages(descriptors)
             raise
         try:
-            return self._finish_update(record, ticket, descriptors)
+            return self._finish_update(
+                record, ticket, descriptors, data_round_trips=store_trips
+            )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
             raise
@@ -280,9 +309,12 @@ class BlobStore:
         recently published snapshot, then the update proceeds as usual."""
         ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
         try:
-            payloads = self._compose_page_payloads(record, ticket, data)
-            descriptors = self._store_pages(record, ticket, payloads)
-            return self._finish_update(record, ticket, descriptors)
+            payloads, boundary_trips = self._compose_page_payloads(record, ticket, data)
+            descriptors, store_trips = self._store_pages(record, ticket, payloads)
+            trips = boundary_trips + store_trips
+            return self._finish_update(
+                record, ticket, descriptors, data_round_trips=trips
+            )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
             raise
@@ -296,11 +328,14 @@ class BlobStore:
         try:
             if ticket.version > 1:
                 self._vm.sync(record.blob_id, ticket.version - 1)
-            payloads = self._compose_page_payloads(
+            payloads, boundary_trips = self._compose_page_payloads(
                 record, ticket, data, reference_version=ticket.version - 1
             )
-            descriptors = self._store_pages(record, ticket, payloads)
-            return self._finish_update(record, ticket, descriptors)
+            descriptors, store_trips = self._store_pages(record, ticket, payloads)
+            trips = boundary_trips + store_trips
+            return self._finish_update(
+                record, ticket, descriptors, data_round_trips=trips
+            )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
             raise
@@ -311,17 +346,20 @@ class BlobStore:
         ticket: UpdateTicket,
         data: bytes,
         reference_version: int | None = None,
-    ) -> list[tuple[int, bytes]]:
+    ) -> tuple[list[tuple[int, bytes]], int]:
         """Split ``data`` into per-page payloads, merging boundary pages with
         existing content where the update is not page-aligned.
 
         Only the first page can need an old prefix and only the last page an
         old suffix; both are resolved with ONE combined metadata traversal
         (:func:`repro.metadata.read_plan.multi_range_read_plan`) instead of
-        one full READ — each a complete tree walk — per boundary page.
+        one full READ — each a complete tree walk — per boundary page, and
+        the boundary bytes of both ranges come back in one provider-grouped
+        batch of page fetches.
 
         Returns ``(page_index, payload)`` pairs covering the ticket's page
-        range exactly.
+        range exactly, plus the number of batched data round trips the
+        boundary fetches cost.
         """
         page_size = record.page_size
         offset = ticket.byte_offset
@@ -351,7 +389,7 @@ class BlobStore:
         if write_end < last_end and min(reference_size, last_end) > write_end:
             suffix_range = (write_end, min(reference_size, last_end) - write_end)
         wanted = [r for r in (prefix_range, suffix_range) if r is not None]
-        chunks = self._read_byte_ranges(
+        chunks, boundary_trips = self._read_byte_ranges(
             record, reference_version, reference_size, wanted
         )
         by_range = dict(zip(wanted, chunks))
@@ -379,7 +417,7 @@ class BlobStore:
                 + suffix
             )
             payloads.append((page_index, payload))
-        return payloads
+        return payloads, boundary_trips
 
     def _read_byte_ranges(
         self,
@@ -387,11 +425,13 @@ class BlobStore:
         version: int,
         snapshot_size: int,
         byte_ranges: list[tuple[int, int]],
-    ) -> list[bytes]:
+    ) -> tuple[list[bytes], int]:
         """Read several small byte ranges of a published snapshot with one
-        combined metadata traversal and one batch of page fetches."""
+        combined metadata traversal and one provider-grouped batch of page
+        fetches covering ALL of the ranges; returns ``(chunks, data_trips)``.
+        """
         if not byte_ranges:
-            return []
+            return [], 0
         page_size = record.page_size
         page_ranges = [
             covering_page_range(byte_offset, byte_size, page_size)
@@ -403,31 +443,48 @@ class BlobStore:
             plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
         )
         descriptors = plan_result.sorted_descriptors()
-        chunks: list[bytes] = []
-        for byte_offset, byte_size in byte_ranges:
-            buffer = bytearray(byte_size)
-            self._fetch_pages_into(
-                record, descriptors, buffer, byte_offset, byte_size
-            )
-            chunks.append(bytes(buffer))
-        return chunks
+        buffers = [bytearray(byte_size) for _byte_offset, byte_size in byte_ranges]
+        requests: list[tuple[str, str, int, int | None]] = []
+        placements: list[tuple[int, int]] = []
+        for index, (byte_offset, byte_size) in enumerate(byte_ranges):
+            for descriptor in descriptors:
+                request = self._page_request(
+                    descriptor, page_size, byte_offset, byte_size
+                )
+                if request is None:
+                    continue
+                destination, fetch = request
+                requests.append(fetch)
+                placements.append((index, destination))
+        payloads, data_trips = self._pm.multi_fetch(
+            requests, run_batches=self._run_batches
+        )
+        for (index, destination), payload in zip(placements, payloads):
+            buffers[index][destination:destination + len(payload)] = payload
+        return [bytes(buffer) for buffer in buffers], data_trips
 
     def _store_pages(
         self,
         record: BlobRecord,
         ticket: UpdateTicket,
         payloads: list[tuple[int, bytes]],
-    ) -> list[PageDescriptor]:
+    ) -> tuple[list[PageDescriptor], int]:
         return self._store_payloads(payloads)
 
     def _store_payloads(
         self, payloads: list[tuple[int, bytes]]
-    ) -> list[PageDescriptor]:
+    ) -> tuple[list[PageDescriptor], int]:
         """Store one payload per page on providers chosen by the provider
-        manager; return the page descriptors (paper's ``PD`` set)."""
+        manager — ONE batched multi-store per provider touched — and return
+        the page descriptors (paper's ``PD`` set) plus the batch count.
+
+        A provider dying mid-update fails the whole store *after* the live
+        providers' batches completed, so the pages that did land are
+        garbage-collected here before the error propagates.
+        """
         provider_ids = self._pm.allocate(len(payloads))
         descriptors: list[PageDescriptor] = []
-        jobs: list[tuple[str, str, bytes]] = []
+        items: list[tuple[str, str, bytes]] = []
         for (page_index, payload), provider_id in zip(payloads, provider_ids):
             page_id = self._cluster._ids.next_page_id()
             descriptors.append(
@@ -438,14 +495,13 @@ class BlobStore:
                     length=len(payload),
                 )
             )
-            jobs.append((provider_id, page_id, payload))
-
-        def store(job: tuple[str, str, bytes]) -> None:
-            provider_id, page_id, payload = job
-            self._pm.provider(provider_id).store_page(page_id, payload)
-
-        self._run_jobs(store, jobs)
-        return descriptors
+            items.append((provider_id, page_id, payload))
+        try:
+            store_trips = self._pm.multi_store(items, run_batches=self._run_batches)
+        except Exception:
+            self._discard_pages(descriptors)
+            raise
+        return descriptors, store_trips
 
     def _discard_pages(self, descriptors: list[PageDescriptor]) -> None:
         """Best-effort garbage collection of pages of a failed update."""
@@ -462,6 +518,7 @@ class BlobStore:
         record: BlobRecord,
         ticket: UpdateTicket,
         descriptors: list[PageDescriptor],
+        data_round_trips: int = 0,
     ) -> WriteResult:
         """Resolve border nodes, build and store the new metadata tree, then
         notify the version manager (Algorithm 2, lines 10-13)."""
@@ -490,6 +547,7 @@ class BlobStore:
             metadata_nodes_written=len(items),
             border_nodes_fetched=spec.nodes_fetched,
             metadata_round_trips=spec.round_trips + 1,  # + the batched publish
+            data_round_trips=data_round_trips,
         )
 
     def _resolve_borders(
@@ -563,12 +621,13 @@ class BlobStore:
         return nodes
 
     def _run_batches(self, jobs: list) -> list:
-        """Execute the DHT's per-bucket batch jobs, concurrently when the
+        """Execute per-backend batch jobs — the DHT's per-bucket groups and
+        the provider manager's per-provider groups — concurrently when the
         client has a thread pool.
 
-        Passed as ``run_batches`` to the metadata provider so bucket
-        grouping stays inside the DHT (the single owner of placement) while
-        the client only supplies the execution strategy.
+        Passed as ``run_batches`` to the metadata provider and the provider
+        manager so grouping stays inside the component that owns placement
+        while the client only supplies the execution strategy.
         """
         if self._parallel_io > 1 and len(jobs) > 1:
             return list(self._executor().map(lambda job: job(), jobs))
@@ -579,6 +638,31 @@ class BlobStore:
         cached = len(self._node_cache) if self._node_cache is not None else 0
         return self._cache_hits, self._cache_misses, cached
 
+    @staticmethod
+    def _page_request(
+        descriptor: PageDescriptor, page_size: int, offset: int, size: int
+    ) -> tuple[int, tuple[str, str, int, int | None]] | None:
+        """Provider fetch request for the part of a page inside the byte
+        window ``[offset, offset + size)``.
+
+        Returns ``(destination, (provider_id, page_id, page_offset, length))``
+        where ``destination`` is the chunk's position relative to ``offset``,
+        or None when the page lies outside the window.
+        """
+        page_start = descriptor.page_index * page_size
+        page_end = page_start + page_size
+        want_start = max(offset, page_start)
+        want_end = min(offset + size, page_end)
+        if want_end <= want_start:
+            return None
+        fetch = (
+            descriptor.provider_id,
+            descriptor.page_id,
+            want_start - page_start,
+            want_end - want_start,
+        )
+        return want_start - offset, fetch
+
     def _fetch_pages_into(
         self,
         record: BlobRecord,
@@ -586,26 +670,25 @@ class BlobStore:
         buffer: bytearray,
         offset: int,
         size: int,
-    ) -> None:
-        """Fetch the needed byte range of every page into ``buffer``."""
+    ) -> int:
+        """Fetch the needed byte range of every page into ``buffer`` with one
+        batched multi-fetch per provider; return the batch count."""
         page_size = record.page_size
-
-        def fetch(descriptor: PageDescriptor) -> None:
-            page_start = descriptor.page_index * page_size
-            page_end = page_start + page_size
-            want_start = max(offset, page_start)
-            want_end = min(offset + size, page_end)
-            if want_end <= want_start:
-                return
-            provider = self._pm.provider(descriptor.provider_id)
-            chunk = provider.fetch_page(
-                descriptor.page_id,
-                offset=want_start - page_start,
-                length=want_end - want_start,
-            )
-            buffer[want_start - offset:want_start - offset + len(chunk)] = chunk
-
-        self._run_jobs(fetch, descriptors)
+        requests: list[tuple[str, str, int, int | None]] = []
+        destinations: list[int] = []
+        for descriptor in descriptors:
+            request = self._page_request(descriptor, page_size, offset, size)
+            if request is None:
+                continue
+            destination, fetch = request
+            requests.append(fetch)
+            destinations.append(destination)
+        payloads, data_trips = self._pm.multi_fetch(
+            requests, run_batches=self._run_batches
+        )
+        for destination, payload in zip(destinations, payloads):
+            buffer[destination:destination + len(payload)] = payload
+        return data_trips
 
     def _executor(self) -> ThreadPoolExecutor:
         """The client's persistent thread pool, created on first use.
@@ -629,11 +712,3 @@ class BlobStore:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
-
-    def _run_jobs(self, func, jobs) -> None:
-        """Run ``func`` over ``jobs`` sequentially or with the thread pool."""
-        if self._parallel_io > 1 and len(jobs) > 1:
-            list(self._executor().map(func, jobs))
-        else:
-            for job in jobs:
-                func(job)

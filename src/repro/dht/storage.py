@@ -10,7 +10,7 @@ tests.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import MetadataNotFoundError, ProviderUnavailableError
 

@@ -35,7 +35,8 @@ def validate_node_range(offset: int, size: int) -> None:
         raise InvalidRangeError(f"node size must be a positive power of two: {size}")
     if offset < 0 or offset % size != 0:
         raise InvalidRangeError(
-            f"node offset must be a non-negative multiple of its size: ({offset}, {size})"
+            "node offset must be a non-negative multiple of its size: "
+            f"({offset}, {size})"
         )
 
 

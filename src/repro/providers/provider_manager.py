@@ -92,6 +92,129 @@ class ProviderManager:
         with self._lock:
             return [self._providers[pid] for pid in ids]
 
+    # -- batched data I/O ------------------------------------------------------
+    @staticmethod
+    def _run_batches_serial(jobs: list) -> list:
+        return [job() for job in jobs]
+
+    def _dispatch_batches(
+        self, groups: list[tuple[str, list]], call, run_batches
+    ) -> list:
+        """Run ``call(provider, batch)`` once per ``(provider_id, batch)``
+        group via ``run_batches``; outcomes align with ``groups``.
+
+        A job's exception is captured and returned in its slot instead of
+        aborting the dispatch, so every live provider's batch completes
+        before the caller decides how to surface failures.
+        """
+        if run_batches is None:
+            run_batches = self._run_batches_serial
+
+        def make_job(provider_id: str, batch: list):
+            provider = self.provider(provider_id)
+
+            def job():
+                try:
+                    return call(provider, batch)
+                except Exception as error:  # noqa: BLE001 - surfaced by caller
+                    return error
+
+            return job
+
+        return run_batches(
+            [make_job(provider_id, batch) for provider_id, batch in groups]
+        )
+
+    def multi_fetch(
+        self,
+        requests: Sequence[tuple[str, str, int, int | None]],
+        run_batches=None,
+    ) -> tuple[list[bytes], int]:
+        """Fetch a batch of ``(provider_id, page_id, offset, length)``
+        requests, grouped into ONE :meth:`DataProvider.multi_fetch` per
+        provider.
+
+        Returns ``(payloads, round_trips)``: the payloads aligned with
+        ``requests`` and the number of per-provider batches issued — the
+        data-path analogue of a metadata frontier's round-trip count.
+        ``run_batches`` optionally executes the per-provider jobs (zero-arg
+        callables, one per touched provider) concurrently; it must return
+        their results in order.  Grouping stays in the manager (the single
+        owner of the provider directory) either way.  A dead provider fails
+        its whole batch with :class:`~repro.errors.ProviderUnavailableError`
+        after the other providers' batches completed.
+        """
+        if not requests:
+            return [], 0
+        by_provider: dict[str, list[int]] = {}
+        for index, (provider_id, _page_id, _offset, _length) in enumerate(requests):
+            by_provider.setdefault(provider_id, []).append(index)
+        groups = list(by_provider.items())
+        outcomes = self._dispatch_batches(
+            groups,
+            lambda provider, indices: provider.multi_fetch(
+                [requests[index][1:] for index in indices]
+            ),
+            run_batches,
+        )
+        payloads: list[bytes | None] = [None] * len(requests)
+        first_error: Exception | None = None
+        for (_provider_id, indices), outcome in zip(groups, outcomes):
+            if isinstance(outcome, Exception):
+                if first_error is None:
+                    first_error = outcome
+                continue
+            for index, payload in zip(indices, outcome):
+                payloads[index] = payload
+        if first_error is not None:
+            raise first_error
+        return payloads, len(groups)
+
+    def multi_store(
+        self,
+        items: Sequence[tuple[str, str, bytes]],
+        run_batches=None,
+    ) -> int:
+        """Store a batch of ``(provider_id, page_id, payload)`` items, one
+        :meth:`DataProvider.multi_store` per provider; return the number of
+        per-provider batches issued.
+
+        Unlike the replicated DHT, a page has exactly one home, so any dead
+        provider fails the whole call — after the live providers' batches
+        completed, leaving the caller to garbage-collect the pages that did
+        land (see :meth:`repro.core.blob_store.BlobStore._store_payloads`).
+        """
+        return self._multi_store(
+            items, lambda provider, batch: provider.multi_store(batch), run_batches
+        )
+
+    def multi_store_virtual(
+        self,
+        items: Sequence[tuple[str, str, int]],
+        run_batches=None,
+    ) -> int:
+        """Batched counterpart of :meth:`DataProvider.multi_store_virtual`
+        over ``(provider_id, page_id, size)`` items; one batch per provider,
+        returning the batch count (see :meth:`multi_store`)."""
+        return self._multi_store(
+            items,
+            lambda provider, batch: provider.multi_store_virtual(batch),
+            run_batches,
+        )
+
+    def _multi_store(self, items, store, run_batches) -> int:
+        if not items:
+            return 0
+        by_provider: dict[str, list[tuple]] = {}
+        for provider_id, page_id, payload in items:
+            by_provider.setdefault(provider_id, []).append((page_id, payload))
+        groups = list(by_provider.items())
+        outcomes = self._dispatch_batches(groups, store, run_batches)
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+        return len(groups)
+
     # -- introspection -----------------------------------------------------------
     def total_bytes_used(self) -> int:
         return sum(p.bytes_used() for p in self.providers())

@@ -37,6 +37,8 @@ class AppendOutcome:
     #: Batched metadata round trips: one per border-plan frontier plus one
     #: for the batched publish of the new tree nodes.
     metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page store per provider touched.
+    data_round_trips: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -55,6 +57,8 @@ class ReadOutcome:
     metadata_nodes_fetched: int
     #: Batched metadata round trips of the tree traversal (one per frontier).
     metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page fetch per provider touched.
+    data_round_trips: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -96,32 +100,36 @@ class SimClient:
         page_count = nbytes // page_size
         start = sim.now
 
-        # Phase 1: store the pages in parallel on providers chosen by the
-        # provider manager (one allocation request, then parallel pushes).
+        # Phase 1: store the pages on providers chosen by the provider
+        # manager — one allocation request, then ONE batched multi-page push
+        # per provider, all providers in parallel (Algorithm 2, line 4).
         yield from net.small_rpc(
             self.node, dep.pmgr_node, cfg.version_manager_service_time
         )
         provider_ids = dep.provider_manager.allocate(page_count)
-        transfers = []
-        page_ids: list[str] = []
-        for provider_id in provider_ids:
-            page_id = dep.cluster._ids.next_page_id()
-            page_ids.append(page_id)
-            transfers.append(
-                sim.process(
-                    net.push(
-                        self.node,
-                        dep.node_for_provider(provider_id),
-                        page_size,
-                        service_time=cfg.page_service_time,
-                    )
+        page_ids = [dep.cluster._ids.next_page_id() for _ in provider_ids]
+        by_provider: dict[str, list[str]] = {}
+        for page_id, provider_id in zip(page_ids, provider_ids):
+            by_provider.setdefault(provider_id, []).append(page_id)
+        transfers = [
+            sim.process(
+                net.multi_push(
+                    self.node,
+                    dep.node_for_provider(provider_id),
+                    page_size * len(batch_page_ids),
+                    count=len(batch_page_ids),
+                    item_service_time=cfg.page_service_time,
                 )
             )
+            for provider_id, batch_page_ids in by_provider.items()
+        ]
         yield sim.all_of([process.event for process in transfers])
-        for page_id, provider_id in zip(page_ids, provider_ids):
-            dep.provider_manager.provider(provider_id).store_virtual_page(
-                page_id, page_size
-            )
+        data_round_trips = dep.provider_manager.multi_store_virtual(
+            [
+                (provider_id, page_id, page_size)
+                for page_id, provider_id in zip(page_ids, provider_ids)
+            ]
+        )
 
         # Phase 2: obtain the snapshot version (and the border hints).
         yield from net.small_rpc(
@@ -193,6 +201,7 @@ class SimClient:
             metadata_nodes_written=build.node_count,
             border_nodes_fetched=spec.nodes_fetched,
             metadata_round_trips=spec.round_trips + 1,
+            data_round_trips=data_round_trips,
         )
 
     # -------------------------------------------------------------------- READ
@@ -230,18 +239,26 @@ class SimClient:
         plan = read_plan(version, span, page_offset, page_count)
         plan_result = yield from self._drive_plan_timed(record, plan)
 
-        fetches = []
+        # Fetch the pages with ONE batched multi-page request per provider,
+        # all providers in parallel — the data-path counterpart of the
+        # batched metadata frontiers above.
+        by_provider: dict[str, list[int]] = {}
         for descriptor in plan_result.descriptors:
-            fetches.append(
-                sim.process(
-                    net.fetch(
-                        self.node,
-                        dep.node_for_provider(descriptor.provider_id),
-                        min(descriptor.length, page_size),
-                        service_time=cfg.rpc_overhead + cfg.page_service_time,
-                    )
+            by_provider.setdefault(descriptor.provider_id, []).append(
+                min(descriptor.length, page_size)
+            )
+        fetches = [
+            sim.process(
+                net.multi_fetch(
+                    self.node,
+                    dep.node_for_provider(provider_id),
+                    sum(lengths),
+                    count=len(lengths),
+                    item_service_time=cfg.page_service_time,
                 )
             )
+            for provider_id, lengths in by_provider.items()
+        ]
         yield sim.all_of([process.event for process in fetches])
 
         return ReadOutcome(
@@ -251,6 +268,7 @@ class SimClient:
             pages_fetched=len(plan_result.descriptors),
             metadata_nodes_fetched=plan_result.nodes_fetched,
             metadata_round_trips=plan_result.round_trips,
+            data_round_trips=len(by_provider),
         )
 
     # --------------------------------------------------------------- internals

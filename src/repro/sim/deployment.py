@@ -168,16 +168,15 @@ class SimDeployment:
         record = vm.get_record(blob_id)
         page_size = record.page_size
         if nbytes <= 0 or nbytes % page_size != 0:
-            raise ValueError("untimed appends must be a positive multiple of the page size")
+            raise ValueError(
+                "untimed appends must be a positive multiple of the page size"
+            )
         page_count = nbytes // page_size
         provider_ids = self.provider_manager.allocate(page_count)
         ticket = vm.register_update(blob_id, nbytes, is_append=True)
         descriptors = []
         for index, provider_id in enumerate(provider_ids):
             page_id = self.cluster._ids.next_page_id()
-            self.provider_manager.provider(provider_id).store_virtual_page(
-                page_id, page_size
-            )
             descriptors.append(
                 PageDescriptor(
                     page_index=ticket.page_offset + index,
@@ -186,6 +185,12 @@ class SimDeployment:
                     length=page_size,
                 )
             )
+        self.provider_manager.multi_store_virtual(
+            [
+                (descriptor.provider_id, descriptor.page_id, page_size)
+                for descriptor in descriptors
+            ]
+        )
         needed, dangling = border_targets(
             ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
         )

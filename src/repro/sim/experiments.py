@@ -31,6 +31,10 @@ class AppendSample:
     elapsed: float
     metadata_nodes_written: int
     border_nodes_fetched: int
+    #: Batched round trips of this append: one multi-page store per provider
+    #: touched, and one metadata trip per border frontier + publish.
+    data_round_trips: int = 0
+    metadata_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,11 @@ class ReadConcurrencySample:
     min_bandwidth_mbps: float
     aggregate_bandwidth_mbps: float
     avg_metadata_nodes_fetched: float
+    #: Batched round trips per READ, averaged over the readers: one
+    #: multi-page fetch per provider touched / one metadata trip per
+    #: frontier of the tree traversal.
+    avg_data_round_trips: float = 0.0
+    avg_metadata_round_trips: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,8 @@ def run_append_growth_experiment(
                 elapsed=outcome.elapsed,
                 metadata_nodes_written=outcome.metadata_nodes_written,
                 border_nodes_fetched=outcome.border_nodes_fetched,
+                data_round_trips=outcome.data_round_trips,
+                metadata_round_trips=outcome.metadata_round_trips,
             )
         )
     return samples
@@ -154,7 +165,8 @@ def run_read_concurrency_experiment(
             raise RuntimeError("a simulated reader did not finish")
         bandwidths = [outcome.bandwidth / MiB for outcome in outcomes]
         total_elapsed = max(outcome.elapsed for outcome in outcomes)
-        aggregate = sum(outcome.bytes_read for outcome in outcomes) / total_elapsed / MiB
+        total_bytes = sum(outcome.bytes_read for outcome in outcomes)
+        aggregate = total_bytes / total_elapsed / MiB
         samples.append(
             ReadConcurrencySample(
                 readers=readers,
@@ -165,6 +177,14 @@ def run_read_concurrency_experiment(
                 aggregate_bandwidth_mbps=aggregate,
                 avg_metadata_nodes_fetched=(
                     sum(outcome.metadata_nodes_fetched for outcome in outcomes)
+                    / len(outcomes)
+                ),
+                avg_data_round_trips=(
+                    sum(outcome.data_round_trips for outcome in outcomes)
+                    / len(outcomes)
+                ),
+                avg_metadata_round_trips=(
+                    sum(outcome.metadata_round_trips for outcome in outcomes)
                     / len(outcomes)
                 ),
             )

@@ -93,6 +93,94 @@ class Network:
         yield self._sim.timeout(config.latency)
         yield requester.rx.use(serialization)
 
+    def multi_push(
+        self,
+        src: SimNode,
+        dst: SimNode,
+        nbytes: int,
+        count: int,
+        item_service_time: float = 0.0,
+        batch_overhead: float | None = None,
+    ) -> Generator[Event, object, None]:
+        """Send a batch of ``count`` items totalling ``nbytes`` as ONE
+        request (e.g. storing all pages an update places on one provider).
+
+        The round-trip saving of batching: the sender pays one small request
+        framing (``metadata_rpc_overhead``) per batch and the serving
+        provider pays ``batch_overhead`` — its fixed per-request software
+        cost, default ``rpc_overhead`` — once per batch instead of once per
+        item.  The payload itself is *streamed*: each item occupies the
+        sender's ``tx`` for its marshalling plus serialization share and is
+        then delivered — its ``rx`` occupancy overlapping the next item's
+        ``tx`` — so batches pipeline through the NICs exactly like the
+        individual transfers they replace, and concurrent flows still
+        interleave per item.
+        """
+        if count <= 0:
+            return
+        config = self._config
+        if batch_overhead is None:
+            batch_overhead = config.rpc_overhead
+        item_serialization = nbytes / count / config.nic_bandwidth
+        self.bytes_moved += nbytes
+        yield src.tx.use(config.metadata_rpc_overhead)
+        deliveries = []
+        for index in range(count):
+            yield src.tx.use(config.page_marshalling_time + item_serialization)
+            service = item_service_time + (batch_overhead if index == 0 else 0.0)
+            deliveries.append(
+                self._sim.process(
+                    self._deliver(dst.rx, item_serialization + service)
+                )
+            )
+        yield self._sim.all_of([process.event for process in deliveries])
+
+    def multi_fetch(
+        self,
+        requester: SimNode,
+        server: SimNode,
+        nbytes: int,
+        count: int,
+        item_service_time: float = 0.0,
+        batch_overhead: float | None = None,
+    ) -> Generator[Event, object, None]:
+        """Request a batch of ``count`` items totalling ``nbytes`` with ONE
+        exchange (e.g. fetching all pages of a READ held by one provider).
+
+        Like :meth:`multi_push`, the fixed costs are per batch — one request
+        framing at the requester, ``batch_overhead`` (the serving endpoint's
+        fixed per-request software cost, default ``rpc_overhead``) once at
+        the server — while each item still pays its marshalling, service and
+        serialization share at the server's ``tx`` and streams into the
+        requester's ``rx`` while the server serializes the next item.
+        """
+        if count <= 0:
+            return
+        config = self._config
+        if batch_overhead is None:
+            batch_overhead = config.rpc_overhead
+        item_serialization = nbytes / count / config.nic_bandwidth
+        self.bytes_moved += nbytes
+        yield requester.tx.use(config.metadata_rpc_overhead)
+        yield self._sim.timeout(config.latency)
+        deliveries = []
+        for index in range(count):
+            service = (
+                item_service_time
+                + config.page_marshalling_time
+                + (batch_overhead if index == 0 else 0.0)
+            )
+            yield server.tx.use(service + item_serialization)
+            deliveries.append(
+                self._sim.process(self._deliver(requester.rx, item_serialization))
+            )
+        yield self._sim.all_of([process.event for process in deliveries])
+
+    def _deliver(self, pipe: Pipe, duration: float) -> Generator[Event, object, None]:
+        """One streamed batch item: one-way latency, then pipe occupancy."""
+        yield self._sim.timeout(self._config.latency)
+        yield pipe.use(duration)
+
     def small_rpc(
         self,
         src: SimNode,

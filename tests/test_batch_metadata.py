@@ -17,7 +17,6 @@ import math
 import pytest
 
 from repro import BlobStore, Cluster
-from repro.config import BlobSeerConfig
 from repro.dht.dht import DHT
 from repro.dht.storage import BucketStore
 from repro.errors import MetadataNotFoundError, ProviderUnavailableError

@@ -3,7 +3,7 @@ in-process cluster: the paper's primitives end to end."""
 
 import pytest
 
-from repro import BlobStore, Cluster
+from repro import BlobStore
 from repro.errors import (
     InvalidRangeError,
     UnknownBlobError,
@@ -62,7 +62,8 @@ class TestAppend:
         for chunk in chunks:
             version = store.append(blob_id, chunk)
         store.sync(blob_id, version)
-        assert store.read(blob_id, version, 0, sum(map(len, chunks))) == b"".join(chunks)
+        total = sum(map(len, chunks))
+        assert store.read(blob_id, version, 0, total) == b"".join(chunks)
 
     def test_empty_append_rejected(self, store, blob_id):
         with pytest.raises(InvalidRangeError):
@@ -152,7 +153,8 @@ class TestRead:
         store.sync(blob_id, version)
         for offset, size in [(0, 1), (PAGE - 1, 2), (3 * PAGE + 7, 4 * PAGE),
                              (9 * PAGE, PAGE), (0, 10 * PAGE)]:
-            assert store.read(blob_id, version, offset, size) == payload[offset:offset + size]
+            assert store.read(blob_id, version, offset, size) == \
+                payload[offset:offset + size]
 
     def test_read_zero_bytes(self, store, blob_id):
         version = store.append(blob_id, b"abc")

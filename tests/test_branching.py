@@ -107,6 +107,7 @@ class TestNestedBranches:
             version = store.write(current, patch, offset)
             store.sync(current, version)
             expected[offset:offset + 32] = patch
-        assert store.read(current, store.get_recent(current), 0, len(expected)) == bytes(
+        recent = store.get_recent(current)
+        assert store.read(current, recent, 0, len(expected)) == bytes(
             expected
         )

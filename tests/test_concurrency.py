@@ -10,8 +10,6 @@ metadata (the border-node hand-off).
 import random
 import threading
 
-import pytest
-
 from repro import BlobStore, Cluster
 
 from .conftest import TEST_PAGE_SIZE, make_payload

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro import Blob, BlobStore
-from repro.core.io import AppendWriter, SnapshotReader
+from repro.core.io import AppendWriter
 from repro.errors import InvalidRangeError
 
 from .conftest import TEST_PAGE_SIZE, make_payload

@@ -68,14 +68,18 @@ class TestMetadataFailuresAndReplication:
         version = store.append(blob_id, make_payload(32 * PAGE))
         store.sync(blob_id, version)
         # Kill the bucket holding the root node of the latest version.
-        loaded = [b for b, count in cluster.metadata_load_distribution().items() if count]
+        loaded = [
+            b for b, count in cluster.metadata_load_distribution().items() if count
+        ]
         cluster.kill_metadata_bucket(loaded[0])
         with pytest.raises(ProviderUnavailableError):
             store.read(blob_id, version, 0, 32 * PAGE)
         cluster.revive_metadata_bucket(loaded[0])
         assert len(store.read(blob_id, version, 0, 32 * PAGE)) == 32 * PAGE
 
-    def test_replicated_metadata_survives_single_bucket_failure(self, replicated_cluster):
+    def test_replicated_metadata_survives_single_bucket_failure(
+        self, replicated_cluster
+    ):
         store = BlobStore(replicated_cluster)
         blob_id = store.create()
         payload = make_payload(24 * PAGE, seed=5)

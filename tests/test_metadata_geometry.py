@@ -19,7 +19,8 @@ from repro.util.ranges import intersects
 
 class TestPagesAndSpan:
     @pytest.mark.parametrize(
-        "size,page,expected", [(0, 64, 0), (1, 64, 1), (64, 64, 1), (65, 64, 2), (640, 64, 10)]
+        "size,page,expected",
+        [(0, 64, 0), (1, 64, 1), (64, 64, 1), (65, 64, 2), (640, 64, 10)],
     )
     def test_pages_for_size(self, size, page, expected):
         assert pages_for_size(size, page) == expected
@@ -28,7 +29,9 @@ class TestPagesAndSpan:
         with pytest.raises(InvalidRangeError):
             pages_for_size(-1, 64)
 
-    @pytest.mark.parametrize("pages,expected", [(0, 0), (1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024)])
+    @pytest.mark.parametrize(
+        "pages,expected", [(0, 0), (1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024)]
+    )
     def test_span_for_pages(self, pages, expected):
         assert span_for_pages(pages) == expected
 

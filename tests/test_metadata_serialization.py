@@ -20,7 +20,9 @@ from repro.metadata.serialization import (
 from .conftest import TEST_PAGE_SIZE, make_payload
 
 identifiers = st.text(
-    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="-_"),
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Nd"), whitelist_characters="-_"
+    ),
     min_size=1,
     max_size=40,
 )

@@ -116,7 +116,9 @@ class TestAlternativeStrategyDeployments:
         store.append(blob_id, payload)
         version = store.write(blob_id, make_payload(2 * PAGE, seed=12), 4 * PAGE)
         store.sync(blob_id, version)
-        expected = payload[:4 * PAGE] + make_payload(2 * PAGE, seed=12) + payload[6 * PAGE:]
+        expected = (
+            payload[:4 * PAGE] + make_payload(2 * PAGE, seed=12) + payload[6 * PAGE:]
+        )
         assert store.read(blob_id, version, 0, len(payload)) == expected
         loads = cluster.metadata_load_distribution()
         assert sum(loads.values()) == cluster.metadata_node_count()

@@ -121,7 +121,9 @@ def test_append_stream_equals_concatenation(chunks):
 @given(
     base_size=st.integers(1, 6 * PAGE),
     overwrites=st.lists(
-        st.tuples(st.integers(0, 6 * PAGE), st.integers(1, 2 * PAGE), st.integers(0, 255)),
+        st.tuples(
+            st.integers(0, 6 * PAGE), st.integers(1, 2 * PAGE), st.integers(0, 255)
+        ),
         max_size=6,
     ),
 )

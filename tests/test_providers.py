@@ -103,7 +103,8 @@ class TestAllocationStrategies:
     def test_factory(self):
         assert isinstance(make_allocation_strategy("round_robin"), RoundRobinAllocation)
         assert isinstance(make_allocation_strategy("random"), RandomAllocation)
-        assert isinstance(make_allocation_strategy("least_loaded"), LeastLoadedAllocation)
+        strategy = make_allocation_strategy("least_loaded")
+        assert isinstance(strategy, LeastLoadedAllocation)
         with pytest.raises(ValueError):
             make_allocation_strategy("psychic")
 

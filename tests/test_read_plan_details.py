@@ -11,7 +11,9 @@ def full_tree(version: int, span: int, page_size: int = 64):
     """Build a complete in-memory tree of ``span`` leaves for one version."""
     nodes = {}
     for page in range(span):
-        nodes[(page, 1)] = LeafNode(f"v{version}-p{page}", f"data-{page % 3}", page_size)
+        nodes[(page, 1)] = LeafNode(
+            f"v{version}-p{page}", f"data-{page % 3}", page_size
+        )
     size = 2
     while size <= span:
         for offset in range(0, span, size):
@@ -23,7 +25,9 @@ def full_tree(version: int, span: int, page_size: int = 64):
 class TestReadPlanTraversal:
     def test_single_leaf_tree(self):
         nodes = full_tree(1, 1)
-        result = drive_plan(read_plan(1, 1, 0, 1), lambda ref: nodes[(ref.offset, ref.size)])
+        result = drive_plan(
+            read_plan(1, 1, 0, 1), lambda ref: nodes[(ref.offset, ref.size)]
+        )
         assert [d.page_id for d in result.descriptors] == ["v1-p0"]
         assert result.nodes_fetched == 1
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import AllOf, Event, Pipe, Simulator
+from repro.sim.engine import AllOf, Pipe, Simulator
 
 
 class TestEvents:
@@ -137,7 +137,9 @@ class TestPipe:
         for duration in (2.0, 3.0, 1.0):
             sim.process(user(duration))
         sim.run()
-        assert completions == [pytest.approx(2.0), pytest.approx(5.0), pytest.approx(6.0)]
+        assert completions == [
+            pytest.approx(2.0), pytest.approx(5.0), pytest.approx(6.0),
+        ]
 
     def test_busy_time_and_utilization(self):
         sim = Simulator()

@@ -30,7 +30,9 @@ class TestVersionManifest:
         version = store.write(blob_id, make_payload(PAGE, seed=2), 2 * PAGE)
         store.sync(blob_id, version)
         first = {d.page_index: d.page_id for d in version_manifest(cluster, blob_id, 1)}
-        second = {d.page_index: d.page_id for d in version_manifest(cluster, blob_id, 2)}
+        second = {
+            d.page_index: d.page_id for d in version_manifest(cluster, blob_id, 2)
+        }
         assert first[0] == second[0] and first[1] == second[1] and first[3] == second[3]
         assert first[2] != second[2]
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import BlobStore
 from repro.errors import ConcurrencyError, UnknownBlobError
 from repro.tools.gc import collect_garbage
 from repro.tools.report import cluster_report

@@ -27,7 +27,10 @@ class TestCeilDiv:
     def test_zero_numerator(self):
         assert ceil_div(0, 4) == 0
 
-    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=10**6),
+    )
     def test_matches_float_ceiling(self, a, b):
         assert ceil_div(a, b) == (a + b - 1) // b
 
@@ -108,7 +111,11 @@ class TestCoveringPageRange:
         with pytest.raises(InvalidRangeError):
             covering_page_range(-1, 10, 64)
 
-    @given(st.integers(0, 10**6), st.integers(1, 10**5), st.sampled_from([16, 64, 256, 4096]))
+    @given(
+        st.integers(0, 10**6),
+        st.integers(1, 10**5),
+        st.sampled_from([16, 64, 256, 4096]),
+    )
     def test_covers_the_byte_range(self, offset, size, page):
         first, count = covering_page_range(offset, size, page)
         assert first * page <= offset

@@ -104,7 +104,9 @@ class TestVersionAssignmentUnderContention:
             with lock:
                 results.append(True)
 
-        waiters = [threading.Thread(target=waiter, args=(index,)) for index in range(10)]
+        waiters = [
+            threading.Thread(target=waiter, args=(index,)) for index in range(10)
+        ]
         for thread in waiters:
             thread.start()
         for ticket in reversed(tickets):

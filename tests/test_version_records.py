@@ -1,6 +1,11 @@
 """Unit tests for UpdateTicket geometry and BlobRecord lineage resolution."""
 
-from repro.version.records import BlobRecord, InFlightUpdate, UpdateTicket, resolve_owner
+from repro.version.records import (
+    BlobRecord,
+    InFlightUpdate,
+    UpdateTicket,
+    resolve_owner,
+)
 
 
 class TestUpdateTicketGeometry:
