@@ -37,20 +37,29 @@ _MATCH_KEYS = {
     "fig2b": ("readers",),
 }
 
-#: Metrics where bigger is better (gate on drops).
+#: Metrics where bigger is better (gate on drops).  The ``warm_*`` and
+#: cache-hit-rate metrics gate the shared metadata cache: a regression that
+#: stops warm repeated reads from being served by the cache shows up as a
+#: hit-rate or warm-bandwidth drop.
 _HIGHER_IS_BETTER = (
     "avg_bandwidth_mbps",
     "min_bandwidth_mbps",
     "aggregate_mbps",
     "bandwidth_mbps",
+    "warm_avg_bandwidth_mbps",
+    "cache_hit_rate",
+    "warm_cache_hit_rate",
 )
 
 #: Metrics where smaller is better (gate on growth): round-trip and
-#: node-count counters.
+#: node-count counters.  ``warm_meta_nodes_per_read`` must stay ~0 — warm
+#: traversals fetching nodes from the DHT again is a cache regression.
 _LOWER_IS_BETTER = (
     "meta_nodes_per_read",
     "meta_trips_per_read",
     "data_trips_per_read",
+    "warm_meta_nodes_per_read",
+    "warm_meta_trips_per_read",
     "metadata_nodes",
     "border_fetches",
     "data_trips",

@@ -26,7 +26,11 @@ def cluster():
 
 @pytest.fixture
 def store(cluster):
-    return BlobStore(cluster)
+    # Cold cache: these series track the *uncached* hot paths (metadata
+    # traversal included) over time; a warm shared cache would reduce the
+    # read benchmarks to cache-hit microbenchmarks and break continuity
+    # with the pre-cache numbers.
+    return BlobStore(cluster, cache_metadata=False)
 
 
 def test_append_latency(benchmark, store):

@@ -15,6 +15,8 @@ Package layout:
 
 * :mod:`repro.core` — client API (CREATE/WRITE/APPEND/READ/SYNC/BRANCH) and
   in-process cluster wiring.
+* :mod:`repro.cache` — the shared, sharded, LRU-bounded cache for immutable
+  metadata tree nodes that every client reads through.
 * :mod:`repro.metadata` — the distributed segment tree (the paper's core
   contribution).
 * :mod:`repro.version` — version manager (total order, publication, SYNC).
@@ -26,6 +28,7 @@ Package layout:
 * :mod:`repro.bench` — harnesses regenerating the paper's figures.
 """
 
+from .cache import CacheStats, NodeCache, shared_node_cache
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
 from .core import Blob, BlobStore, Cluster
 from .errors import (
@@ -42,7 +45,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Blob",
     "BlobStore",
+    "CacheStats",
     "Cluster",
+    "NodeCache",
+    "shared_node_cache",
     "BlobSeerConfig",
     "SimConfig",
     "GRID5000_PROFILE",

@@ -14,6 +14,8 @@ its text:
                 manager's "even distribution of pages" goal, Section 3.1).
 * ABL-dht     — metadata key placement (static modulo vs. consistent
                 hashing) and the resulting load spread over DHT buckets.
+* ABL-cache   — the shared metadata node cache: warm-read hit rates, DHT
+                traffic saved, and LRU entry/byte budget enforcement.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from ..baselines.centralized import (
     run_centralized_read_experiment,
 )
 from ..baselines.fullcopy import FullCopyVersionedStore
+from ..cache import NodeCache
 from ..config import BlobSeerConfig, KiB, MiB
 from ..core.blob_store import BlobStore
 from ..core.cluster import Cluster
@@ -279,13 +282,16 @@ def run_ablation_page_size(scale: str = "small") -> ExperimentResult:
             blob_bytes=io_bytes * 4,
             chunk_bytes=io_bytes,
             reader_counts=[1],
+            measure_warm=True,
         )
         result.add(
             page_size_kib=page_size // KiB,
             append_mbps=append_samples[-1].bandwidth_mbps,
             read_mbps=read_samples[0].avg_bandwidth_mbps,
+            warm_read_mbps=read_samples[0].warm_avg_bandwidth_mbps,
             metadata_nodes_per_append=append_samples[-1].metadata_nodes_written,
             metadata_nodes_per_read=read_samples[0].avg_metadata_nodes_fetched,
+            warm_cache_hit_rate=read_samples[0].warm_avg_cache_hit_rate,
         )
     result.note(
         "larger pages amortize per-request overhead (higher bandwidth) at the "
@@ -455,5 +461,105 @@ def run_ablation_mixed_workload(scale: str = "small") -> ExperimentResult:
     result.note(
         "readers keep a large fraction of their writer-free bandwidth; every "
         "concurrent append is published (versions_published = writers x appends)"
+    )
+    return result
+
+
+# -------------------------------------------------------------------- ABL-cache
+#: (page_size, pages, windows) per scale: the blob holds ``pages`` pages and
+#: is read in ``windows`` equal windows per pass.
+_CACHE_PRESETS = {
+    "small": (4 * KiB, 256, 8),
+    "default": (16 * KiB, 1024, 16),
+    "paper": (64 * KiB, 4096, 32),
+}
+
+
+def run_ablation_cache(scale: str = "small") -> ExperimentResult:
+    """The shared metadata node cache: hit rates, DHT traffic, LRU budgets.
+
+    The same read workload (two full passes over the blob, window by
+    window) runs against three cache regimes on one threaded cluster:
+
+    * ``uncached`` — every traversal pays the full DHT cost (the pre-cache
+      baseline);
+    * ``roomy``    — the budget fits the whole tree, so the second pass is
+      served entirely from the cache;
+    * ``tight``    — the budget holds only a quarter of the tree, forcing
+      LRU evictions while occupancy must stay within the byte budget.
+    """
+    check_scale(scale)
+    page_size, pages, windows = _CACHE_PRESETS[scale]
+    result = ExperimentResult(
+        "ABL-cache",
+        "Shared metadata cache: DHT traffic and hit rate per regime, "
+        "LRU budget enforcement",
+    )
+
+    cluster = Cluster.in_memory(
+        num_data_providers=8, num_metadata_providers=8, page_size=page_size
+    )
+    writer = BlobStore(cluster, cache_metadata=False)
+    blob_id = writer.create()
+    append_pages = max(1, pages // 8)
+    appended = 0
+    while appended < pages:
+        chunk = min(append_pages, pages - appended)
+        version = writer.append(blob_id, b"c" * (chunk * page_size))
+        appended += chunk
+    writer.sync(blob_id, version)
+    total_bytes = pages * page_size
+    window_bytes = total_bytes // windows
+
+    # Size the bounded regimes from the measured tree: the roomy cache fits
+    # every node, the tight one holds only a quarter of them.
+    total_nodes = cluster.metadata_node_count()
+    regimes = [
+        ("uncached", None),
+        ("roomy", NodeCache(max_entries=4 * total_nodes, shards=4)),
+        ("tight", NodeCache(max_entries=max(8, total_nodes // 4), shards=4)),
+    ]
+    for regime, cache in regimes:
+        store = BlobStore(
+            cluster,
+            cache_metadata=cache is not None,
+            node_cache=cache,
+        )
+        for pass_index in ("cold", "warm"):
+            gets_before = cluster.dht.stats().gets
+            nodes_fetched = hits = 0
+            for window in range(windows):
+                _, stats = store.read_ex(
+                    blob_id, version, window * window_bytes, window_bytes
+                )
+                nodes_fetched += stats.metadata_nodes_fetched
+                hits += stats.metadata_cache_hits
+            lookups = nodes_fetched + hits
+            cache_stats = store.cache_stats()
+            result.add(
+                regime=regime,
+                read_pass=pass_index,
+                meta_nodes_per_read=nodes_fetched / windows,
+                cache_hit_rate=hits / lookups if lookups else 0.0,
+                dht_gets=cluster.dht.stats().gets - gets_before,
+                cache_entries=cache_stats.entries,
+                cache_bytes=cache_stats.bytes,
+                budget_entries=cache.max_entries if cache is not None else 0,
+                evictions=cache_stats.evictions,
+                within_budget=(
+                    cache is None
+                    or (
+                        cache_stats.entries <= cache.max_entries
+                        and cache_stats.bytes <= cache.max_bytes
+                    )
+                ),
+            )
+    result.note(
+        f"one blob of {pages} pages ({total_nodes} tree nodes), read twice in "
+        f"{windows} windows per regime; the tight regime must evict but stay "
+        "within its entry/byte budgets"
+    )
+    result.note(
+        "roomy warm pass: dht_gets == 0 — repeated reads never touch the DHT"
     )
     return result

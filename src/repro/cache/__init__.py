@@ -1,0 +1,27 @@
+"""Client-side caching of immutable metadata (see :mod:`repro.cache.node_cache`)."""
+
+from .node_cache import (
+    CacheStats,
+    CacheTally,
+    NodeCache,
+    complete_frontier,
+    next_cache_namespace,
+    node_weight,
+    reset_shared_node_cache,
+    set_shared_node_cache,
+    shared_node_cache,
+    split_frontier,
+)
+
+__all__ = [
+    "CacheStats",
+    "CacheTally",
+    "NodeCache",
+    "complete_frontier",
+    "next_cache_namespace",
+    "node_weight",
+    "reset_shared_node_cache",
+    "set_shared_node_cache",
+    "shared_node_cache",
+    "split_frontier",
+]

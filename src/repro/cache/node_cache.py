@@ -1,0 +1,438 @@
+"""A sharded, thread-safe, LRU-bounded cache for immutable metadata nodes.
+
+The paper's total-order versioning makes every published tree node
+*immutable*: a ``(blob, version, offset, size)`` key is written exactly once
+and never changes afterwards (Section 4.1).  That is what makes aggressive
+client-side caching safe — a cached node can never be stale — and what this
+module turns into an architectural layer instead of the ad-hoc per-client
+``dict`` it used to be:
+
+* **Sharded.**  Keys are striped over ``shards`` independent segments, each
+  with its own lock, ordered map and counters, so concurrent readers on
+  different shards never contend — the same striping idea the DHT uses for
+  its buckets.  The batched :meth:`NodeCache.get_many` /
+  :meth:`NodeCache.put_many` take each touched shard's lock once per batch,
+  mirroring the DHT multi-op discipline.
+* **LRU-bounded.**  Every shard enforces its slice of the global entry and
+  byte budgets; inserting past a budget evicts the shard's least recently
+  used entries.  Budgets are split evenly, so the cache as a whole never
+  exceeds ``max_entries`` entries or ``max_bytes`` estimated bytes.
+* **Shared.**  :func:`shared_node_cache` returns the process-wide default
+  instance that every :class:`~repro.core.cluster.Cluster` (with default
+  cache configuration) hands to its clients, so all ``BlobStore`` instances
+  of a process warm one another.  Keys are namespaced per cluster (see
+  :attr:`repro.core.cluster.Cluster.cache_namespace`) so two in-process
+  deployments can never serve each other's nodes.
+
+Byte accounting uses a deterministic *estimate* of an entry's footprint
+(key strings + a fixed per-entry overhead + the node payload), not
+``sys.getsizeof`` traversal — cheap, stable across interpreter versions,
+and close enough to steer eviction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..config import (
+    DEFAULT_METADATA_CACHE_BYTES,
+    DEFAULT_METADATA_CACHE_ENTRIES,
+    DEFAULT_METADATA_CACHE_SHARDS,
+)
+from ..errors import ConfigurationError
+from ..metadata.node import LeafNode, NodeKey
+
+#: Estimated fixed footprint of one cache entry (map slot, key tuple,
+#: bookkeeping) in bytes, on top of the key strings and the node itself.
+ENTRY_OVERHEAD = 96
+#: Smallest byte budget a single shard is allowed to manage — below roughly
+#: one entry's worth of bytes a shard would evict everything it inserts.
+MIN_SHARD_BYTES = 512
+#: Estimated footprint of an inner node (two optional child versions).
+INNER_NODE_WEIGHT = 48
+#: Estimated fixed footprint of a leaf node, excluding its id strings.
+LEAF_NODE_WEIGHT = 72
+
+
+def node_weight(key: Hashable, node: object) -> int:
+    """Deterministic byte-footprint estimate of one cache entry."""
+    weight = ENTRY_OVERHEAD + _key_weight(key)
+    if isinstance(node, LeafNode):
+        weight += LEAF_NODE_WEIGHT + len(node.page_id) + len(node.provider_id)
+    else:
+        weight += INNER_NODE_WEIGHT
+    return weight
+
+
+def _key_weight(key: Hashable) -> int:
+    if isinstance(key, str):
+        return len(key)
+    if isinstance(key, NodeKey):
+        return len(key.blob_id) + 24
+    if isinstance(key, tuple):
+        return sum(_key_weight(part) for part in key)
+    return 8
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Structured cache counters (replaces the old positional 3-tuple).
+
+    ``hits``/``misses``/``evictions`` are lifetime counters of the cache the
+    stats were read from; ``entries``/``bytes`` are its current occupancy.
+    When attached to a per-operation result (``ReadStats.cache``,
+    ``WriteResult.cache``), ``hits``/``misses`` are that operation's exact
+    deltas (counted by the operation itself) while ``entries``/``bytes``/
+    ``evictions`` snapshot the — possibly shared — cache right after the
+    operation.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    bytes: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing was looked up."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """The legacy positional ``(hits, misses, entries)`` shape."""
+        return (self.hits, self.misses, self.entries)
+
+
+@dataclass
+class CacheTally:
+    """Per-operation accumulator threaded through frontier resolution.
+
+    The threaded client and the simulator both use it to report, per READ or
+    WRITE: how many node lookups the cache served (``hits``), how many nodes
+    actually travelled from the DHT (``fetched`` — the misses, or everything
+    when caching is off), and how many frontiers needed a DHT round trip
+    (``trips`` — an all-hit frontier is free).
+    """
+
+    hits: int = 0
+    fetched: int = 0
+    trips: int = 0
+
+    @property
+    def nodes_resolved(self) -> int:
+        return self.hits + self.fetched
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.nodes_resolved
+        return self.hits / total if total else 0.0
+
+
+class _Shard:
+    """One lock-striped segment of the cache."""
+
+    __slots__ = (
+        "lock", "entries", "bytes", "max_entries", "max_bytes",
+        "hits", "misses", "evictions",
+    )
+
+    def __init__(self, max_entries: int, max_bytes: int):
+        self.lock = threading.Lock()
+        #: key -> (node, weight); insertion/refresh order is LRU order.
+        self.entries: OrderedDict[Hashable, tuple[object, int]] = OrderedDict()
+        self.bytes = 0
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, keys: Sequence[Hashable], out: list, indices: Sequence[int]) -> None:
+        """Resolve ``keys`` into ``out`` at ``indices`` under one lock."""
+        with self.lock:
+            for key, index in zip(keys, indices):
+                entry = self.entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                else:
+                    self.entries.move_to_end(key)
+                    self.hits += 1
+                    out[index] = entry[0]
+
+    def insert(self, items: Iterable[tuple[Hashable, object]]) -> None:
+        """Insert ``items`` under one lock, evicting LRU past the budgets."""
+        with self.lock:
+            for key, node in items:
+                existing = self.entries.get(key)
+                if existing is not None:
+                    # Nodes are immutable: same key means same value, so a
+                    # re-insert is just a recency refresh.
+                    self.entries.move_to_end(key)
+                    continue
+                weight = node_weight(key, node)
+                self.entries[key] = (node, weight)
+                self.bytes += weight
+                while self.entries and (
+                    len(self.entries) > self.max_entries
+                    or self.bytes > self.max_bytes
+                ):
+                    _evicted_key, (_node, evicted_weight) = self.entries.popitem(
+                        last=False
+                    )
+                    self.bytes -= evicted_weight
+                    self.evictions += 1
+
+    def discard(self, key: Hashable) -> bool:
+        with self.lock:
+            entry = self.entries.pop(key, None)
+            if entry is None:
+                return False
+            self.bytes -= entry[1]
+            return True
+
+    def clear(self) -> None:
+        with self.lock:
+            self.entries.clear()
+            self.bytes = 0
+
+
+class NodeCache:
+    """Process-wide sharded LRU cache for immutable metadata tree nodes.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached nodes across all shards.
+    max_bytes:
+        Maximum estimated footprint in bytes across all shards (see
+        :func:`node_weight`).
+    shards:
+        Number of lock-striped segments.  Budgets are split evenly across
+        shards, so each shard holds at most ``max_entries // shards``
+        entries — the cache as a whole never exceeds the global budgets.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_METADATA_CACHE_ENTRIES,
+        max_bytes: int = DEFAULT_METADATA_CACHE_BYTES,
+        shards: int = DEFAULT_METADATA_CACHE_SHARDS,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        if max_bytes < MIN_SHARD_BYTES:
+            # A budget that cannot hold even one node entry would evict
+            # every insert immediately — caching silently off while looking
+            # on.  Surface the misconfiguration instead.
+            raise ConfigurationError(
+                f"max_bytes must be >= {MIN_SHARD_BYTES} "
+                "(smaller budgets cannot hold a single tree node)"
+            )
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        # Budgets are split evenly, so cap the stripe count at what the
+        # budgets can feed: every shard must be able to hold at least one
+        # typical entry.
+        shards = min(shards, max_entries, max(1, max_bytes // MIN_SHARD_BYTES))
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._shards = [
+            _Shard(
+                max(1, max_entries // shards),
+                max(MIN_SHARD_BYTES, max_bytes // shards),
+            )
+            for _ in range(shards)
+        ]
+
+    # -- placement -----------------------------------------------------------
+    def _shard_for(self, key: Hashable) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    # -- single-key operations ----------------------------------------------
+    def get(self, key: Hashable) -> object | None:
+        """Return the cached node for ``key`` (refreshing recency) or None."""
+        out: list[object | None] = [None]
+        self._shard_for(key).lookup([key], out, [0])
+        return out[0]
+
+    def put(self, key: Hashable, node: object) -> None:
+        """Insert one node, evicting LRU entries past the shard budget."""
+        self._shard_for(key).insert([(key, node)])
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry (used by GC after it deletes nodes from the DHT)."""
+        return self._shard_for(key).discard(key)
+
+    # -- batched operations --------------------------------------------------
+    def get_many(self, keys: Sequence[Hashable]) -> list[object | None]:
+        """Resolve a batch of keys, one lock acquisition per touched shard.
+
+        Returns values aligned with ``keys`` (None for misses) — the
+        cache-side half of the frontier protocol: the caller sends only the
+        None slots to the DHT multi-get.
+        """
+        out: list[object | None] = [None] * len(keys)
+        by_shard: dict[int, tuple[list[Hashable], list[int]]] = {}
+        for index, key in enumerate(keys):
+            slot = hash(key) % len(self._shards)
+            shard_keys, shard_indices = by_shard.setdefault(slot, ([], []))
+            shard_keys.append(key)
+            shard_indices.append(index)
+        for slot, (shard_keys, shard_indices) in by_shard.items():
+            self._shards[slot].lookup(shard_keys, out, shard_indices)
+        return out
+
+    def put_many(self, items: Sequence[tuple[Hashable, object]]) -> None:
+        """Insert a batch, one lock acquisition per touched shard."""
+        by_shard: dict[int, list[tuple[Hashable, object]]] = {}
+        for key, node in items:
+            by_shard.setdefault(hash(key) % len(self._shards), []).append(
+                (key, node)
+            )
+        for slot, shard_items in by_shard.items():
+            self._shards[slot].insert(shard_items)
+
+    # -- maintenance / introspection -----------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they are lifetime totals)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters and occupancy across all shards."""
+        hits = misses = entries = total_bytes = evictions = 0
+        for shard in self._shards:
+            with shard.lock:
+                hits += shard.hits
+                misses += shard.misses
+                entries += len(shard.entries)
+                total_bytes += shard.bytes
+                evictions += shard.evictions
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            entries=entries,
+            bytes=total_bytes,
+            evictions=evictions,
+        )
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def bytes_used(self) -> int:
+        return sum(shard.bytes for shard in self._shards)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeCache(entries={len(self)}/{self._max_entries}, "
+            f"bytes={self.bytes_used()}/{self._max_bytes}, "
+            f"shards={len(self._shards)})"
+        )
+
+
+def split_frontier(
+    cache: NodeCache | None,
+    cache_keys: Sequence[Hashable],
+    tally: CacheTally | None = None,
+) -> tuple[list[object | None], list[int]]:
+    """Serve one frontier of lookups from ``cache``.
+
+    Returns ``(values, miss_indices)``: ``values`` aligned with
+    ``cache_keys`` (None for misses), ``miss_indices`` the positions the
+    caller must fetch from the DHT.  Hits are tallied.  With ``cache=None``
+    everything is a miss — the caller's uncached path needs no branching.
+    """
+    if cache is None:
+        return [None] * len(cache_keys), list(range(len(cache_keys)))
+    values = cache.get_many(cache_keys)
+    miss_indices = [index for index, value in enumerate(values) if value is None]
+    if tally is not None:
+        tally.hits += len(cache_keys) - len(miss_indices)
+    return values, miss_indices
+
+
+def complete_frontier(
+    cache: NodeCache | None,
+    cache_keys: Sequence[Hashable],
+    miss_indices: Sequence[int],
+    fetched: Sequence[object],
+    values: list[object | None],
+    tally: CacheTally | None = None,
+) -> None:
+    """Fold DHT-fetched nodes back into a :func:`split_frontier` result:
+    fill the miss slots of ``values``, write the nodes through to ``cache``,
+    and tally the fetch as one round trip."""
+    if cache is not None:
+        cache.put_many(
+            [
+                (cache_keys[index], node)
+                for index, node in zip(miss_indices, fetched)
+            ]
+        )
+    for index, node in zip(miss_indices, fetched):
+        values[index] = node
+    if tally is not None:
+        tally.fetched += len(miss_indices)
+        tally.trips += 1
+
+
+# -- the process-wide default instance ---------------------------------------
+_shared_lock = threading.Lock()
+_shared_cache: NodeCache | None = None
+
+#: Monotonic source of cache namespaces (one per Cluster) so deployments
+#: sharing the process-wide cache can never collide on blob ids.
+_namespace_counter = itertools.count(1)
+
+
+def next_cache_namespace(prefix: str = "ns") -> str:
+    """Return a process-unique namespace token for cache keys."""
+    return f"{prefix}-{next(_namespace_counter):06d}"
+
+
+def shared_node_cache() -> NodeCache:
+    """The process-wide default :class:`NodeCache`, created on first use."""
+    global _shared_cache
+    if _shared_cache is None:
+        with _shared_lock:
+            if _shared_cache is None:
+                _shared_cache = NodeCache()
+    return _shared_cache
+
+
+def set_shared_node_cache(cache: NodeCache | None) -> NodeCache | None:
+    """Replace the process-wide default cache.
+
+    Returns the previous instance — None when none had been created yet, so
+    ``set_shared_node_cache(set_shared_node_cache(mine))`` always restores
+    the prior state (passing None restores create-on-first-use).
+    """
+    global _shared_cache
+    with _shared_lock:
+        previous = _shared_cache
+        _shared_cache = cache
+    return previous
+
+
+def reset_shared_node_cache() -> None:
+    """Forget the process-wide default cache (tests use this for isolation)."""
+    global _shared_cache
+    with _shared_lock:
+        _shared_cache = None

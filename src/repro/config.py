@@ -23,6 +23,14 @@ GiB = 1024 * MiB
 #: Default page size used by the paper's experiments (64 KiB).
 DEFAULT_PAGE_SIZE = 64 * KiB
 
+#: Defaults of the client-side metadata node cache (see :mod:`repro.cache`).
+#: Tree nodes are immutable, so the cache never invalidates; the budgets only
+#: bound memory.  128Ki entries ≈ the full tree of a 64 Ki-page blob; 64 MiB
+#: comfortably holds that at the ~150-byte estimated per-entry footprint.
+DEFAULT_METADATA_CACHE_ENTRIES = 128 * 1024
+DEFAULT_METADATA_CACHE_BYTES = 64 * MiB
+DEFAULT_METADATA_CACHE_SHARDS = 8
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -67,6 +75,12 @@ class BlobSeerConfig:
         When True, metadata tree nodes are serialized to their wire format
         (see :mod:`repro.metadata.serialization`) before being stored in the
         DHT, as a networked deployment would ship them.
+    metadata_cache_entries / metadata_cache_bytes / metadata_cache_shards:
+        Budgets of the client-side LRU cache for immutable metadata tree
+        nodes (:class:`repro.cache.NodeCache`).  A cluster whose knobs equal
+        the process defaults joins the process-wide shared cache
+        (:func:`repro.cache.shared_node_cache`); custom budgets give the
+        cluster a dedicated instance.
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
@@ -78,6 +92,9 @@ class BlobSeerConfig:
     update_timeout: float | None = None
     verify_checksums: bool = False
     encode_metadata: bool = False
+    metadata_cache_entries: int = DEFAULT_METADATA_CACHE_ENTRIES
+    metadata_cache_bytes: int = DEFAULT_METADATA_CACHE_BYTES
+    metadata_cache_shards: int = DEFAULT_METADATA_CACHE_SHARDS
 
     def __post_init__(self) -> None:
         _require(is_power_of_two(self.page_size),
@@ -95,6 +112,21 @@ class BlobSeerConfig:
                  f"unknown dht strategy {self.dht_strategy!r}")
         if self.update_timeout is not None:
             _require(self.update_timeout > 0, "update_timeout must be > 0")
+        _require(self.metadata_cache_entries >= 1,
+                 "metadata_cache_entries must be >= 1")
+        _require(self.metadata_cache_bytes >= 1,
+                 "metadata_cache_bytes must be >= 1")
+        _require(self.metadata_cache_shards >= 1,
+                 "metadata_cache_shards must be >= 1")
+
+    @property
+    def uses_default_cache_budgets(self) -> bool:
+        """True when the cache knobs equal the process-wide defaults."""
+        return (
+            self.metadata_cache_entries == DEFAULT_METADATA_CACHE_ENTRIES
+            and self.metadata_cache_bytes == DEFAULT_METADATA_CACHE_BYTES
+            and self.metadata_cache_shards == DEFAULT_METADATA_CACHE_SHARDS
+        )
 
 
 @dataclass(frozen=True)

@@ -24,18 +24,38 @@ Metadata I/O is *frontier-parallel*: the sans-IO planners
 :class:`~repro.metadata.node.Frontier` of independent node fetches per tree
 level, and the store resolves each frontier with one batched DHT multi-get
 (grouped by bucket, one bucket-lock acquisition per batch; concurrent bucket
-groups go through the ``parallel_io`` thread pool).  Client-side cache hits
-are served without ever entering the batch.  Likewise, an update publishes
-all of its new tree nodes in one batched multi-put — Algorithm 4 line 34's
-"in parallel", for real.  Metadata round trips per READ/WRITE are therefore
-O(tree depth) = O(log pages), not O(nodes touched); the ``*_ex`` stats
-report both ``metadata_nodes_fetched`` (unchanged by batching) and
-``metadata_round_trips``.
+groups go through the ``parallel_io`` thread pool).  Likewise, an update
+publishes all of its new tree nodes in one batched multi-put — Algorithm 4
+line 34's "in parallel", for real.  Metadata round trips per READ/WRITE are
+therefore O(tree depth) = O(log pages), not O(nodes touched); the ``*_ex``
+stats report both ``metadata_nodes_fetched`` (nodes that actually travelled
+from the DHT) and ``metadata_round_trips``.
+
+Metadata caching is a *shared subsystem*, not per-client state: published
+tree nodes are immutable (the paper's total-order versioning), so every
+``BlobStore`` on a :class:`Cluster` reads and writes one sharded,
+LRU-bounded :class:`~repro.cache.NodeCache` (by default the process-wide
+instance of :func:`repro.cache.shared_node_cache`, namespaced per cluster).
+Frontier resolution filters cached keys *before* the DHT multi-get — a hit
+never enters the batch, a frontier of pure hits costs zero round trips —
+and an update writes its new nodes through to the cache at publish time, so
+a writer's own subsequent reads are warm.  Warm repeated reads of a
+snapshot therefore fetch ~0 nodes from the DHT; the per-operation cache
+deltas are reported as a structured :class:`~repro.cache.CacheStats` on
+``ReadStats.cache`` / ``WriteResult.cache`` and cache-wide totals via
+:meth:`BlobStore.cache_stats`.
+
+Data I/O assembles pages *zero-copy*: a READ allocates one writable result
+buffer and hands each batched page fetch a ``memoryview`` slice of it, so
+provider bytes land directly at their final offset
+(:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch_into`)
+instead of materializing per-chunk ``bytes`` that are concatenated later.
 
 Data I/O is *provider-parallel* the same way: the page descriptors of a READ
 (or the payloads of a WRITE) are grouped by data provider and each provider
-receives ONE batched ``multi_fetch``/``multi_store`` request carrying all of
-its pages (:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch`),
+receives ONE batched ``multi_fetch_into``/``multi_store`` request carrying
+all of its pages
+(:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch_into`),
 the per-provider sub-batches going through the same ``parallel_io`` thread
 pool.  Data round trips per READ/WRITE are therefore O(providers touched),
 not O(pages) — the striping across providers the paper's WRITE algorithm
@@ -47,9 +67,17 @@ concurrency story are measurable.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..cache import (
+    CacheStats,
+    CacheTally,
+    NodeCache,
+    complete_frontier,
+    split_frontier,
+)
 from ..errors import InvalidRangeError, VersionNotPublishedError
 from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
@@ -73,15 +101,25 @@ class WriteResult:
     bytes_written: int
     pages_written: int
     metadata_nodes_written: int
+    #: Border nodes that actually travelled from the DHT during border
+    #: resolution; nodes served by the shared cache are counted in
+    #: ``metadata_cache_hits`` instead.
     border_nodes_fetched: int
-    #: Batched metadata round trips: one per border-plan frontier plus one
-    #: for the batched publish of the new tree nodes.
+    #: Batched metadata round trips: one per border-plan frontier that had
+    #: at least one cache miss, plus one for the batched publish of the new
+    #: tree nodes.  A fully cached border resolution costs just the publish.
     metadata_round_trips: int = 0
     #: Batched data round trips: one multi-page store per provider touched
     #: (plus one multi-page fetch per provider supplying boundary bytes for
     #: an unaligned write) — compare ``pages_written``, which counts
     #: individual pages and is unchanged by batching.
     data_round_trips: int = 0
+    #: Border-node lookups served by the shared metadata cache.
+    metadata_cache_hits: int = 0
+    #: This update's exact hit/miss counts plus an occupancy snapshot of
+    #: the (possibly shared) cache right after it; None when caching is
+    #: disabled.
+    cache: CacheStats | None = None
 
 
 @dataclass(frozen=True)
@@ -91,15 +129,25 @@ class ReadStats:
     version: int
     bytes_read: int
     pages_fetched: int
+    #: Tree nodes that actually travelled from the DHT; lookups served by
+    #: the shared cache are counted in ``metadata_cache_hits`` instead, so
+    #: a warm repeated read reports ~0 here.
     metadata_nodes_fetched: int
-    #: Batched metadata round trips of the tree traversal: one per frontier,
-    #: i.e. O(log pages) — compare ``metadata_nodes_fetched``, which counts
-    #: individual nodes and is unchanged by batching.
+    #: Batched metadata round trips of the tree traversal: one per frontier
+    #: with at least one cache miss, i.e. at most O(log pages) — and zero
+    #: for a fully cached traversal.  Compare ``metadata_nodes_fetched``,
+    #: which counts individual nodes and is unchanged by batching.
     metadata_round_trips: int = 0
     #: Batched data round trips: one multi-page fetch per provider touched,
     #: i.e. O(providers), not O(pages) — compare ``pages_fetched``, which
     #: counts individual pages and is unchanged by batching.
     data_round_trips: int = 0
+    #: Tree-node lookups served by the shared metadata cache.
+    metadata_cache_hits: int = 0
+    #: This read's exact hit/miss counts plus an occupancy snapshot of the
+    #: (possibly shared) cache right after it; None when caching is
+    #: disabled.
+    cache: CacheStats | None = None
 
 
 class BlobStore:
@@ -122,10 +170,17 @@ class BlobStore:
         default fills boundaries from the most recently *published* snapshot,
         which matches the paper's lock-free spirit.
     cache_metadata:
-        When True, fetched metadata tree nodes are cached client-side.
-        Nodes are immutable once written (the paper's key design choice), so
-        the cache never needs invalidation; repeated reads of overlapping
-        ranges or nearby versions skip most DHT round trips.
+        When True (the default), fetched metadata tree nodes are cached in
+        the cluster's shared :class:`~repro.cache.NodeCache`.  Nodes are
+        immutable once written (the paper's key design choice), so the
+        cache never needs invalidation; it is LRU-bounded by the cluster
+        config's ``metadata_cache_*`` budgets, and all stores on a cluster
+        warm one another.  Pass False for cold-cache determinism (exact
+        trip-count assertions, failure-injection tests).
+    node_cache:
+        Override the cache instance (a private cold
+        :class:`~repro.cache.NodeCache` isolates tests from the shared
+        one).  Ignored when ``cache_metadata`` is False.
     """
 
     def __init__(
@@ -133,7 +188,8 @@ class BlobStore:
         cluster: Cluster,
         parallel_io: int = 0,
         strict_unaligned: bool = False,
-        cache_metadata: bool = False,
+        cache_metadata: bool = True,
+        node_cache: NodeCache | None = None,
     ):
         self._cluster = cluster
         self._vm = cluster.version_manager
@@ -143,11 +199,15 @@ class BlobStore:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._strict_unaligned = strict_unaligned
-        self._node_cache: dict[NodeKey, TreeNode] | None = (
-            {} if cache_metadata else None
+        self._cache: NodeCache | None = (
+            (node_cache if node_cache is not None else cluster.node_cache)
+            if cache_metadata
+            else None
         )
-        self._cache_hits = 0
-        self._cache_misses = 0
+        if self._cache is not None:
+            # GC invalidation must reach override caches too, not just the
+            # cluster's shared one.
+            cluster.register_node_cache(self._cache)
 
     # ------------------------------------------------------------------ CREATE
     def create(self, page_size: int | None = None) -> str:
@@ -236,8 +296,9 @@ class BlobStore:
         page_size = record.page_size
         page_offset, page_count = covering_page_range(offset, size, page_size)
         span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        tally = CacheTally()
         plan_result = self._run_read_plan(
-            record, version, span, page_offset, page_count
+            record, version, span, page_offset, page_count, tally
         )
 
         buffer = bytearray(size)
@@ -247,9 +308,11 @@ class BlobStore:
             version=version,
             bytes_read=size,
             pages_fetched=len(descriptors),
-            metadata_nodes_fetched=plan_result.nodes_fetched,
-            metadata_round_trips=plan_result.round_trips,
+            metadata_nodes_fetched=tally.fetched,
+            metadata_round_trips=tally.trips,
             data_round_trips=data_trips,
+            metadata_cache_hits=tally.hits,
+            cache=self._operation_cache_stats(tally),
         )
         return bytes(buffer), stats
 
@@ -444,23 +507,27 @@ class BlobStore:
         )
         descriptors = plan_result.sorted_descriptors()
         buffers = [bytearray(byte_size) for _byte_offset, byte_size in byte_ranges]
-        requests: list[tuple[str, str, int, int | None]] = []
-        placements: list[tuple[int, int]] = []
+        requests: list[tuple[str, str, int, memoryview]] = []
         for index, (byte_offset, byte_size) in enumerate(byte_ranges):
+            view = memoryview(buffers[index])
             for descriptor in descriptors:
                 request = self._page_request(
                     descriptor, page_size, byte_offset, byte_size
                 )
                 if request is None:
                     continue
-                destination, fetch = request
-                requests.append(fetch)
-                placements.append((index, destination))
-        payloads, data_trips = self._pm.multi_fetch(
+                destination, (provider_id, page_id, page_offset, length) = request
+                requests.append(
+                    (
+                        provider_id,
+                        page_id,
+                        page_offset,
+                        view[destination:destination + length],
+                    )
+                )
+        data_trips = self._pm.multi_fetch_into(
             requests, run_batches=self._run_batches
         )
-        for (index, destination), payload in zip(placements, payloads):
-            buffers[index][destination:destination + len(payload)] = payload
         return [bytes(buffer) for buffer in buffers], data_trips
 
     def _store_pages(
@@ -525,7 +592,8 @@ class BlobStore:
         needed, dangling = border_targets(
             ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
         )
-        spec = self._resolve_borders(record, ticket, needed, dangling)
+        tally = CacheTally()
+        spec = self._resolve_borders(record, ticket, needed, dangling, tally)
         build = build_nodes(
             ticket.version,
             ticket.page_offset,
@@ -539,15 +607,21 @@ class BlobStore:
             for ref, node in build.nodes
         ]
         self._meta.put_nodes(items, run_batches=self._run_batches)
+        # Write-through: published nodes are immutable from this moment on,
+        # so caching them at publish time makes the writer's own subsequent
+        # reads (and every other store on this cluster) warm.
+        self._cache_put_items(items)
         self._vm.complete_update(record.blob_id, ticket.version)
         return WriteResult(
             version=ticket.version,
             bytes_written=ticket.byte_size,
             pages_written=len(descriptors),
             metadata_nodes_written=len(items),
-            border_nodes_fetched=spec.nodes_fetched,
-            metadata_round_trips=spec.round_trips + 1,  # + the batched publish
+            border_nodes_fetched=tally.fetched,
+            metadata_round_trips=tally.trips + 1,  # + the batched publish
             data_round_trips=data_round_trips,
+            metadata_cache_hits=tally.hits,
+            cache=self._operation_cache_stats(tally),
         )
 
     def _resolve_borders(
@@ -556,6 +630,7 @@ class BlobStore:
         ticket: UpdateTicket,
         needed: list[tuple[int, int]],
         dangling: list[tuple[int, int]],
+        tally: CacheTally | None = None,
     ) -> BorderSpec:
         plan = border_plan(
             needed,
@@ -565,7 +640,7 @@ class BlobStore:
             ticket.inflight_tuples(),
         )
         return drive_plan(
-            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
+            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs, tally)
         )
 
     def _run_read_plan(
@@ -575,50 +650,70 @@ class BlobStore:
         span: int,
         page_offset: int,
         page_count: int,
+        tally: CacheTally | None = None,
     ) -> ReadPlanResult:
         plan = read_plan(version, span, page_offset, page_count)
         return drive_plan(
-            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
+            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs, tally)
         )
 
-    def _fetch_node(self, record: BlobRecord, ref: NodeRef) -> TreeNode:
-        """Fetch one tree node (a one-element frontier)."""
-        return self._fetch_frontier(record, [ref])[0]
-
     def _fetch_frontier(
-        self, record: BlobRecord, refs: list[NodeRef]
+        self,
+        record: BlobRecord,
+        refs: list[NodeRef],
+        tally: CacheTally | None = None,
     ) -> list[TreeNode]:
         """Resolve one frontier of node fetches, branch lineage included.
 
-        When client-side caching is enabled, cached nodes are served locally
-        and never enter the batch (tree nodes are immutable, so a cached
-        copy is always valid); only the misses go to the DHT, in one
-        bucket-grouped multi-get.
+        Cached keys are filtered out *before* the DHT multi-get: a hit is
+        served from the shared :class:`~repro.cache.NodeCache` and never
+        enters the batch (tree nodes are immutable, so a cached copy is
+        always valid), and a frontier of pure hits costs zero round trips.
+        The misses travel in one bucket-grouped multi-get and are inserted
+        into the cache on the way back.
         """
-        nodes: list[TreeNode | None] = [None] * len(refs)
-        miss_indices: list[int] = []
-        miss_keys: list[NodeKey] = []
-        for index, ref in enumerate(refs):
-            owner = resolve_owner(record, ref.version)
-            key = NodeKey(owner, ref.version, ref.offset, ref.size)
-            if self._node_cache is not None:
-                cached = self._node_cache.get(key)
-                if cached is not None:
-                    self._cache_hits += 1
-                    nodes[index] = cached
-                    continue
-                self._cache_misses += 1
-            miss_indices.append(index)
-            miss_keys.append(key)
-        if miss_keys:
-            fetched = self._meta.get_nodes(
-                miss_keys, run_batches=self._run_batches
+        keys = [
+            NodeKey(
+                resolve_owner(record, ref.version), ref.version, ref.offset, ref.size
             )
-            for index, key, node in zip(miss_indices, miss_keys, fetched):
-                nodes[index] = node
-                if self._node_cache is not None:
-                    self._node_cache[key] = node
+            for ref in refs
+        ]
+        cache_keys = [self._cluster.node_cache_key(key) for key in keys]
+        nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
+        if miss_indices:
+            fetched = self._meta.get_nodes(
+                [keys[index] for index in miss_indices],
+                run_batches=self._run_batches,
+            )
+            complete_frontier(
+                self._cache, cache_keys, miss_indices, fetched, nodes, tally
+            )
         return nodes
+
+    # ----------------------------------------------------------- cache plumbing
+    def _cache_put_items(self, items: list[tuple[NodeKey, TreeNode]]) -> None:
+        if self._cache is not None:
+            self._cache.put_many(
+                [
+                    (self._cluster.node_cache_key(key), node)
+                    for key, node in items
+                ]
+            )
+
+    def _operation_cache_stats(self, tally: CacheTally) -> CacheStats | None:
+        """Per-operation :class:`CacheStats`: this operation's exact hit and
+        miss counts (from its tally — correct even when other threads share
+        the cache) plus one occupancy snapshot taken right after it."""
+        if self._cache is None:
+            return None
+        now = self._cache.stats()
+        return CacheStats(
+            hits=tally.hits,
+            misses=tally.fetched,
+            entries=now.entries,
+            bytes=now.bytes,
+            evictions=now.evictions,
+        )
 
     def _run_batches(self, jobs: list) -> list:
         """Execute per-backend batch jobs — the DHT's per-bucket groups and
@@ -633,21 +728,44 @@ class BlobStore:
             return list(self._executor().map(lambda job: job(), jobs))
         return [job() for job in jobs]
 
+    def cache_stats(self) -> CacheStats:
+        """Lifetime counters and occupancy of the metadata node cache.
+
+        The cache is shared — by default across every store of this
+        cluster, and (with default budgets) across all clusters of the
+        process — so the numbers are cache-wide, not per-store.  Per-read
+        and per-write deltas live on ``ReadStats.cache`` /
+        ``WriteResult.cache``.  An uncached store reports all zeros.
+        """
+        return self._cache.stats() if self._cache is not None else CacheStats()
+
     def metadata_cache_stats(self) -> tuple[int, int, int]:
-        """Return ``(hits, misses, cached_nodes)`` of the client node cache."""
-        cached = len(self._node_cache) if self._node_cache is not None else 0
-        return self._cache_hits, self._cache_misses, cached
+        """Deprecated positional ``(hits, misses, cached_nodes)`` shim.
+
+        Use :meth:`cache_stats`, which returns the structured
+        :class:`~repro.cache.CacheStats`.  This shim will be removed one
+        release after the cache subsystem landed.
+        """
+        warnings.warn(
+            "BlobStore.metadata_cache_stats() is deprecated; use "
+            "BlobStore.cache_stats() which returns a CacheStats dataclass",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cache_stats().as_tuple()
 
     @staticmethod
     def _page_request(
         descriptor: PageDescriptor, page_size: int, offset: int, size: int
-    ) -> tuple[int, tuple[str, str, int, int | None]] | None:
+    ) -> tuple[int, tuple[str, str, int, int]] | None:
         """Provider fetch request for the part of a page inside the byte
         window ``[offset, offset + size)``.
 
         Returns ``(destination, (provider_id, page_id, page_offset, length))``
         where ``destination`` is the chunk's position relative to ``offset``,
-        or None when the page lies outside the window.
+        or None when the page lies outside the window.  ``length`` is always
+        a concrete byte count — the zero-copy callers slice their result
+        buffer with it.
         """
         page_start = descriptor.page_index * page_size
         page_end = page_start + page_size
@@ -672,23 +790,28 @@ class BlobStore:
         size: int,
     ) -> int:
         """Fetch the needed byte range of every page into ``buffer`` with one
-        batched multi-fetch per provider; return the batch count."""
+        batched multi-fetch per provider; return the batch count.
+
+        Zero-copy assembly: each request carries a writable ``memoryview``
+        slice of the (single) result buffer, so providers deposit page bytes
+        directly at their final destination instead of materializing
+        per-chunk ``bytes`` objects that get copied a second time.  The
+        slices are disjoint, so concurrent per-provider batches on the
+        ``parallel_io`` pool never overlap.
+        """
         page_size = record.page_size
-        requests: list[tuple[str, str, int, int | None]] = []
-        destinations: list[int] = []
+        view = memoryview(buffer)
+        requests: list[tuple[str, str, int, memoryview]] = []
         for descriptor in descriptors:
             request = self._page_request(descriptor, page_size, offset, size)
             if request is None:
                 continue
-            destination, fetch = request
-            requests.append(fetch)
-            destinations.append(destination)
-        payloads, data_trips = self._pm.multi_fetch(
-            requests, run_batches=self._run_batches
-        )
-        for destination, payload in zip(destinations, payloads):
-            buffer[destination:destination + len(payload)] = payload
-        return data_trips
+            destination, (provider_id, page_id, page_offset, length) = request
+            requests.append(
+                (provider_id, page_id, page_offset,
+                 view[destination:destination + length])
+            )
+        return self._pm.multi_fetch_into(requests, run_batches=self._run_batches)
 
     def _executor(self) -> ThreadPoolExecutor:
         """The client's persistent thread pool, created on first use.

@@ -11,8 +11,10 @@ use :mod:`repro.sim` instead.)
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Callable
 
+from ..cache import NodeCache, next_cache_namespace, shared_node_cache
 from ..config import BlobSeerConfig
 from ..dht.dht import DHT
 from ..metadata.metadata_provider import MetadataProvider
@@ -32,10 +34,32 @@ class Cluster:
         config: BlobSeerConfig | None = None,
         page_store_factory: Callable[[str], PageStore] | None = None,
         seed: int | None = None,
+        node_cache: NodeCache | None = None,
     ):
         self.config = config if config is not None else BlobSeerConfig()
         self._ids = IdGenerator("bs")
         factory = page_store_factory or (lambda _provider_id: InMemoryPageStore())
+
+        # Every BlobStore on this cluster shares one metadata node cache:
+        # the process-wide instance when the config keeps the default
+        # budgets, a dedicated one otherwise (or whatever was injected).
+        # Cache keys are namespaced per cluster so in-process deployments
+        # sharing the process-wide cache can never serve each other's nodes
+        # (different clusters generate identical blob ids).
+        if node_cache is not None:
+            self.node_cache = node_cache
+        elif self.config.uses_default_cache_budgets:
+            self.node_cache = shared_node_cache()
+        else:
+            self.node_cache = NodeCache(
+                max_entries=self.config.metadata_cache_entries,
+                max_bytes=self.config.metadata_cache_bytes,
+                shards=self.config.metadata_cache_shards,
+            )
+        self.cache_namespace = next_cache_namespace("cluster")
+        # Per-store override caches (tests, ablations) register here so GC
+        # can invalidate them too; weak refs keep dropped stores collectable.
+        self._override_caches: weakref.WeakSet[NodeCache] = weakref.WeakSet()
 
         strategy = make_allocation_strategy(
             self.config.allocation_strategy,
@@ -97,6 +121,30 @@ class Cluster:
 
     def revive_metadata_bucket(self, bucket_id: str) -> None:
         self.dht.revive_bucket(bucket_id)
+
+    # -- metadata cache ---------------------------------------------------------
+    def node_cache_key(self, key) -> tuple:
+        """Namespace a :class:`~repro.metadata.node.NodeKey` for the cache.
+
+        All cache traffic of this cluster — the clients' frontier lookups,
+        write-through inserts at publish time, GC invalidation — goes
+        through this mapping, so one process-wide cache can serve many
+        in-process clusters without key collisions.
+        """
+        return (self.cache_namespace, key)
+
+    def register_node_cache(self, cache: NodeCache) -> None:
+        """Track a per-store override cache so GC invalidation reaches it."""
+        if cache is not self.node_cache:
+            self._override_caches.add(cache)
+
+    def discard_cached_node(self, key) -> None:
+        """Drop one node from the cluster cache AND every override cache —
+        called by GC for each node it deletes from the DHT."""
+        cache_key = self.node_cache_key(key)
+        self.node_cache.discard(cache_key)
+        for cache in self._override_caches:
+            cache.discard(cache_key)
 
     # -- introspection ----------------------------------------------------------
     def storage_bytes_used(self) -> int:

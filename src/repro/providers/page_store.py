@@ -47,6 +47,19 @@ class PageStore(ABC):
         :class:`PageNotFoundError` for unknown ids.
         """
 
+    def get_into(self, page_id: str, offset: int, out: memoryview) -> int:
+        """Copy up to ``len(out)`` bytes of a page starting at ``offset``
+        directly into the writable ``out`` view; return the bytes written.
+
+        This is the zero-copy read path: backends that can, write straight
+        into the caller's result buffer instead of materializing an
+        intermediate ``bytes`` chunk.  The default falls back to
+        :meth:`get` plus one copy, so custom stores keep working unchanged.
+        """
+        data = self.get(page_id, offset, len(out))
+        out[:len(data)] = data
+        return len(data)
+
     @abstractmethod
     def contains(self, page_id: str) -> bool:
         """Return True when the page is stored here."""
@@ -99,6 +112,17 @@ class InMemoryPageStore(PageStore):
             raise PageNotFoundError(page_id)
         end = len(data) if length is None else offset + length
         return data[offset:end]
+
+    def get_into(self, page_id: str, offset: int, out: memoryview) -> int:
+        with self._lock:
+            data = self._pages.get(page_id)
+        if data is None:
+            raise PageNotFoundError(page_id)
+        end = min(offset + len(out), len(data))
+        count = max(end - offset, 0)
+        # One copy, source page -> destination slice; no intermediate bytes.
+        out[:count] = memoryview(data)[offset:end]
+        return count
 
     def contains(self, page_id: str) -> bool:
         with self._lock:
@@ -178,6 +202,16 @@ class FilePageStore(PageStore):
             if length is None:
                 return handle.read()
             return handle.read(length)
+
+    def get_into(self, page_id: str, offset: int, out: memoryview) -> int:
+        path = self._path(page_id)
+        with self._lock:
+            known = page_id in self._info
+        if not known or not os.path.exists(path):
+            raise PageNotFoundError(page_id)
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.readinto(out)
 
     def contains(self, page_id: str) -> bool:
         with self._lock:

@@ -143,6 +143,12 @@ class ProviderManager:
         owner of the provider directory) either way.  A dead provider fails
         its whole batch with :class:`~repro.errors.ProviderUnavailableError`
         after the other providers' batches completed.
+
+        The hot read path uses the zero-copy :meth:`multi_fetch_into`
+        instead; this bytes-returning variant serves callers that cannot
+        pre-size a destination (``length=None`` reads to the end of a
+        page).  Keep the two variants' grouping and failure semantics in
+        sync.
         """
         if not requests:
             return [], 0
@@ -169,6 +175,38 @@ class ProviderManager:
         if first_error is not None:
             raise first_error
         return payloads, len(groups)
+
+    def multi_fetch_into(
+        self,
+        requests: Sequence[tuple[str, str, int, memoryview]],
+        run_batches=None,
+    ) -> int:
+        """Zero-copy variant of :meth:`multi_fetch`: each
+        ``(provider_id, page_id, offset, out)`` request carries a writable
+        ``memoryview`` and the provider deposits the page bytes directly
+        into it (:meth:`DataProvider.multi_fetch_into`) — no per-chunk
+        ``bytes`` objects, no second copy at assembly time.
+
+        Returns the number of per-provider batches issued.  Grouping,
+        ``run_batches`` execution and failure semantics match
+        :meth:`multi_fetch`; the destination views must be disjoint when
+        ``run_batches`` executes batches concurrently.
+        """
+        if not requests:
+            return 0
+        by_provider: dict[str, list[tuple[str, int, memoryview]]] = {}
+        for provider_id, page_id, offset, out in requests:
+            by_provider.setdefault(provider_id, []).append((page_id, offset, out))
+        groups = list(by_provider.items())
+        outcomes = self._dispatch_batches(
+            groups,
+            lambda provider, batch: provider.multi_fetch_into(batch),
+            run_batches,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+        return len(groups)
 
     def multi_store(
         self,

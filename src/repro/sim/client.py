@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Generator
 
+from ..cache import CacheTally, complete_frontier, split_frontier
 from ..errors import InvalidRangeError, VersionNotPublishedError
 from ..metadata.build import border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
@@ -33,12 +34,16 @@ class AppendOutcome:
     elapsed: float
     pages_written: int
     metadata_nodes_written: int
+    #: Border nodes that actually travelled from the DHT (cache hits are
+    #: counted in ``metadata_cache_hits`` and skip the NIC pipes).
     border_nodes_fetched: int
-    #: Batched metadata round trips: one per border-plan frontier plus one
-    #: for the batched publish of the new tree nodes.
+    #: Batched metadata round trips: one per border-plan frontier with at
+    #: least one cache miss, plus one for the batched publish.
     metadata_round_trips: int = 0
     #: Batched data round trips: one multi-page store per provider touched.
     data_round_trips: int = 0
+    #: Border-node lookups served by the client machine's metadata cache.
+    metadata_cache_hits: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -54,16 +59,28 @@ class ReadOutcome:
     bytes_read: int
     elapsed: float
     pages_fetched: int
+    #: Tree nodes that actually travelled from the DHT; cache hits are
+    #: counted in ``metadata_cache_hits`` and skip the NIC pipes, so a warm
+    #: repeated read reports ~0 here.
     metadata_nodes_fetched: int
-    #: Batched metadata round trips of the tree traversal (one per frontier).
+    #: Batched metadata round trips of the traversal: one per frontier with
+    #: at least one cache miss (zero for a fully cached traversal).
     metadata_round_trips: int = 0
     #: Batched data round trips: one multi-page fetch per provider touched.
     data_round_trips: int = 0
+    #: Tree-node lookups served by the client machine's metadata cache.
+    metadata_cache_hits: int = 0
 
     @property
     def bandwidth(self) -> float:
         """Achieved bandwidth in bytes/second."""
         return self.bytes_read / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over all node lookups of this read's traversal."""
+        total = self.metadata_cache_hits + self.metadata_nodes_fetched
+        return self.metadata_cache_hits / total if total else 0.0
 
 
 class SimClient:
@@ -73,6 +90,9 @@ class SimClient:
         self._dep = deployment
         self.index = index
         self.node = deployment.client_node(index)
+        # The machine-wide metadata cache: co-located clients share it, and
+        # it survives reset_timing (it is client state, not NIC state).
+        self._node_cache = deployment.node_cache_for(self.node)
 
     # ------------------------------------------------------------------ APPEND
     def append_process(
@@ -157,7 +177,7 @@ class SimClient:
             ticket.published_num_pages,
             ticket.inflight_tuples(),
         )
-        spec = yield from self._drive_plan_timed(record, plan)
+        spec, border_tally = yield from self._drive_plan_timed(record, plan)
 
         # Phase 4: weave and write the new metadata tree nodes — one batched
         # multi-put (Algorithm 4 line 34 "in parallel"): the items are
@@ -176,6 +196,12 @@ class SimClient:
             for ref, node in build.nodes
         ]
         meta.put_nodes(items)
+        # Write-through: the published nodes are immutable from here on, so
+        # this machine's subsequent traversals over them are warm.  Keys go
+        # through the cluster namespace, same as the lookups.
+        self._node_cache.put_many(
+            [(dep.cluster.node_cache_key(key), node) for key, node in items]
+        )
         puts = self._batched_meta_rpcs(
             [key for key, _node in items],
             lambda server, count: net.small_rpc(
@@ -199,9 +225,10 @@ class SimClient:
             elapsed=sim.now - start,
             pages_written=page_count,
             metadata_nodes_written=build.node_count,
-            border_nodes_fetched=spec.nodes_fetched,
-            metadata_round_trips=spec.round_trips + 1,
+            border_nodes_fetched=border_tally.fetched,
+            metadata_round_trips=border_tally.trips + 1,
             data_round_trips=data_round_trips,
+            metadata_cache_hits=border_tally.hits,
         )
 
     # -------------------------------------------------------------------- READ
@@ -237,7 +264,7 @@ class SimClient:
         page_offset, page_count = covering_page_range(offset, size, page_size)
         span = span_for_pages(pages_for_size(snapshot_size, page_size))
         plan = read_plan(version, span, page_offset, page_count)
-        plan_result = yield from self._drive_plan_timed(record, plan)
+        plan_result, tally = yield from self._drive_plan_timed(record, plan)
 
         # Fetch the pages with ONE batched multi-page request per provider,
         # all providers in parallel — the data-path counterpart of the
@@ -266,9 +293,10 @@ class SimClient:
             bytes_read=size,
             elapsed=sim.now - start,
             pages_fetched=len(plan_result.descriptors),
-            metadata_nodes_fetched=plan_result.nodes_fetched,
-            metadata_round_trips=plan_result.round_trips,
+            metadata_nodes_fetched=tally.fetched,
+            metadata_round_trips=tally.trips,
             data_round_trips=len(by_provider),
+            metadata_cache_hits=tally.hits,
         )
 
     # --------------------------------------------------------------- internals
@@ -293,21 +321,32 @@ class SimClient:
 
     def _drive_plan_timed(self, record, plan):
         """Drive a sans-IO metadata plan, charging one batched network round
-        trip per frontier.
+        trip per frontier *that has at least one cache miss*.
 
-        All fetches of a frontier are independent: the keys are grouped per
-        serving metadata node, each group travels as one request carrying
-        all its nodes, and the groups proceed concurrently — so a frontier
-        costs (roughly) one round-trip latency regardless of how many nodes
-        it holds, exactly the parallel metadata access the paper's DHT
-        design is meant to enable.  A legacy plan yielding single refs is
-        charged one fetch per node, as before.
+        Cached keys are filtered before anything touches the network: a hit
+        is served from the client machine's shared
+        :class:`~repro.cache.NodeCache` and skips the NIC pipes entirely, so
+        a fully cached frontier costs zero simulated time.  The misses are
+        grouped per serving metadata node, each group travels as one request
+        carrying all its nodes, and the groups proceed concurrently — so a
+        frontier costs (roughly) one round-trip latency regardless of how
+        many nodes it holds, exactly the parallel metadata access the
+        paper's DHT design is meant to enable.  Fetched nodes are inserted
+        into the cache on the way back.  A legacy plan yielding single refs
+        is handled the same way.
+
+        Returns ``(plan_result, tally)`` where the
+        :class:`~repro.cache.CacheTally` carries the traversal's hit/fetch/
+        trip counts.
         """
         dep = self._dep
         sim = dep.simulator
         net = dep.network
         cfg = dep.sim_config
         meta = dep.metadata_provider
+        cache = self._node_cache
+        cluster = dep.cluster
+        tally = CacheTally()
         try:
             request = next(plan)
             while True:
@@ -322,17 +361,24 @@ class SimClient:
                     )
                     for ref in refs
                 ]
-                fetches = self._batched_meta_rpcs(
-                    keys,
-                    lambda server, count: net.fetch(
-                        self.node,
-                        server,
-                        cfg.metadata_node_size * count,
-                        service_time=cfg.metadata_service_time * count,
-                    ),
-                )
-                yield sim.all_of([process.event for process in fetches])
-                nodes = meta.get_nodes(keys)
+                cache_keys = [cluster.node_cache_key(key) for key in keys]
+                nodes, miss_indices = split_frontier(cache, cache_keys, tally)
+                if miss_indices:
+                    miss_keys = [keys[index] for index in miss_indices]
+                    fetches = self._batched_meta_rpcs(
+                        miss_keys,
+                        lambda server, count: net.fetch(
+                            self.node,
+                            server,
+                            cfg.metadata_node_size * count,
+                            service_time=cfg.metadata_service_time * count,
+                        ),
+                    )
+                    yield sim.all_of([process.event for process in fetches])
+                    fetched = meta.get_nodes(miss_keys)
+                    complete_frontier(
+                        cache, cache_keys, miss_indices, fetched, nodes, tally
+                    )
                 request = plan.send(nodes if batched else nodes[0])
         except StopIteration as stop:
-            return stop.value
+            return stop.value, tally

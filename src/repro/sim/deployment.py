@@ -19,6 +19,7 @@ provider").
 
 from __future__ import annotations
 
+from ..cache import CacheStats, NodeCache
 from ..config import BlobSeerConfig, SimConfig
 from ..core.cluster import Cluster
 from ..metadata.build import border_plan, border_targets, build_nodes
@@ -66,6 +67,13 @@ class SimDeployment:
         self._provider_nodes: list[SimNode] = []
         self._metadata_nodes: list[SimNode] = []
         self._client_nodes: dict[int, SimNode] = {}
+        #: One shared metadata node cache per *machine*, keyed by node name:
+        #: clients co-located on the same node share it (the sim analogue of
+        #: the process-wide cache), clients on different machines do not.
+        #: Caches survive :meth:`reset_timing` — they are client state, not
+        #: NIC state — which is what gives repeated runs a warm regime;
+        #: :meth:`clear_node_caches` restores a cold start.
+        self._node_caches: dict[str, NodeCache] = {}
         self.reset_timing()
 
     # -- timing / topology -----------------------------------------------------
@@ -102,6 +110,50 @@ class SimDeployment:
                 node = SimNode(self.simulator, f"client-{index:04d}")
             self._client_nodes[index] = node
         return node
+
+    def node_cache_for(self, node: SimNode) -> NodeCache:
+        """The metadata node cache of the machine hosting ``node``.
+
+        Budgets come from the deployment's :class:`BlobSeerConfig`
+        ``metadata_cache_*`` knobs.  Cache hits are served locally during a
+        simulated traversal and skip the NIC pipes entirely.
+        """
+        cache = self._node_caches.get(node.name)
+        if cache is None:
+            cache = NodeCache(
+                max_entries=self.config.metadata_cache_entries,
+                max_bytes=self.config.metadata_cache_bytes,
+                shards=self.config.metadata_cache_shards,
+            )
+            self._node_caches[node.name] = cache
+            # Register with the cluster so GC invalidation reaches the
+            # simulated machines' caches too (clients key them through
+            # cluster.node_cache_key, exactly like the threaded path).
+            self.cluster.register_node_cache(cache)
+        return cache
+
+    def clear_node_caches(self) -> None:
+        """Drop every machine's cached metadata (cold-start measurements)."""
+        for cache in self._node_caches.values():
+            cache.clear()
+
+    def node_cache_stats(self) -> CacheStats:
+        """Aggregate :class:`~repro.cache.CacheStats` over every machine."""
+        hits = misses = entries = total_bytes = evictions = 0
+        for cache in self._node_caches.values():
+            stats = cache.stats()
+            hits += stats.hits
+            misses += stats.misses
+            entries += stats.entries
+            total_bytes += stats.bytes
+            evictions += stats.evictions
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            entries=entries,
+            bytes=total_bytes,
+            evictions=evictions,
+        )
 
     def node_for_provider(self, provider_id: str) -> SimNode:
         """Node hosting data provider ``provider_id`` (ids are ``data-NNNN``)."""

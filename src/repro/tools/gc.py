@@ -112,6 +112,12 @@ def collect_garbage(
                 continue
             if not dry_run:
                 bucket.delete(key)
+                # The client cache never invalidates on its own (published
+                # nodes are immutable), so GC — the one event that removes
+                # nodes — must drop them from the shared cache and every
+                # per-store override cache, or reads of collected versions
+                # could be wrongly served from memory.
+                cluster.discard_cached_node(NodeKey.from_string(key))
             deleted_nodes += 1
 
     return GarbageCollectionReport(

@@ -23,6 +23,13 @@ class ClusterReport:
     metadata_load_imbalance: float
     per_provider_bytes: dict[str, int] = field(default_factory=dict)
     per_bucket_nodes: dict[str, int] = field(default_factory=dict)
+    #: Occupancy and lifetime hit rate of the cluster's metadata node cache.
+    #: With default budgets the cache is process-wide, so these numbers
+    #: cover every cluster sharing it.
+    cache_entries: int = 0
+    cache_bytes: int = 0
+    cache_hit_rate: float = 0.0
+    cache_evictions: int = 0
 
     @property
     def physical_to_logical_ratio(self) -> float:
@@ -49,6 +56,10 @@ class ClusterReport:
             f"(physical/logical = {self.physical_to_logical_ratio:.2f})",
             f"  page load imbalance: {self.page_load_imbalance:.2f} (max/mean)",
             f"  node load imbalance: {self.metadata_load_imbalance:.2f} (max/mean)",
+            f"  metadata cache:      {self.cache_entries} nodes / "
+            f"{self.cache_bytes} bytes "
+            f"(hit rate {self.cache_hit_rate:.2f}, "
+            f"{self.cache_evictions} evictions)",
         ]
         return "\n".join(lines)
 
@@ -66,6 +77,7 @@ def cluster_report(cluster: Cluster) -> ClusterReport:
 
     page_loads = cluster.page_load_distribution()
     node_loads = cluster.metadata_load_distribution()
+    cache_stats = cluster.node_cache.stats()
     return ClusterReport(
         blobs=len(blob_ids),
         published_versions=published_versions,
@@ -79,6 +91,10 @@ def cluster_report(cluster: Cluster) -> ClusterReport:
         metadata_load_imbalance=_imbalance(node_loads),
         per_provider_bytes=dict(page_loads),
         per_bucket_nodes=dict(node_loads),
+        cache_entries=cache_stats.entries,
+        cache_bytes=cache_stats.bytes,
+        cache_hit_rate=cache_stats.hit_rate,
+        cache_evictions=cache_stats.evictions,
     )
 
 

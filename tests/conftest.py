@@ -28,7 +28,11 @@ def cluster() -> Cluster:
 
 @pytest.fixture
 def store(cluster) -> BlobStore:
-    return BlobStore(cluster)
+    """A cold-cache client: ``cache_metadata`` now defaults to True (shared,
+    LRU-bounded), but the suite's exact trip-count and DHT-traffic
+    assertions need cold-cache determinism; cache behaviour has its own
+    tests with explicit :class:`~repro.cache.NodeCache` instances."""
+    return BlobStore(cluster, cache_metadata=False)
 
 
 @pytest.fixture

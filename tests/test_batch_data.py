@@ -328,4 +328,13 @@ class TestSimulatedDataTrips:
         )
         assert read.pages_fetched == 32
         assert read.data_round_trips == 8  # one multi-fetch per provider
-        assert read.metadata_round_trips < read.metadata_nodes_fetched
+        # The appender's write-through warmed its machine's cache, so the
+        # traversal is free; a cold client pays batched frontier trips.
+        assert read.metadata_round_trips == 0
+        assert read.metadata_cache_hits > 0
+        deployment.clear_node_caches()
+        cold = deployment.simulator.run_process(
+            client.read_process(blob_id, outcome.version, 0, 2 * 1024 * 1024)
+        )
+        assert cold.metadata_cache_hits == 0
+        assert 0 < cold.metadata_round_trips < cold.metadata_nodes_fetched

@@ -16,7 +16,7 @@ import math
 
 import pytest
 
-from repro import BlobStore, Cluster
+from repro import BlobStore, Cluster, NodeCache
 from repro.dht.dht import DHT
 from repro.dht.storage import BucketStore
 from repro.errors import MetadataNotFoundError, ProviderUnavailableError
@@ -229,46 +229,70 @@ class TestCacheAccountingAcrossBatches:
 
     def test_repeat_read_is_served_from_cache(self):
         cluster = self._cluster()
-        store = BlobStore(cluster, cache_metadata=True)
-        blob_id = store.create()
-        version = store.append(blob_id, make_payload(16 * PAGE))
+        # A private NodeCache isolates counters from the process-wide shared
+        # instance; the appender runs cold so publish-time write-through
+        # does not pre-warm the reader under test.
+        writer = BlobStore(cluster, cache_metadata=False)
+        store = BlobStore(cluster, node_cache=NodeCache())
+        blob_id = writer.create()
+        version = writer.append(blob_id, make_payload(16 * PAGE))
         store.sync(blob_id, version)
 
         _, first = store.read_ex(blob_id, version, 0, 16 * PAGE)
-        hits, misses, cached = store.metadata_cache_stats()
-        assert hits == 0
-        assert misses == first.metadata_nodes_fetched == cached
+        stats = store.cache_stats()
+        assert first.metadata_cache_hits == 0
+        assert first.metadata_nodes_fetched > 0
+        assert stats.hits == 0
+        assert stats.misses == first.metadata_nodes_fetched == stats.entries
 
         gets_before = cluster.dht.stats().gets
         _, second = store.read_ex(blob_id, version, 0, 16 * PAGE)
-        hits, misses, cached = store.metadata_cache_stats()
-        # Same traversal, every node a cache hit, zero DHT traffic.
-        assert second.metadata_nodes_fetched == first.metadata_nodes_fetched
-        assert hits == first.metadata_nodes_fetched
-        assert misses == cached
+        stats = store.cache_stats()
+        # Same traversal, every node a cache hit: zero DHT traffic, zero
+        # round trips, zero nodes fetched.
+        assert second.metadata_nodes_fetched == 0
+        assert second.metadata_round_trips == 0
+        assert second.metadata_cache_hits == first.metadata_nodes_fetched
+        assert second.cache.hit_rate == 1.0
+        assert stats.hits == first.metadata_nodes_fetched
+        assert cluster.dht.stats().gets == gets_before
+
+    def test_write_through_warms_the_writers_own_reads(self):
+        cluster = self._cluster()
+        store = BlobStore(cluster, node_cache=NodeCache())
+        blob_id = store.create()
+        result = store.append_ex(blob_id, make_payload(16 * PAGE))
+        store.sync(blob_id, result.version)
+        gets_before = cluster.dht.stats().gets
+        _, stats = store.read_ex(blob_id, result.version, 0, 16 * PAGE)
+        # Publish-time write-through: the writer's first read is already warm.
+        assert stats.metadata_nodes_fetched == 0
+        assert stats.metadata_cache_hits > 0
         assert cluster.dht.stats().gets == gets_before
 
     def test_partial_overlap_only_fetches_new_nodes(self):
         cluster = self._cluster()
-        store = BlobStore(cluster, cache_metadata=True)
-        blob_id = store.create()
-        version = store.append(blob_id, make_payload(16 * PAGE))
+        writer = BlobStore(cluster, cache_metadata=False)
+        store = BlobStore(cluster, node_cache=NodeCache())
+        blob_id = writer.create()
+        version = writer.append(blob_id, make_payload(16 * PAGE))
         store.sync(blob_id, version)
 
         store.read_ex(blob_id, version, 0, 4 * PAGE)
-        _, _, cached_before = store.metadata_cache_stats()
+        entries_before = store.cache_stats().entries
         gets_before = cluster.dht.stats().gets
         _, stats = store.read_ex(blob_id, version, 0, 8 * PAGE)
-        hits, misses, cached = store.metadata_cache_stats()
-        new_nodes = cached - cached_before
-        # Only the nodes not seen by the narrower read enter the batch.
-        assert 0 < new_nodes < stats.metadata_nodes_fetched
+        new_nodes = store.cache_stats().entries - entries_before
+        # Only the nodes not seen by the narrower read enter the batch; the
+        # shared spine is served from the cache.
+        assert new_nodes == stats.metadata_nodes_fetched > 0
+        assert stats.metadata_cache_hits > 0
         assert cluster.dht.stats().gets - gets_before == new_nodes
 
     def test_parallel_io_batches_give_identical_results(self):
         cluster = self._cluster()
-        parallel = BlobStore(cluster, parallel_io=4, cache_metadata=True)
-        plain = BlobStore(cluster)
+        parallel = BlobStore(cluster, parallel_io=4, node_cache=NodeCache())
+        plain = BlobStore(cluster, cache_metadata=False)
         blob_id = parallel.create()
         payload = make_payload(32 * PAGE, seed=7)
         version = parallel.append(blob_id, payload)
@@ -279,8 +303,8 @@ class TestCacheAccountingAcrossBatches:
 
     def test_cached_reads_match_uncached_reads(self):
         cluster = self._cluster()
-        cached_store = BlobStore(cluster, cache_metadata=True)
-        plain_store = BlobStore(cluster)
+        cached_store = BlobStore(cluster, node_cache=NodeCache())
+        plain_store = BlobStore(cluster, cache_metadata=False)
         blob_id = cached_store.create()
         payload = make_payload(9 * PAGE + 123)
         version = cached_store.append(blob_id, payload)

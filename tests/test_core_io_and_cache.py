@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro import Blob, BlobStore
+from repro import Blob, BlobStore, CacheStats, NodeCache
 from repro.core.io import AppendWriter
 from repro.errors import InvalidRangeError
 
@@ -143,10 +143,13 @@ class TestAppendWriter:
 
 class TestMetadataCache:
     def test_cache_reduces_dht_traffic_on_repeated_reads(self, cluster):
-        store = BlobStore(cluster, cache_metadata=True)
-        blob_id = store.create()
+        # A cold writer populates the blob; the cached reader shows the
+        # miss-then-hit pattern against its own private NodeCache.
+        writer = BlobStore(cluster, cache_metadata=False)
+        store = BlobStore(cluster, node_cache=NodeCache())
+        blob_id = writer.create()
         payload = make_payload(32 * PAGE)
-        version = store.append(blob_id, payload)
+        version = writer.append(blob_id, payload)
         store.sync(blob_id, version)
         gets_before = cluster.dht.stats().gets
         assert store.read(blob_id, version, 0, len(payload)) == payload
@@ -155,12 +158,14 @@ class TestMetadataCache:
         second_pass_gets = cluster.dht.stats().gets - gets_before - first_pass_gets
         assert first_pass_gets > 0
         assert second_pass_gets == 0           # served entirely from the cache
-        hits, misses, cached = store.metadata_cache_stats()
-        assert hits >= misses > 0
-        assert cached == first_pass_gets
+        stats = store.cache_stats()
+        assert stats.hits >= stats.misses > 0
+        assert stats.entries == first_pass_gets
+        assert 0.0 < stats.hit_rate < 1.0
+        assert stats.bytes > 0
 
     def test_cache_is_correct_across_versions(self, cluster):
-        store = BlobStore(cluster, cache_metadata=True)
+        store = BlobStore(cluster, node_cache=NodeCache())
         blob_id = store.create()
         base = make_payload(8 * PAGE, seed=1)
         store.append(blob_id, base)
@@ -174,5 +179,11 @@ class TestMetadataCache:
     def test_uncached_store_reports_zero_cache(self, store, blob_id):
         version = store.append(blob_id, make_payload(PAGE))
         store.sync(blob_id, version)
-        store.read(blob_id, version, 0, PAGE)
-        assert store.metadata_cache_stats() == (0, 0, 0)
+        _, stats = store.read_ex(blob_id, version, 0, PAGE)
+        assert stats.cache is None
+        assert stats.metadata_cache_hits == 0
+        assert store.cache_stats() == CacheStats()
+        # The legacy positional 3-tuple survives one release behind a
+        # DeprecationWarning.
+        with pytest.deprecated_call():
+            assert store.metadata_cache_stats() == (0, 0, 0)

@@ -63,7 +63,9 @@ class TestDataProviderFailures:
 
 class TestMetadataFailuresAndReplication:
     def test_unreplicated_metadata_bucket_failure_breaks_reads(self, cluster):
-        store = BlobStore(cluster)
+        # Cold cache: a warm shared cache would (correctly) mask the dead
+        # bucket by serving the nodes from memory.
+        store = BlobStore(cluster, cache_metadata=False)
         blob_id = store.create()
         version = store.append(blob_id, make_payload(32 * PAGE))
         store.sync(blob_id, version)
