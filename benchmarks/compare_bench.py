@@ -53,16 +53,21 @@ _HIGHER_IS_BETTER = (
 
 #: Metrics where smaller is better (gate on growth): round-trip and
 #: node-count counters.  ``warm_meta_nodes_per_read`` must stay ~0 — warm
-#: traversals fetching nodes from the DHT again is a cache regression.
+#: traversals fetching nodes from the DHT again is a cache regression —
+#: and ``warm_vm_trips_per_read`` likewise: warm reads paying the version
+#: manager again is a lease regression.
 _LOWER_IS_BETTER = (
     "meta_nodes_per_read",
     "meta_trips_per_read",
     "data_trips_per_read",
+    "vm_trips_per_read",
     "warm_meta_nodes_per_read",
     "warm_meta_trips_per_read",
+    "warm_vm_trips_per_read",
     "metadata_nodes",
     "border_fetches",
     "data_trips",
+    "vm_trips",
 )
 
 
@@ -91,19 +96,37 @@ def row_key(row: dict, figure: str) -> tuple:
 
 
 def compare_rows(
-    current: list[dict], baseline: list[dict], figure: str, tolerance: float
-) -> tuple[list[dict], list[str]]:
-    """Compare matched rows metric by metric; return (records, failures)."""
+    current: list[dict],
+    baseline: list[dict],
+    figure: str,
+    tolerance: float,
+    required_columns: tuple[str, ...] = (),
+) -> tuple[list[dict], list[str], list[str]]:
+    """Compare matched rows metric by metric.
+
+    Returns ``(records, failures, skipped_columns)``.  A gated metric that
+    exists in the current rows but not in the baseline is *skipped* (listed
+    by name, reported as a warning) — unless it appears in
+    ``required_columns``, in which case the gate fails with a clear
+    "column missing from baseline" message instead of silently passing (or
+    blowing up with a raw ``KeyError``) when the committed baseline
+    predates the counter.  A required column missing from the *current*
+    rows (the harness stopped emitting it) fails the same way — the gate
+    never goes green while a counter it was told to watch is uncompared.
+    """
     baseline_by_key = {row_key(row, figure): row for row in baseline}
     records: list[dict] = []
     failures: list[str] = []
+    skipped: set[str] = set()
     matched = 0
+    matched_pairs: list[tuple[dict, dict]] = []
     for row in current:
         key = row_key(row, figure)
         base = baseline_by_key.get(key)
         if base is None:
             continue
         matched += 1
+        matched_pairs.append((row, base))
         label = ", ".join(
             f"{name}={value}" for name, value in zip(_MATCH_KEYS[figure], key)
         )
@@ -112,7 +135,10 @@ def compare_rows(
             (_LOWER_IS_BETTER, "max"),
         ):
             for name in metric:
-                if name not in row or name not in base:
+                if name not in row:
+                    continue
+                if name not in base:
+                    skipped.add(name)
                     continue
                 now, then = float(row[name]), float(base[name])
                 if gate == "min":
@@ -141,7 +167,28 @@ def compare_rows(
             f"no baseline rows matched the current {figure} rows — "
             "baseline layout or presets changed?"
         )
-    return records, failures
+    for name in required_columns:
+        in_current = any(name in row for row, _base in matched_pairs)
+        in_baseline = any(name in base for _row, base in matched_pairs)
+        if matched and not in_baseline:
+            failures.append(
+                f"column {name!r} missing from baseline — the committed "
+                "baseline predates this counter; regenerate the baseline "
+                "(python -m repro.bench) before gating on it"
+            )
+        if matched and not in_current:
+            failures.append(
+                f"column {name!r} missing from the current {figure} rows — "
+                "the harness stopped emitting a counter the gate is "
+                "required to watch"
+            )
+        if name not in _HIGHER_IS_BETTER and name not in _LOWER_IS_BETTER:
+            failures.append(
+                f"required column {name!r} is not a gated metric — add it "
+                "to _HIGHER_IS_BETTER or _LOWER_IS_BETTER in "
+                "benchmarks/compare_bench.py"
+            )
+    return records, failures, sorted(skipped)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,12 +203,22 @@ def main(argv: list[str] | None = None) -> int:
         default=0.15,
         help="allowed relative regression (default 0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--require-columns",
+        default="",
+        help="comma-separated gated metrics that MUST exist in the baseline; "
+        "a listed column the baseline predates fails the gate with a clear "
+        "message instead of being skipped",
+    )
     args = parser.parse_args(argv)
+    required = tuple(
+        name.strip() for name in args.require_columns.split(",") if name.strip()
+    )
 
     baseline_rows = load_baseline_rows(args.baseline, args.figure, args.scale)
     result = _FIGURES[args.figure](scale=args.scale)
-    records, failures = compare_rows(
-        result.rows, baseline_rows, args.figure, args.tolerance
+    records, failures, skipped = compare_rows(
+        result.rows, baseline_rows, args.figure, args.tolerance, required
     )
 
     report = {
@@ -171,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         "tolerance": args.tolerance,
         "passed": not failures,
         "failures": failures,
+        "skipped_columns": skipped,
         "comparisons": records,
         "current_rows": result.rows,
     }
@@ -194,6 +252,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {record['row']}: {record['metric']} "
                 f"{record['baseline']:.2f} -> {record['current']:.2f} "
                 f"({delta:+.1f}%)"
+            )
+    for name in skipped:
+        if name not in required:
+            print(
+                f"  warning: column {name!r} not in baseline (predates it) — "
+                "not gated this run"
             )
     for failure in failures:
         print(f"  REGRESSION: {failure}")

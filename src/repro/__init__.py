@@ -20,6 +20,8 @@ Package layout:
 * :mod:`repro.metadata` — the distributed segment tree (the paper's core
   contribution).
 * :mod:`repro.version` — version manager (total order, publication, SYNC).
+* :mod:`repro.vm` — the version-manager *service* layer: group-commit
+  ticketing, pipelined publication and client version leases.
 * :mod:`repro.providers` — data providers and the provider manager.
 * :mod:`repro.dht` — the custom DHT storing metadata.
 * :mod:`repro.sim` — discrete-event simulator of the Grid'5000-like testbed
@@ -31,6 +33,7 @@ Package layout:
 from .cache import CacheStats, NodeCache, shared_node_cache
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
 from .core import Blob, BlobStore, Cluster
+from .vm import LeaseCache, VersionManagerService, VMStats
 from .errors import (
     BlobSeerError,
     ConfigurationError,
@@ -50,6 +53,9 @@ __all__ = [
     "NodeCache",
     "shared_node_cache",
     "BlobSeerConfig",
+    "LeaseCache",
+    "VersionManagerService",
+    "VMStats",
     "SimConfig",
     "GRID5000_PROFILE",
     "KiB",

@@ -23,6 +23,7 @@ from .ablations import (
     run_ablation_mixed_workload,
     run_ablation_page_size,
     run_ablation_storage_space,
+    run_ablation_vm,
 )
 from .fig2a import run_fig2a
 from .fig2b import run_fig2b
@@ -39,6 +40,7 @@ _EXPERIMENTS = {
     "ablation-allocation": run_ablation_allocation,
     "ablation-dht": run_ablation_dht_placement,
     "ablation-mixed": run_ablation_mixed_workload,
+    "ablation-vm": run_ablation_vm,
 }
 
 

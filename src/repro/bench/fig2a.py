@@ -56,6 +56,7 @@ def run_fig2a(scale: str = "small") -> ExperimentResult:
                     metadata_nodes=sample.metadata_nodes_written,
                     border_fetches=sample.border_nodes_fetched,
                     data_trips=sample.data_round_trips,
+                    vm_trips=sample.vm_round_trips,
                 )
     result.note(
         f"each APPEND writes {append_bytes // MiB} MiB, as in the paper's description"
@@ -81,6 +82,7 @@ def run_fig2a(scale: str = "small") -> ExperimentResult:
             metadata_nodes=sample.metadata_nodes_written,
             border_fetches=sample.border_nodes_fetched,
             data_trips=sample.data_round_trips,
+            vm_trips=sample.vm_round_trips,
         )
     result.note(
         "fine-grained series appends "

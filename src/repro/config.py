@@ -31,6 +31,13 @@ DEFAULT_METADATA_CACHE_ENTRIES = 128 * 1024
 DEFAULT_METADATA_CACHE_BYTES = 64 * MiB
 DEFAULT_METADATA_CACHE_SHARDS = 8
 
+#: Defaults of the client-side version-lease cache (see :mod:`repro.vm`).
+#: Publish notifications keep leases coherent in-process; the TTL bounds
+#: staleness when a notification is lost, and the entry budget bounds the
+#: per-client memory for leases and immutable VM facts (records, sizes).
+DEFAULT_VM_LEASE_TTL = 5.0
+DEFAULT_VM_LEASE_ENTRIES = 4096
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -81,6 +88,14 @@ class BlobSeerConfig:
         the process defaults joins the process-wide shared cache
         (:func:`repro.cache.shared_node_cache`); custom budgets give the
         cluster a dedicated instance.
+    vm_lease_ttl / vm_lease_entries:
+        Budgets of the client-side version-lease cache
+        (:class:`repro.vm.LeaseCache`): leased ``GET_RECENT`` answers are
+        renewed by publish notifications and expire after ``vm_lease_ttl``
+        seconds; ``vm_lease_entries`` bounds both the lease map and the
+        immutable-fact map (blob records, published snapshot sizes).
+        ``vm_lease_ttl=None`` disables version leasing for the whole
+        deployment (every read pays its version-manager round trips).
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
@@ -95,6 +110,8 @@ class BlobSeerConfig:
     metadata_cache_entries: int = DEFAULT_METADATA_CACHE_ENTRIES
     metadata_cache_bytes: int = DEFAULT_METADATA_CACHE_BYTES
     metadata_cache_shards: int = DEFAULT_METADATA_CACHE_SHARDS
+    vm_lease_ttl: float | None = DEFAULT_VM_LEASE_TTL
+    vm_lease_entries: int = DEFAULT_VM_LEASE_ENTRIES
 
     def __post_init__(self) -> None:
         _require(is_power_of_two(self.page_size),
@@ -118,6 +135,11 @@ class BlobSeerConfig:
                  "metadata_cache_bytes must be >= 1")
         _require(self.metadata_cache_shards >= 1,
                  "metadata_cache_shards must be >= 1")
+        if self.vm_lease_ttl is not None:
+            _require(self.vm_lease_ttl > 0,
+                     "vm_lease_ttl must be > 0 (None disables leasing)")
+        _require(self.vm_lease_entries >= 1,
+                 "vm_lease_entries must be >= 1")
 
     @property
     def uses_default_cache_budgets(self) -> bool:

@@ -62,12 +62,22 @@ not O(pages) — the striping across providers the paper's WRITE algorithm
 stores "in parallel" (Algorithm 2, line 4).  The ``*_ex`` stats report
 ``data_round_trips`` next to ``metadata_round_trips`` so both axes of the
 concurrency story are measurable.
+
+Version-manager I/O is *leased and group-committed* (see :mod:`repro.vm`):
+the blob record and the sizes of published snapshots are immutable facts
+served by the cluster's shared :class:`~repro.vm.LeaseCache`, GET_RECENT is
+answered from a publish-invalidated :class:`~repro.vm.VersionLease`, and a
+cold publication check costs ONE combined ``check_read`` RPC instead of the
+old ``is_published`` + ``get_size`` pair.  A warm repeated READ therefore
+issues ZERO version-manager round trips — ``ReadStats.vm_round_trips`` /
+``WriteResult.vm_round_trips`` make the last fixed per-operation cost
+measurable, and the cluster's ticket window batches what remains of the
+write-side traffic.
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -78,7 +88,7 @@ from ..cache import (
     complete_frontier,
     split_frontier,
 )
-from ..errors import InvalidRangeError, VersionNotPublishedError
+from ..errors import InvalidRangeError, UpdateAbortedError
 from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import NodeKey, NodeRef, PageDescriptor, TreeNode
@@ -90,6 +100,7 @@ from ..metadata.read_plan import (
 )
 from ..util.ranges import covering_page_range, is_aligned
 from ..version.records import BlobRecord, UpdateTicket, resolve_owner
+from ..vm import LeaseCache
 from .cluster import Cluster
 
 
@@ -120,6 +131,12 @@ class WriteResult:
     #: the (possibly shared) cache right after it; None when caching is
     #: disabled.
     cache: CacheStats | None = None
+    #: Version-manager round trips this update issued: ticket registration,
+    #: the completion notice, plus any record/recency/size lookups the
+    #: shared lease cache could not serve.  The registration and completion
+    #: trips additionally coalesce with concurrent writers' in the
+    #: cluster's ticket window / publish queue (see ``VMStats``).
+    vm_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -148,6 +165,12 @@ class ReadStats:
     #: (possibly shared) cache right after it; None when caching is
     #: disabled.
     cache: CacheStats | None = None
+    #: Version-manager round trips this read issued: 0 when the blob record
+    #: and the snapshot's published size were served by the shared lease
+    #: cache (the warm repeated-read regime), up to 2 cold (record +
+    #: combined publication check) — the read path never blocks on the VM's
+    #: global order beyond these lookups.
+    vm_round_trips: int = 0
 
 
 class BlobStore:
@@ -181,6 +204,20 @@ class BlobStore:
         Override the cache instance (a private cold
         :class:`~repro.cache.NodeCache` isolates tests from the shared
         one).  Ignored when ``cache_metadata`` is False.
+    lease_versions:
+        When True (the default), GET_RECENT and the READ publication check
+        are served from the cluster's shared :class:`~repro.vm.LeaseCache`
+        when possible — publish notifications keep leases coherent, so
+        results are identical to unleased calls while warm repeated reads
+        issue zero version-manager round trips.  Pass False to hit the
+        version manager on every call (the pre-PR-4 behaviour, with the
+        old ``is_published`` + ``get_size`` pair fused into one
+        ``check_read`` trip).  Also off when the cluster's config disables
+        leasing (``vm_lease_ttl=None``).
+    version_leases:
+        Override the lease cache instance (a private
+        :class:`~repro.vm.LeaseCache` isolates tests from the shared one).
+        Ignored when ``lease_versions`` is False.
     """
 
     def __init__(
@@ -190,6 +227,8 @@ class BlobStore:
         strict_unaligned: bool = False,
         cache_metadata: bool = True,
         node_cache: NodeCache | None = None,
+        lease_versions: bool = True,
+        version_leases: LeaseCache | None = None,
     ):
         self._cluster = cluster
         self._vm = cluster.version_manager
@@ -208,6 +247,11 @@ class BlobStore:
             # GC invalidation must reach override caches too, not just the
             # cluster's shared one.
             cluster.register_node_cache(self._cache)
+        self._lease: LeaseCache | None = (
+            (version_leases if version_leases is not None else cluster.version_leases)
+            if lease_versions
+            else None
+        )
 
     # ------------------------------------------------------------------ CREATE
     def create(self, page_size: int | None = None) -> str:
@@ -226,14 +270,14 @@ class BlobStore:
             raise InvalidRangeError(f"negative write offset: {offset}")
         if not data:
             raise InvalidRangeError("WRITE requires a non-empty buffer")
-        record = self._vm.get_record(blob_id)
+        record, vm_trips = self._get_record(blob_id)
         page_size = record.page_size
 
         if is_aligned(offset, len(data), page_size) and not self._strict_unaligned:
-            return self._write_aligned(record, data, offset)
+            return self._write_aligned(record, data, offset, vm_trips)
         if self._strict_unaligned:
-            return self._write_strict(record, data, offset)
-        return self._write_unaligned(record, data, offset)
+            return self._write_strict(record, data, offset, vm_trips)
+        return self._write_unaligned(record, data, offset, vm_trips)
 
     # ------------------------------------------------------------------ APPEND
     def append(self, blob_id: str, data: bytes) -> int:
@@ -245,22 +289,33 @@ class BlobStore:
         data = bytes(data)
         if not data:
             raise InvalidRangeError("APPEND requires a non-empty buffer")
-        record = self._vm.get_record(blob_id)
+        record, vm_trips = self._get_record(blob_id)
         ticket = self._vm.register_update(record.blob_id, len(data), is_append=True)
+        vm_trips += 1  # the (group-committed) ticket registration
         try:
             reference_version: int | None = None
             if ticket.byte_offset % record.page_size != 0 and ticket.version > 1:
                 # The append starts inside the tail page of the previous
                 # snapshot: wait for it so the boundary bytes are exact.
-                self._vm.sync(record.blob_id, ticket.version - 1)
-                reference_version = ticket.version - 1
-            payloads, boundary_trips = self._compose_page_payloads(
+                try:
+                    self._vm.sync(record.blob_id, ticket.version - 1)
+                    reference_version = ticket.version - 1
+                except UpdateAbortedError:
+                    # The predecessor became a hole: its size already fell
+                    # back to its own predecessor's, so the boundary bytes
+                    # come from the most recent *published* snapshot
+                    # (reference_version=None) instead of failing the append.
+                    reference_version = None
+                vm_trips += 1
+            payloads, boundary_trips, boundary_vm_trips = self._compose_page_payloads(
                 record, ticket, data, reference_version=reference_version
             )
+            vm_trips += boundary_vm_trips
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
             trips = boundary_trips + store_trips
             return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips
+                record, ticket, descriptors, data_round_trips=trips,
+                vm_round_trips=vm_trips,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "append failed")
@@ -281,17 +336,16 @@ class BlobStore:
     ) -> tuple[bytes, ReadStats]:
         if offset < 0 or size < 0:
             raise InvalidRangeError(f"negative read offset/size ({offset}, {size})")
-        record = self._vm.get_record(blob_id)
-        if not self._vm.is_published(blob_id, version):
-            raise VersionNotPublishedError(blob_id, version)
-        snapshot_size = self._vm.get_size(blob_id, version)
+        record, vm_trips = self._get_record(blob_id)
+        snapshot_size, check_trips = self._published_size(blob_id, version)
+        vm_trips += check_trips
         if offset + size > snapshot_size:
             raise InvalidRangeError(
                 f"read range ({offset}, {size}) exceeds snapshot {version} "
                 f"size {snapshot_size}"
             )
         if size == 0:
-            return b"", ReadStats(version, 0, 0, 0, 0)
+            return b"", ReadStats(version, 0, 0, 0, 0, vm_round_trips=vm_trips)
 
         page_size = record.page_size
         page_offset, page_count = covering_page_range(offset, size, page_size)
@@ -313,6 +367,7 @@ class BlobStore:
             data_round_trips=data_trips,
             metadata_cache_hits=tally.hits,
             cache=self._operation_cache_stats(tally),
+            vm_round_trips=vm_trips,
         )
         return bytes(buffer), stats
 
@@ -323,12 +378,23 @@ class BlobStore:
 
     # ------------------------------------------------------- version primitives
     def get_recent(self, blob_id: str) -> int:
-        """GET_RECENT: a recently published snapshot version."""
-        return self._vm.get_recent(blob_id)
+        """GET_RECENT: a recently published snapshot version.
+
+        Served from the shared version lease when one is fresh — publish
+        notifications renew leases synchronously, so the answer equals what
+        the version manager itself would return.
+        """
+        version, _trips = self._recent(blob_id)
+        return version
 
     def get_size(self, blob_id: str, version: int) -> int:
-        """GET_SIZE: size in bytes of a published snapshot."""
-        return self._vm.get_size(blob_id, version)
+        """GET_SIZE: size in bytes of a published snapshot.
+
+        A published snapshot's size is immutable, so the answer is served
+        from the lease cache's fact map once known.
+        """
+        size, _trips = self._published_size(blob_id, version)
+        return size
 
     def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
         """SYNC: block until ``version`` is published ("read your writes")."""
@@ -339,9 +405,32 @@ class BlobStore:
         new blob id."""
         return self._vm.branch(blob_id, version).blob_id
 
+    # ------------------------------------------------------------ version leases
+    def _get_record(self, blob_id: str) -> tuple[BlobRecord, int]:
+        """The blob's immutable record, via the lease cache's fact map:
+        ``(record, vm_round_trips)``."""
+        if self._lease is not None:
+            return self._lease.record(blob_id)
+        return self._vm.get_record(blob_id), 1
+
+    def _published_size(self, blob_id: str, version: int) -> tuple[int, int]:
+        """Size of a published snapshot (raises
+        :class:`~repro.errors.VersionNotPublishedError` otherwise):
+        ``(size, vm_round_trips)``.  One combined ``check_read`` trip cold,
+        zero once the immutable fact is cached."""
+        if self._lease is not None:
+            return self._lease.published_size(blob_id, version)
+        return self._vm.check_read(blob_id, version), 1
+
+    def _recent(self, blob_id: str) -> tuple[int, int]:
+        """Leased GET_RECENT: ``(version, vm_round_trips)``."""
+        if self._lease is not None:
+            return self._lease.recent(blob_id)
+        return self._vm.get_recent(blob_id), 1
+
     # ---------------------------------------------------------------- internals
     def _write_aligned(
-        self, record: BlobRecord, data: bytes, offset: int
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
     ) -> WriteResult:
         """Fast path for page-aligned writes: pages are stored *before* the
         version is assigned, exactly as in Algorithm 2."""
@@ -359,45 +448,55 @@ class BlobStore:
             raise
         try:
             return self._finish_update(
-                record, ticket, descriptors, data_round_trips=store_trips
+                record, ticket, descriptors, data_round_trips=store_trips,
+                vm_round_trips=vm_trips + 1,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
             raise
 
     def _write_unaligned(
-        self, record: BlobRecord, data: bytes, offset: int
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
     ) -> WriteResult:
         """Unaligned write: boundary pages are completed from the most
         recently published snapshot, then the update proceeds as usual."""
         ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        vm_trips += 1
         try:
-            payloads, boundary_trips = self._compose_page_payloads(record, ticket, data)
+            payloads, boundary_trips, boundary_vm_trips = (
+                self._compose_page_payloads(record, ticket, data)
+            )
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
             trips = boundary_trips + store_trips
             return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips
+                record, ticket, descriptors, data_round_trips=trips,
+                vm_round_trips=vm_trips + boundary_vm_trips,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
             raise
 
     def _write_strict(
-        self, record: BlobRecord, data: bytes, offset: int
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
     ) -> WriteResult:
         """Strict unaligned write: wait for the previous snapshot so boundary
         bytes are taken from exactly version - 1."""
         ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        vm_trips += 1
         try:
             if ticket.version > 1:
                 self._vm.sync(record.blob_id, ticket.version - 1)
-            payloads, boundary_trips = self._compose_page_payloads(
-                record, ticket, data, reference_version=ticket.version - 1
+                vm_trips += 1
+            payloads, boundary_trips, boundary_vm_trips = (
+                self._compose_page_payloads(
+                    record, ticket, data, reference_version=ticket.version - 1
+                )
             )
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
             trips = boundary_trips + store_trips
             return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips
+                record, ticket, descriptors, data_round_trips=trips,
+                vm_round_trips=vm_trips + boundary_vm_trips,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
@@ -409,7 +508,7 @@ class BlobStore:
         ticket: UpdateTicket,
         data: bytes,
         reference_version: int | None = None,
-    ) -> tuple[list[tuple[int, bytes]], int]:
+    ) -> tuple[list[tuple[int, bytes]], int, int]:
         """Split ``data`` into per-page payloads, merging boundary pages with
         existing content where the update is not page-aligned.
 
@@ -422,7 +521,9 @@ class BlobStore:
 
         Returns ``(page_index, payload)`` pairs covering the ticket's page
         range exactly, plus the number of batched data round trips the
-        boundary fetches cost.
+        boundary fetches cost, plus the version-manager round trips the
+        reference-snapshot lookups cost (zero when the shared lease cache
+        served them).
         """
         page_size = record.page_size
         offset = ticket.byte_offset
@@ -432,13 +533,17 @@ class BlobStore:
 
         # Content outside the written range but inside the previous snapshot
         # must be preserved: figure out which reference snapshot supplies it.
+        vm_trips = 0
         if reference_version is None:
-            reference_version = self._vm.get_recent(record.blob_id)
-        reference_size = (
-            self._vm.get_size(record.blob_id, reference_version)
-            if reference_version > 0
-            else 0
-        )
+            reference_version, trips = self._recent(record.blob_id)
+            vm_trips += trips
+        if reference_version > 0:
+            reference_size, trips = self._published_size(
+                record.blob_id, reference_version
+            )
+            vm_trips += trips
+        else:
+            reference_size = 0
 
         # Old bytes [first_page_start, offset) and [offset + size, last_page_end),
         # both capped at the reference snapshot's size.
@@ -480,7 +585,7 @@ class BlobStore:
                 + suffix
             )
             payloads.append((page_index, payload))
-        return payloads, boundary_trips
+        return payloads, boundary_trips, vm_trips
 
     def _read_byte_ranges(
         self,
@@ -586,6 +691,7 @@ class BlobStore:
         ticket: UpdateTicket,
         descriptors: list[PageDescriptor],
         data_round_trips: int = 0,
+        vm_round_trips: int = 0,
     ) -> WriteResult:
         """Resolve border nodes, build and store the new metadata tree, then
         notify the version manager (Algorithm 2, lines 10-13)."""
@@ -622,6 +728,7 @@ class BlobStore:
             data_round_trips=data_round_trips,
             metadata_cache_hits=tally.hits,
             cache=self._operation_cache_stats(tally),
+            vm_round_trips=vm_round_trips + 1,  # + the completion notice
         )
 
     def _resolve_borders(
@@ -739,20 +846,11 @@ class BlobStore:
         """
         return self._cache.stats() if self._cache is not None else CacheStats()
 
-    def metadata_cache_stats(self) -> tuple[int, int, int]:
-        """Deprecated positional ``(hits, misses, cached_nodes)`` shim.
-
-        Use :meth:`cache_stats`, which returns the structured
-        :class:`~repro.cache.CacheStats`.  This shim will be removed one
-        release after the cache subsystem landed.
-        """
-        warnings.warn(
-            "BlobStore.metadata_cache_stats() is deprecated; use "
-            "BlobStore.cache_stats() which returns a CacheStats dataclass",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cache_stats().as_tuple()
+    def lease_stats(self):
+        """Counters of the (possibly shared) version lease cache, or None
+        when this store runs unleased — see
+        :class:`~repro.vm.lease.LeaseStats`."""
+        return self._lease.stats() if self._lease is not None else None
 
     @staticmethod
     def _page_request(

@@ -24,6 +24,7 @@ from ..providers.page_store import InMemoryPageStore, PageStore
 from ..providers.provider_manager import ProviderManager
 from ..util.ids import IdGenerator
 from ..version.version_manager import VersionManager
+from ..vm import LeaseCache, VersionManagerService
 
 
 class Cluster:
@@ -35,6 +36,7 @@ class Cluster:
         page_store_factory: Callable[[str], PageStore] | None = None,
         seed: int | None = None,
         node_cache: NodeCache | None = None,
+        version_manager: VersionManager | None = None,
     ):
         self.config = config if config is not None else BlobSeerConfig()
         self._ids = IdGenerator("bs")
@@ -84,7 +86,29 @@ class Cluster:
         self.metadata_provider = MetadataProvider(
             self.dht, encode_values=self.config.encode_metadata
         )
-        self.version_manager = VersionManager(self.config, id_generator=self._ids)
+        # The version manager is wrapped in its service front-end: the
+        # group-commit ticket window and publish queue live there, so every
+        # client of this cluster shares one coalescing point — exactly like
+        # the shared node cache.  ``version_manager`` quacks like the core
+        # VersionManager (all queries forward), so existing callers and the
+        # tools keep working.
+        self.version_manager = VersionManagerService(
+            version_manager
+            if version_manager is not None
+            else VersionManager(self.config, id_generator=self._ids)
+        )
+        # One shared lease cache per cluster (None when leasing is disabled):
+        # co-located clients renew one another's GET_RECENT leases, and the
+        # service's publish notifications keep them coherent.
+        self.version_leases: LeaseCache | None = (
+            LeaseCache(
+                self.version_manager,
+                ttl=self.config.vm_lease_ttl,
+                max_entries=self.config.vm_lease_entries,
+            )
+            if self.config.vm_lease_ttl is not None
+            else None
+        )
 
     # -- convenience constructors -------------------------------------------
     @classmethod

@@ -14,13 +14,13 @@ from dataclasses import dataclass
 from collections.abc import Generator
 
 from ..cache import CacheTally, complete_frontier, split_frontier
-from ..errors import InvalidRangeError, VersionNotPublishedError
+from ..errors import InvalidRangeError
 from ..metadata.build import border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import Frontier, NodeKey, PageDescriptor
 from ..metadata.read_plan import read_plan
 from ..util.ranges import covering_page_range
-from ..version.records import resolve_owner
+from ..version.records import CompletionNotice, RegisterRequest, resolve_owner
 from .deployment import SimDeployment
 from .engine import Event
 
@@ -44,6 +44,11 @@ class AppendOutcome:
     data_round_trips: int = 0
     #: Border-node lookups served by the client machine's metadata cache.
     metadata_cache_hits: int = 0
+    #: Version-manager round trips of this append: the (group-committed)
+    #: ticket request plus the (one-way, pipelined) completion notice.  The
+    #: VM endpoint's serialized service time is charged once per office
+    #: *batch*, so N concurrent appends cost O(batches) VM rounds.
+    vm_round_trips: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -70,6 +75,14 @@ class ReadOutcome:
     data_round_trips: int = 0
     #: Tree-node lookups served by the client machine's metadata cache.
     metadata_cache_hits: int = 0
+    #: Version-manager round trips: 1 when the publication check travelled
+    #: to the VM node, 0 when the machine's version lease served it — the
+    #: warm repeated-read regime skips the VM entirely.  Note the sim has
+    #: always modelled the blob *record* as client-stub state (never a
+    #: charged RPC), so this counts only the publication check; the
+    #: threaded ``ReadStats.vm_round_trips`` also counts the record lookup
+    #: and reports up to 2 cold.
+    vm_round_trips: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -93,6 +106,9 @@ class SimClient:
         # The machine-wide metadata cache: co-located clients share it, and
         # it survives reset_timing (it is client state, not NIC state).
         self._node_cache = deployment.node_cache_for(self.node)
+        # The machine-wide version-lease cache (None when leasing is
+        # disabled): same sharing and lifetime as the node cache.
+        self._version_lease = deployment.version_lease_for(self.node)
 
     # ------------------------------------------------------------------ APPEND
     def append_process(
@@ -151,11 +167,15 @@ class SimClient:
             ]
         )
 
-        # Phase 2: obtain the snapshot version (and the border hints).
-        yield from net.small_rpc(
-            self.node, dep.vm_node, cfg.version_manager_service_time
+        # Phase 2: obtain the snapshot version (and the border hints)
+        # through the VM's group-commit ticket office: the request leg
+        # travels individually, but the VM's serialized service time is
+        # charged once per *batch* of concurrently arrived registrations.
+        yield from net.small_request(self.node, dep.vm_node)
+        ticket = yield from dep.ticket_office.submit(
+            RegisterRequest(blob_id=blob_id, size=nbytes, is_append=True)
         )
-        ticket = vm.register_update(blob_id, nbytes, is_append=True)
+        yield sim.timeout(cfg.latency)  # the ticket's response leg
         descriptors = [
             PageDescriptor(
                 page_index=ticket.page_offset + index,
@@ -213,11 +233,16 @@ class SimClient:
         )
         yield sim.all_of([process.event for process in puts])
 
-        # Phase 5: notify the version manager of success.
-        yield from net.small_rpc(
-            self.node, dep.vm_node, cfg.version_manager_service_time
+        # Phase 5: notify the version manager of success — one-way and
+        # pipelined: the writer pays only its send framing; the notice
+        # travels behind its back into the publish office, which advances
+        # publication in order batches (Algorithm 2 line 12 without the
+        # synchronous wait; SYNC still gives read-your-writes).
+        yield from net.send_frame(self.node)
+        dep.publish_office.post_delayed(
+            CompletionNotice(blob_id=blob_id, version=ticket.version),
+            cfg.latency,
         )
-        vm.complete_update(blob_id, ticket.version)
 
         return AppendOutcome(
             version=ticket.version,
@@ -229,6 +254,7 @@ class SimClient:
             metadata_round_trips=border_tally.trips + 1,
             data_round_trips=data_round_trips,
             metadata_cache_hits=border_tally.hits,
+            vm_round_trips=2,
         )
 
     # -------------------------------------------------------------------- READ
@@ -250,12 +276,20 @@ class SimClient:
         page_size = record.page_size
         start = sim.now
 
-        yield from net.small_rpc(
-            self.node, dep.vm_node, cfg.version_manager_service_time
-        )
-        if not vm.is_published(blob_id, version):
-            raise VersionNotPublishedError(blob_id, version)
-        snapshot_size = vm.get_size(blob_id, version)
+        # Publication check: one combined check_read RPC — skipped entirely
+        # when this machine's version lease already holds the published
+        # size as an immutable fact (the warm repeated-read regime pays
+        # ZERO version-manager round trips).
+        if self._version_lease is not None:
+            snapshot_size, vm_trips = self._version_lease.published_size(
+                blob_id, version
+            )
+        else:
+            snapshot_size, vm_trips = vm.check_read(blob_id, version), 1
+        if vm_trips:
+            yield from net.small_rpc(
+                self.node, dep.vm_node, cfg.version_manager_service_time
+            )
         if offset + size > snapshot_size:
             raise InvalidRangeError(
                 f"read range ({offset}, {size}) exceeds snapshot size {snapshot_size}"
@@ -297,6 +331,7 @@ class SimClient:
             metadata_round_trips=tally.trips,
             data_round_trips=len(by_provider),
             metadata_cache_hits=tally.hits,
+            vm_round_trips=vm_trips,
         )
 
     # --------------------------------------------------------------- internals

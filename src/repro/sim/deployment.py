@@ -19,16 +19,107 @@ provider").
 
 from __future__ import annotations
 
+from collections.abc import Generator
+
 from ..cache import CacheStats, NodeCache
 from ..config import BlobSeerConfig, SimConfig
 from ..core.cluster import Cluster
+from ..errors import BlobSeerError
 from ..metadata.build import border_plan, border_targets, build_nodes
 from ..metadata.node import NodeKey, PageDescriptor
 from ..metadata.read_plan import drive_plan
 from ..providers.page_store import NullPageStore
 from ..version.records import resolve_owner
-from .engine import Simulator
+from ..vm import LeaseCache
+from .engine import Event, Simulator
 from .network import Network, SimNode
+
+
+class SimVersionOffice:
+    """Group-commit window at the simulated version-manager node.
+
+    Requests that arrive while a batch is being served pile up and are
+    drained together: the VM endpoint's ``version_manager_service_time`` is
+    charged ONCE per batch (plus a tiny per-request serialization share),
+    and the whole batch goes through the service's ``multi_register`` /
+    ``multi_complete`` — so the service-side :class:`~repro.vm.VMStats`
+    count the simulator's batches exactly like the threaded window's.
+
+    ``submit`` is the blocking path (ticket requests need their answer);
+    ``post`` is the fire-and-forget path (completion notices — pipelined
+    publication: the writer streams the notice and moves on).
+    """
+
+    def __init__(self, deployment: SimDeployment, execute, label: str):
+        self._dep = deployment
+        self._execute = execute
+        self._label = label
+        self._pending: list[tuple[object, Event | None]] = []
+        self._busy = False
+        #: One-way notices that failed with a benign protocol error (e.g.
+        #: the reaper aborted the version before the notice arrived) — a
+        #: real VM logs and moves on, so the office counts and moves on.
+        self.dropped = 0
+
+    def submit(self, request: object) -> Generator[Event, object, object]:
+        """Enqueue ``request`` and wait for its batch; returns the
+        per-request result (exception instances are raised)."""
+        done = self._dep.simulator.event()
+        self._enqueue(request, done)
+        result = yield done
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def post(self, request: object) -> None:
+        """Enqueue ``request`` without waiting (one-way notification)."""
+        self._enqueue(request, None)
+
+    def post_delayed(self, request: object, delay: float) -> None:
+        """Enqueue ``request`` after ``delay`` (the one-way network transit
+        of a fire-and-forget notice), without the sender waiting."""
+
+        def arrive() -> Generator[Event, object, None]:
+            yield self._dep.simulator.timeout(delay)
+            self._enqueue(request, None)
+
+        self._dep.simulator.process(arrive())
+
+    def _enqueue(self, request: object, done: Event | None) -> None:
+        self._pending.append((request, done))
+        if not self._busy:
+            self._busy = True
+            self._dep.simulator.process(self._drain())
+
+    def _drain(self) -> Generator[Event, object, None]:
+        dep = self._dep
+        cfg = dep.sim_config
+        per_request = 64 / cfg.nic_bandwidth
+        try:
+            while self._pending:
+                batch = self._pending
+                self._pending = []
+                # The serialized VM cost is paid once per BATCH: this is the
+                # whole point of group commit — N piled-up requests cost one
+                # service round, not N.
+                yield dep.vm_node.tx.use(
+                    cfg.version_manager_service_time + per_request * len(batch)
+                )
+                results = self._execute([request for request, _done in batch])
+                for (request, done), result in zip(batch, results):
+                    if done is not None:
+                        done.succeed(result)
+                    elif isinstance(result, BlobSeerError):
+                        # A fire-and-forget notice lost a benign race (the
+                        # reaper aborted its version first, a duplicate
+                        # notice, ...): drop it, keep the office alive.
+                        self.dropped += 1
+                    elif isinstance(result, BaseException):
+                        raise result
+        finally:
+            # Even if a result was a genuine bug (raised above), the office
+            # must stay drainable for the rest of the run.
+            self._busy = False
 
 
 class SimDeployment:
@@ -74,6 +165,11 @@ class SimDeployment:
         #: NIC state — which is what gives repeated runs a warm regime;
         #: :meth:`clear_node_caches` restores a cold start.
         self._node_caches: dict[str, NodeCache] = {}
+        #: One version-lease cache per *machine* (same keying): leased
+        #: GET_RECENT answers and immutable VM facts let warm repeated
+        #: reads skip the version-manager RPC entirely.  None per machine
+        #: when the config disables leasing.
+        self._version_leases: dict[str, LeaseCache] = {}
         self.reset_timing()
 
     # -- timing / topology -----------------------------------------------------
@@ -99,6 +195,15 @@ class SimDeployment:
                 for index in range(self.config.num_metadata_providers)
             ]
         self._client_nodes = {}
+        # The VM-side group-commit offices are bound to the simulator, so
+        # they are rebuilt with it; their batches flow through the service's
+        # multi-ops, so VMStats accumulate across timing resets.
+        self.ticket_office = SimVersionOffice(
+            self, self.version_manager.multi_register, "register"
+        )
+        self.publish_office = SimVersionOffice(
+            self, self.version_manager.multi_complete, "publish"
+        )
 
     def client_node(self, index: int) -> SimNode:
         """Node hosting client ``index`` (created on demand)."""
@@ -132,10 +237,36 @@ class SimDeployment:
             self.cluster.register_node_cache(cache)
         return cache
 
+    def version_lease_for(self, node: SimNode) -> LeaseCache | None:
+        """The version-lease cache of the machine hosting ``node``.
+
+        None when the deployment config disables leasing
+        (``vm_lease_ttl=None``).  Like the node caches, lease caches are
+        machine state: co-located clients share one, they survive
+        :meth:`reset_timing`, and the TTL runs on the simulator's virtual
+        clock.  Publish notifications from the (shared) version manager
+        renew them, modelling the notification fan-out of the service.
+        """
+        if self.config.vm_lease_ttl is None:
+            return None
+        cache = self._version_leases.get(node.name)
+        if cache is None:
+            cache = LeaseCache(
+                self.version_manager,
+                ttl=self.config.vm_lease_ttl,
+                max_entries=self.config.vm_lease_entries,
+                clock=lambda: self.simulator.now,
+            )
+            self._version_leases[node.name] = cache
+        return cache
+
     def clear_node_caches(self) -> None:
-        """Drop every machine's cached metadata (cold-start measurements)."""
+        """Drop every machine's cached metadata AND version leases
+        (cold-start measurements)."""
         for cache in self._node_caches.values():
             cache.clear()
+        for lease in self._version_leases.values():
+            lease.clear()
 
     def node_cache_stats(self) -> CacheStats:
         """Aggregate :class:`~repro.cache.CacheStats` over every machine."""
@@ -173,6 +304,11 @@ class SimDeployment:
     @property
     def version_manager(self):
         return self.cluster.version_manager
+
+    def vm_stats(self):
+        """Service-side version-manager counters (requests vs batches) —
+        accumulated across timing resets; see :class:`repro.vm.VMStats`."""
+        return self.cluster.version_manager.vm_stats()
 
     @property
     def provider_manager(self):

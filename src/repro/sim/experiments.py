@@ -35,6 +35,9 @@ class AppendSample:
     #: touched, and one metadata trip per border frontier + publish.
     data_round_trips: int = 0
     metadata_round_trips: int = 0
+    #: Version-manager round trips: the group-committed ticket request plus
+    #: the one-way (pipelined) completion notice.
+    vm_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -60,12 +63,17 @@ class ReadConcurrencySample:
     #: frontier of the tree traversal.
     avg_data_round_trips: float = 0.0
     avg_metadata_round_trips: float = 0.0
+    #: Version-manager round trips per READ (1 cold — the combined
+    #: publication check — and 0 once the machine's version lease holds
+    #: the snapshot's published size).
+    avg_vm_round_trips: float = 0.0
     #: Metadata cache hit rate of the cold pass (~0 on a cold start).
     avg_cache_hit_rate: float = 0.0
     #: Warm repeated-read pass (zeros unless ``measure_warm=True``).
     warm_avg_bandwidth_mbps: float = 0.0
     warm_avg_metadata_nodes_fetched: float = 0.0
     warm_avg_metadata_round_trips: float = 0.0
+    warm_avg_vm_round_trips: float = 0.0
     warm_avg_cache_hit_rate: float = 0.0
 
 
@@ -121,6 +129,7 @@ def run_append_growth_experiment(
                 border_nodes_fetched=outcome.border_nodes_fetched,
                 data_round_trips=outcome.data_round_trips,
                 metadata_round_trips=outcome.metadata_round_trips,
+                vm_round_trips=outcome.vm_round_trips,
             )
         )
     return samples
@@ -215,6 +224,9 @@ def run_read_concurrency_experiment(
                 avg_metadata_round_trips=mean(
                     outcome.metadata_round_trips for outcome in outcomes
                 ),
+                avg_vm_round_trips=mean(
+                    outcome.vm_round_trips for outcome in outcomes
+                ),
                 avg_cache_hit_rate=mean(
                     outcome.cache_hit_rate for outcome in outcomes
                 ),
@@ -230,6 +242,11 @@ def run_read_concurrency_experiment(
                 ),
                 warm_avg_metadata_round_trips=(
                     mean(outcome.metadata_round_trips for outcome in warm)
+                    if warm
+                    else 0.0
+                ),
+                warm_avg_vm_round_trips=(
+                    mean(outcome.vm_round_trips for outcome in warm)
                     if warm
                     else 0.0
                 ),

@@ -200,3 +200,37 @@ class Network:
         yield self._sim.timeout(config.latency)
         yield dst.tx.use(service_time + serialization)
         yield self._sim.timeout(config.latency)
+
+    def small_request(
+        self,
+        src: SimNode,
+        dst: SimNode,
+        payload_bytes: int = 64,
+    ) -> Generator[Event, object, None]:
+        """The request leg of a small exchange: framing at the sender plus
+        one-way latency.  Used when the serving side is modelled separately
+        (the version manager's group-commit ticket office charges its
+        service time once per *batch*, not per request)."""
+        config = self._config
+        serialization = payload_bytes / config.nic_bandwidth
+        self.bytes_moved += payload_bytes
+        yield src.tx.use(config.metadata_rpc_overhead + serialization)
+        yield self._sim.timeout(config.latency)
+
+    def send_frame(
+        self,
+        src: SimNode,
+        payload_bytes: int = 64,
+    ) -> Generator[Event, object, None]:
+        """The sender-side cost of a small ONE-WAY message: framing plus
+        send serialization, no waiting.
+
+        This is the pipelined-publication model: a writer streams its
+        completion notice to the version manager and moves on — transit and
+        the (batched) processing at the VM proceed behind its back, driven
+        by the receiving office.
+        """
+        config = self._config
+        serialization = payload_bytes / config.nic_bandwidth
+        self.bytes_moved += payload_bytes
+        yield src.tx.use(config.metadata_rpc_overhead + serialization)

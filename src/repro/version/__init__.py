@@ -7,12 +7,24 @@ supplies writers with the information needed to compute border nodes without
 waiting for concurrent writers (Section 4.2).
 """
 
-from .records import BlobRecord, InFlightUpdate, UpdateTicket, resolve_owner
-from .version_manager import VersionManager
+from .records import (
+    BlobRecord,
+    CompletionNotice,
+    InFlightUpdate,
+    RecencyLease,
+    RegisterRequest,
+    UpdateTicket,
+    resolve_owner,
+)
+from .version_manager import PublishListener, VersionManager
 
 __all__ = [
     "BlobRecord",
+    "CompletionNotice",
     "InFlightUpdate",
+    "PublishListener",
+    "RecencyLease",
+    "RegisterRequest",
     "UpdateTicket",
     "resolve_owner",
     "VersionManager",

@@ -44,6 +44,55 @@ def resolve_owner(record: BlobRecord, version: int) -> str:
 
 
 @dataclass(frozen=True)
+class RegisterRequest:
+    """One WRITE/APPEND registration travelling in a ``multi_register`` batch.
+
+    The wire form of the version-manager request of Section 4.2: the group
+    commit window (:class:`repro.vm.batching.TicketWindow`) coalesces many
+    concurrent requests into one batch, and the version manager answers each
+    with an :class:`UpdateTicket` (or a per-request error).
+    """
+
+    blob_id: str
+    size: int
+    offset: int | None = None
+    is_append: bool = False
+
+
+@dataclass(frozen=True)
+class CompletionNotice:
+    """One completion/abort notification in a ``multi_complete`` batch.
+
+    ``kind`` is ``"complete"`` (Algorithm 2, line 12 — the writer succeeded)
+    or ``"abort"`` (the extension over the paper: the writer gave up and the
+    version becomes a hole).  Notices of one batch are applied strictly in
+    list order, so an abort filed between two completions behaves exactly as
+    three sequential RPCs would.
+    """
+
+    blob_id: str
+    version: int
+    kind: str = "complete"
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class RecencyLease:
+    """A snapshot of a blob's publication state, used for client leases.
+
+    ``epoch`` is the blob's published watermark at the time of the snapshot;
+    it increases monotonically with every publication, so a client holding a
+    lease can tell whether a cached ``(version, size)`` pair predates a
+    publish notification (see :class:`repro.vm.lease.LeaseCache`).
+    """
+
+    blob_id: str
+    version: int
+    size: int
+    epoch: int
+
+
+@dataclass(frozen=True)
 class InFlightUpdate:
     """An update that has been assigned a version but is not yet published."""
 

@@ -15,16 +15,27 @@ Responsibilities (Sections 3.1, 4.2 and 4.3 of the paper):
 Extension beyond the paper: updates can be aborted explicitly or reaped
 after a configurable timeout so that one crashed writer cannot stall
 publication forever (the paper defers fault tolerance to future work).
+
+Batched service semantics (PR 4, see :mod:`repro.vm`): the per-call methods
+are retained, but the heavy lifting now lives in :meth:`multi_register` and
+:meth:`multi_complete`, which apply a whole batch of registrations or
+completion/abort notices with ONE condition acquisition per blob touched —
+the server-side half of the group-commit protocol.  Publication events are
+fanned out to subscribers (client lease caches) *after* the blob lock is
+released, so leased ``GET_RECENT`` answers are invalidated/renewed the
+moment a snapshot becomes visible.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..config import BlobSeerConfig
 from ..errors import (
+    BlobSeerError,
     ConcurrencyError,
     InvalidRangeError,
     UnknownBlobError,
@@ -33,7 +44,19 @@ from ..errors import (
 )
 from ..util.ids import IdGenerator
 from ..util.ranges import covering_page_range
-from .records import BlobRecord, InFlightUpdate, UpdateTicket
+from .records import (
+    BlobRecord,
+    CompletionNotice,
+    InFlightUpdate,
+    RecencyLease,
+    RegisterRequest,
+    UpdateTicket,
+)
+
+#: Listener signature for publish notifications: called with the blob's
+#: fresh :class:`RecencyLease` after every publication advance, outside of
+#: any version-manager lock.
+PublishListener = Callable[[RecencyLease], None]
 
 
 @dataclass
@@ -73,6 +96,29 @@ class VersionManager:
         self._ids = id_generator if id_generator is not None else IdGenerator("bs")
         self._blobs: dict[str, _BlobState] = {}
         self._lock = threading.Lock()
+        self._publish_listeners: list[PublishListener] = []
+
+    # ---------------------------------------------------------- notifications
+    def subscribe_publications(self, listener: PublishListener) -> None:
+        """Register a callback invoked with a fresh :class:`RecencyLease`
+        every time a blob's publication watermark advances.
+
+        Listeners run *outside* the blob condition (no lock-order hazards)
+        on whichever thread triggered the advance.  Client lease caches use
+        this to invalidate/renew their ``GET_RECENT`` leases the moment a
+        snapshot becomes visible — the push half of the lease protocol.
+        """
+        with self._lock:
+            self._publish_listeners.append(listener)
+
+    def _notify_publications(self, leases: list[RecencyLease]) -> None:
+        if not leases:
+            return
+        with self._lock:
+            listeners = list(self._publish_listeners)
+        for lease in leases:
+            for listener in listeners:
+                listener(lease)
 
     # ------------------------------------------------------------------ blobs
     def create_blob(self, page_size: int | None = None) -> BlobRecord:
@@ -148,49 +194,97 @@ class VersionManager:
         :class:`UpdateTicket` carrying everything the writer needs to build
         its metadata without waiting on concurrent writers.
         """
+        request = RegisterRequest(
+            blob_id=blob_id, size=size, offset=offset, is_append=is_append
+        )
+        result = self.multi_register([request])[0]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def multi_register(
+        self, requests: Sequence[RegisterRequest]
+    ) -> list[UpdateTicket | BaseException]:
+        """Apply a batch of registrations with ONE condition acquisition per
+        blob touched — the server side of group-commit ticketing.
+
+        Requests are processed in list order, so tickets of one blob are
+        assigned in submission order (per-blob ticket order is preserved).
+        Each request succeeds or fails independently: the result list is
+        aligned with ``requests`` and holds an :class:`UpdateTicket` or the
+        exception that single registration raised — one bad offset cannot
+        poison the rest of the batch.
+        """
+        results: list[UpdateTicket | BaseException] = [None] * len(requests)
+        by_blob: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            by_blob.setdefault(request.blob_id, []).append(index)
+        published: list[RecencyLease] = []
+        for blob_id, indices in by_blob.items():
+            try:
+                state = self._state(blob_id)
+            except UnknownBlobError as error:
+                for index in indices:
+                    results[index] = error
+                continue
+            with state.condition:
+                advanced = self._reap_expired_locked(state)
+                for index in indices:
+                    try:
+                        results[index] = self._register_locked(
+                            state, requests[index]
+                        )
+                    except BlobSeerError as error:
+                        results[index] = error
+                if advanced:
+                    published.append(self._lease_locked(state))
+        self._notify_publications(published)
+        return results
+
+    def _register_locked(
+        self, state: _BlobState, request: RegisterRequest
+    ) -> UpdateTicket:
+        """Assign one version under the blob's (already held) condition."""
+        blob_id = request.blob_id
+        size = request.size
         if size <= 0:
             raise InvalidRangeError("updates must write at least one byte")
-        state = self._state(blob_id)
         page_size = state.record.page_size
-        with state.condition:
-            self._reap_expired_locked(state)
-            prev_version = state.next_version - 1
-            prev_size = state.sizes[prev_version]
-            if is_append:
-                byte_offset = prev_size
-            else:
-                if offset is None:
-                    raise InvalidRangeError("WRITE requires an explicit offset")
-                if offset > prev_size:
-                    raise InvalidRangeError(
-                        f"write offset {offset} is beyond the size {prev_size} "
-                        f"of snapshot {prev_version}"
-                    )
-                byte_offset = offset
+        prev_version = state.next_version - 1
+        prev_size = state.sizes[prev_version]
+        if request.is_append:
+            byte_offset = prev_size
+        else:
+            if request.offset is None:
+                raise InvalidRangeError("WRITE requires an explicit offset")
+            if request.offset > prev_size:
+                raise InvalidRangeError(
+                    f"write offset {request.offset} is beyond the size "
+                    f"{prev_size} of snapshot {prev_version}"
+                )
+            byte_offset = request.offset
 
-            version = state.next_version
-            state.next_version += 1
-            new_size = max(prev_size, byte_offset + size)
-            state.sizes[version] = new_size
+        version = state.next_version
+        state.next_version += 1
+        new_size = max(prev_size, byte_offset + size)
+        state.sizes[version] = new_size
 
-            published_version = self._recent_locked(state)
-            published_size = state.sizes[published_version]
+        published_version = self._recent_locked(state)
+        published_size = state.sizes[published_version]
 
-            inflight = tuple(
-                InFlightUpdate(entry.version, entry.page_offset, entry.page_count)
-                for entry in sorted(state.inflight.values(), key=lambda e: e.version)
-                if not entry.aborted and entry.version < version
-            )
+        inflight = tuple(
+            InFlightUpdate(entry.version, entry.page_offset, entry.page_count)
+            for entry in sorted(state.inflight.values(), key=lambda e: e.version)
+            if not entry.aborted and entry.version < version
+        )
 
-            page_offset, page_count = covering_page_range(
-                byte_offset, size, page_size
-            )
-            state.inflight[version] = _InFlightState(
-                version=version,
-                page_offset=page_offset,
-                page_count=page_count,
-                registered_at=time.monotonic(),
-            )
+        page_offset, page_count = covering_page_range(byte_offset, size, page_size)
+        state.inflight[version] = _InFlightState(
+            version=version,
+            page_offset=page_offset,
+            page_count=page_count,
+            registered_at=time.monotonic(),
+        )
 
         return UpdateTicket(
             blob_id=blob_id,
@@ -213,18 +307,10 @@ class VersionManager:
         later completed updates — as soon as every earlier version is
         published, preserving total order.
         """
-        state = self._state(blob_id)
-        with state.condition:
-            if version in state.aborted:
-                raise UpdateAbortedError(blob_id, version, "aborted before completion")
-            entry = state.inflight.get(version)
-            if entry is None:
-                raise ConcurrencyError(
-                    f"version {version} of blob {blob_id!r} was never assigned "
-                    "or is already published"
-                )
-            entry.completed = True
-            self._advance_publication_locked(state)
+        notice = CompletionNotice(blob_id=blob_id, version=version)
+        result = self.multi_complete([notice])[0]
+        if isinstance(result, BaseException):
+            raise result
 
     def abort_update(self, blob_id: str, version: int, reason: str = "") -> None:
         """Abort an in-flight update so publication of later versions proceeds.
@@ -234,15 +320,70 @@ class VersionManager:
         assumes writers never fail); see DESIGN.md for its limitations under
         concurrency.
         """
-        state = self._state(blob_id)
-        with state.condition:
-            entry = state.inflight.get(version)
+        notice = CompletionNotice(
+            blob_id=blob_id, version=version, kind="abort", reason=reason
+        )
+        result = self.multi_complete([notice])[0]
+        if isinstance(result, BaseException):
+            raise result
+
+    def multi_complete(
+        self, notices: Sequence[CompletionNotice]
+    ) -> list[None | BaseException]:
+        """Apply a batch of completion/abort notices with ONE condition
+        acquisition — and one publication advance — per blob touched.
+
+        Notices are applied strictly in list order (so an abort filed
+        mid-batch lands between the completions around it, exactly like
+        three sequential RPCs), each succeeding or failing independently;
+        publication advances once per blob after its notices are applied,
+        which is what makes N queued completions cost O(batches) instead of
+        O(N) lock rounds.
+        """
+        results: list[None | BaseException] = [None] * len(notices)
+        by_blob: dict[str, list[int]] = {}
+        for index, notice in enumerate(notices):
+            by_blob.setdefault(notice.blob_id, []).append(index)
+        published: list[RecencyLease] = []
+        for blob_id, indices in by_blob.items():
+            try:
+                state = self._state(blob_id)
+            except UnknownBlobError as error:
+                for index in indices:
+                    results[index] = error
+                continue
+            with state.condition:
+                for index in indices:
+                    try:
+                        self._apply_notice_locked(state, notices[index])
+                    except BlobSeerError as error:
+                        results[index] = error
+                if self._advance_publication_locked(state):
+                    published.append(self._lease_locked(state))
+        self._notify_publications(published)
+        return results
+
+    def _apply_notice_locked(
+        self, state: _BlobState, notice: CompletionNotice
+    ) -> None:
+        blob_id = notice.blob_id
+        version = notice.version
+        entry = state.inflight.get(version)
+        if notice.kind == "abort":
             if entry is None:
                 raise ConcurrencyError(
                     f"version {version} of blob {blob_id!r} is not in flight"
                 )
             self._abort_locked(state, entry)
-            self._advance_publication_locked(state)
+            return
+        if version in state.aborted:
+            raise UpdateAbortedError(blob_id, version, "aborted before completion")
+        if entry is None:
+            raise ConcurrencyError(
+                f"version {version} of blob {blob_id!r} was never assigned "
+                "or is already published"
+            )
+        entry.completed = True
 
     def _abort_locked(self, state: _BlobState, entry: _InFlightState) -> None:
         """Mark an in-flight entry aborted.
@@ -258,7 +399,10 @@ class VersionManager:
         if entry.version == state.next_version - 1:
             state.sizes[entry.version] = state.sizes[entry.version - 1]
 
-    def _advance_publication_locked(self, state: _BlobState) -> None:
+    def _advance_publication_locked(self, state: _BlobState) -> bool:
+        """Publish every contiguously completed/aborted version; return True
+        when the watermark moved (the caller notifies lease subscribers
+        after releasing the condition)."""
         advanced = False
         while True:
             candidate = state.published + 1
@@ -270,18 +414,19 @@ class VersionManager:
             advanced = True
         if advanced:
             state.condition.notify_all()
+        return advanced
 
-    def _reap_expired_locked(self, state: _BlobState) -> None:
+    def _reap_expired_locked(self, state: _BlobState) -> bool:
         timeout = self._config.update_timeout
         if timeout is None:
-            return
+            return False
         now = time.monotonic()
         for entry in list(state.inflight.values()):
             if entry.completed or entry.aborted:
                 continue
             if now - entry.registered_at > timeout:
                 self._abort_locked(state, entry)
-        self._advance_publication_locked(state)
+        return self._advance_publication_locked(state)
 
     # ---------------------------------------------------------------- queries
     def _recent_locked(self, state: _BlobState) -> int:
@@ -289,6 +434,15 @@ class VersionManager:
         while version > 0 and version in state.aborted:
             version -= 1
         return version
+
+    def _lease_locked(self, state: _BlobState) -> RecencyLease:
+        recent = self._recent_locked(state)
+        return RecencyLease(
+            blob_id=state.record.blob_id,
+            version=recent,
+            size=state.sizes[recent],
+            epoch=state.published,
+        )
 
     def _is_published_locked(self, state: _BlobState, version: int) -> bool:
         return 0 <= version <= state.published and version not in state.aborted
@@ -315,6 +469,63 @@ class VersionManager:
             if not self._is_published_locked(state, version):
                 raise VersionNotPublishedError(blob_id, version)
             return state.sizes[version]
+
+    def check_read(self, blob_id: str, version: int) -> int:
+        """Combined READ precondition: IS_PUBLISHED + GET_SIZE in one call.
+
+        Returns the snapshot size when ``version`` is published, raises
+        :class:`VersionNotPublishedError` otherwise — one RPC where the read
+        path used to spend two.  A published version's size is immutable,
+        so clients may cache the answer forever (the fact half of
+        :class:`repro.vm.lease.LeaseCache`).
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            if not self._is_published_locked(state, version):
+                raise VersionNotPublishedError(blob_id, version)
+            return state.sizes[version]
+
+    def multi_check_read(
+        self, queries: Sequence[tuple[str, int]]
+    ) -> list[int | BaseException]:
+        """Batched :meth:`check_read`: one condition acquisition per blob.
+
+        ``queries`` are ``(blob_id, version)`` pairs; the result list is
+        aligned, each slot holding the snapshot size or the exception that
+        query raised.  The read-side counterpart of ``multi_register``, for
+        clients that validate many snapshots at once (a scanner opening
+        every version of a dataset, a GC pass sizing its keep set).
+        """
+        results: list[int | BaseException] = [None] * len(queries)
+        by_blob: dict[str, list[int]] = {}
+        for index, (blob_id, _version) in enumerate(queries):
+            by_blob.setdefault(blob_id, []).append(index)
+        for blob_id, indices in by_blob.items():
+            try:
+                state = self._state(blob_id)
+            except UnknownBlobError as error:
+                for index in indices:
+                    results[index] = error
+                continue
+            with state.condition:
+                for index in indices:
+                    version = queries[index][1]
+                    if self._is_published_locked(state, version):
+                        results[index] = state.sizes[version]
+                    else:
+                        results[index] = VersionNotPublishedError(blob_id, version)
+        return results
+
+    def recent_lease(self, blob_id: str) -> RecencyLease:
+        """GET_RECENT plus the size and publication epoch, for client leases.
+
+        The epoch is the blob's published watermark: a client holding a
+        lease with epoch ``e`` knows its cached answer is current as long as
+        no publish notification with a larger epoch has arrived.
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            return self._lease_locked(state)
 
     def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
         """SYNC: block until ``version`` is published.

@@ -1,0 +1,214 @@
+"""The version-manager service front-end: batched, pipelined RPC semantics.
+
+:class:`VersionManagerService` wraps the core
+:class:`~repro.version.version_manager.VersionManager` state machine with
+the client-facing service behaviour of this PR:
+
+* ``register_update`` goes through a :class:`~repro.vm.batching.TicketWindow`
+  — concurrent registrations coalesce into one ``multi_register`` batch per
+  drain round (one lock acquisition per blob per batch);
+* ``complete_update`` / ``abort_update`` go through a
+  :class:`~repro.vm.batching.PublishQueue` — notifications drain in order
+  batches of ``multi_complete``, advancing publication once per blob per
+  batch;
+* every call is counted in :class:`VMStats`, so benchmarks and tests can
+  see both sides of the amortization: per-operation ``vm_round_trips`` on
+  the client and requests-vs-batches on the service.
+
+The service exposes the complete VersionManager API (queries forward
+unchanged), so a :class:`~repro.core.cluster.Cluster` can hand it out as
+``cluster.version_manager`` and every existing caller — the threaded
+client, the simulator, the tools — keeps working.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..version.records import (
+    BlobRecord,
+    CompletionNotice,
+    RecencyLease,
+    RegisterRequest,
+    UpdateTicket,
+)
+from ..version.version_manager import PublishListener, VersionManager
+from .batching import BatchStats, PublishQueue, TicketWindow
+
+
+@dataclass(frozen=True)
+class VMStats:
+    """Service-side counters of version-manager traffic.
+
+    ``register_requests`` vs ``register_batches`` (and the ``publish_*``
+    pair) quantify the group-commit amortization: N concurrent appends that
+    needed N ticket-issuance lock rounds before this PR now show
+    ``register_batches < register_requests``.  The query counters cover the
+    read-side calls the client leases exist to avoid.
+    """
+
+    register_requests: int = 0
+    register_batches: int = 0
+    register_max_batch: int = 0
+    publish_requests: int = 0
+    publish_batches: int = 0
+    publish_max_batch: int = 0
+    recent_calls: int = 0
+    check_read_calls: int = 0
+    check_read_batches: int = 0
+    size_calls: int = 0
+    record_calls: int = 0
+    sync_calls: int = 0
+
+    @property
+    def lock_rounds_saved(self) -> int:
+        """Serialized VM rounds group commit removed."""
+        return (self.register_requests - self.register_batches) + (
+            self.publish_requests - self.publish_batches
+        )
+
+
+class VersionManagerService:
+    """Group-commit + lease-aware front-end over a :class:`VersionManager`."""
+
+    def __init__(self, core: VersionManager):
+        self.core = core
+        self._window = TicketWindow(core.multi_register)
+        self._queue = PublishQueue(core.multi_complete)
+        self._counter_lock = threading.Lock()
+        self._recent_calls = 0
+        self._check_read_calls = 0
+        self._check_read_batches = 0
+        self._size_calls = 0
+        self._record_calls = 0
+        self._sync_calls = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def create_blob(self, page_size: int | None = None) -> BlobRecord:
+        return self.core.create_blob(page_size)
+
+    def branch(self, blob_id: str, version: int) -> BlobRecord:
+        return self.core.branch(blob_id, version)
+
+    def blob_ids(self) -> list[str]:
+        return self.core.blob_ids()
+
+    # ------------------------------------------------------------ update path
+    def register_update(
+        self,
+        blob_id: str,
+        size: int,
+        offset: int | None = None,
+        is_append: bool = False,
+    ) -> UpdateTicket:
+        """Assign a version through the group-commit ticket window."""
+        return self._window.register(
+            RegisterRequest(
+                blob_id=blob_id, size=size, offset=offset, is_append=is_append
+            )
+        )
+
+    def multi_register(
+        self, requests: Sequence[RegisterRequest]
+    ) -> list[UpdateTicket | BaseException]:
+        """Pre-batched registration (the simulator's ticket office uses
+        this); counted as one window batch."""
+        return self._window.submit_batch(requests)
+
+    def complete_update(self, blob_id: str, version: int) -> None:
+        """Notify success through the pipelined publish queue."""
+        self._queue.notify(CompletionNotice(blob_id=blob_id, version=version))
+
+    def abort_update(self, blob_id: str, version: int, reason: str = "") -> None:
+        """Notify failure through the same ordered queue, so an abort lands
+        exactly where it was filed relative to concurrent completions."""
+        self._queue.notify(
+            CompletionNotice(
+                blob_id=blob_id, version=version, kind="abort", reason=reason
+            )
+        )
+
+    def multi_complete(
+        self, notices: Sequence[CompletionNotice]
+    ) -> list[None | BaseException]:
+        """Pre-batched completion notices; counted as one queue batch."""
+        return self._queue.submit_batch(notices)
+
+    # --------------------------------------------------------------- queries
+    def get_record(self, blob_id: str) -> BlobRecord:
+        with self._counter_lock:
+            self._record_calls += 1
+        return self.core.get_record(blob_id)
+
+    def get_recent(self, blob_id: str) -> int:
+        with self._counter_lock:
+            self._recent_calls += 1
+        return self.core.get_recent(blob_id)
+
+    def recent_lease(self, blob_id: str) -> RecencyLease:
+        with self._counter_lock:
+            self._recent_calls += 1
+        return self.core.recent_lease(blob_id)
+
+    def is_published(self, blob_id: str, version: int) -> bool:
+        return self.core.is_published(blob_id, version)
+
+    def get_size(self, blob_id: str, version: int) -> int:
+        with self._counter_lock:
+            self._size_calls += 1
+        return self.core.get_size(blob_id, version)
+
+    def check_read(self, blob_id: str, version: int) -> int:
+        with self._counter_lock:
+            self._check_read_calls += 1
+            self._check_read_batches += 1
+        return self.core.check_read(blob_id, version)
+
+    def multi_check_read(
+        self, queries: Sequence[tuple[str, int]]
+    ) -> list[int | BaseException]:
+        """Batched publication checks — one VM round for many snapshots."""
+        with self._counter_lock:
+            self._check_read_calls += len(queries)
+            self._check_read_batches += 1
+        return self.core.multi_check_read(queries)
+
+    def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
+        with self._counter_lock:
+            self._sync_calls += 1
+        self.core.sync(blob_id, version, timeout)
+
+    def inflight_count(self, blob_id: str) -> int:
+        return self.core.inflight_count(blob_id)
+
+    # --------------------------------------------------------- notifications
+    def subscribe_publications(self, listener: PublishListener) -> None:
+        self.core.subscribe_publications(listener)
+
+    # ---------------------------------------------------------- introspection
+    def ticket_window_stats(self) -> BatchStats:
+        return self._window.stats()
+
+    def publish_queue_stats(self) -> BatchStats:
+        return self._queue.stats()
+
+    def vm_stats(self) -> VMStats:
+        window = self._window.stats()
+        queue = self._queue.stats()
+        with self._counter_lock:
+            return VMStats(
+                register_requests=window.requests,
+                register_batches=window.batches,
+                register_max_batch=window.max_batch,
+                publish_requests=queue.requests,
+                publish_batches=queue.batches,
+                publish_max_batch=queue.max_batch,
+                recent_calls=self._recent_calls,
+                check_read_calls=self._check_read_calls,
+                check_read_batches=self._check_read_batches,
+                size_calls=self._size_calls,
+                record_calls=self._record_calls,
+                sync_calls=self._sync_calls,
+            )

@@ -183,7 +183,7 @@ class TestMetadataCache:
         assert stats.cache is None
         assert stats.metadata_cache_hits == 0
         assert store.cache_stats() == CacheStats()
-        # The legacy positional 3-tuple survives one release behind a
-        # DeprecationWarning.
-        with pytest.deprecated_call():
-            assert store.metadata_cache_stats() == (0, 0, 0)
+        # The legacy metadata_cache_stats() positional shim was removed one
+        # release after deprecation, as promised.
+        assert not hasattr(store, "metadata_cache_stats")
+        assert store.cache_stats().as_tuple() == (0, 0, 0)

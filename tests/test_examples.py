@@ -27,6 +27,7 @@ def load_example(name: str):
         "branching_pipelines",
         "simulated_grid_run",
         "dataset_curation",
+        "version_leases",
     ],
 )
 def test_example_runs_to_completion(name, capsys):
@@ -54,6 +55,13 @@ def test_branching_pipelines_storage_savings(capsys):
     load_example("branching_pipelines").main()
     output = capsys.readouterr().out
     assert "full copies would need" in output
+
+
+def test_version_leases_demonstrates_zero_trip_reads(capsys):
+    load_example("version_leases").main()
+    output = capsys.readouterr().out
+    assert "vm_round_trips=0 (lease hit)" in output
+    assert "rounds saved by group commit" in output
 
 
 def test_dataset_curation_reports_and_collects(capsys):

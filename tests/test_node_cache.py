@@ -239,7 +239,10 @@ class TestCacheStats:
         assert stats.as_tuple() == (3, 1, 4)
         assert CacheStats().hit_rate == 0.0
 
-    def test_deprecated_shim_matches_structured_stats(self):
+    def test_structured_stats_reflect_store_traffic(self):
+        # The deprecated metadata_cache_stats() tuple shim is gone; the
+        # structured CacheStats (and its as_tuple() escape hatch) carry the
+        # same information.
         cluster = small_cluster()
         store = BlobStore(cluster, node_cache=NodeCache())
         blob_id = store.create()
@@ -247,10 +250,9 @@ class TestCacheStats:
         store.sync(blob_id, version)
         store.read(blob_id, version, 0, 4 * PAGE)
         stats = store.cache_stats()
-        with pytest.deprecated_call():
-            assert store.metadata_cache_stats() == (
-                stats.hits, stats.misses, stats.entries,
-            )
+        assert not hasattr(store, "metadata_cache_stats")
+        assert stats.as_tuple() == (stats.hits, stats.misses, stats.entries)
+        assert stats.hits + stats.misses > 0
 
 
 # --------------------------------------------------------------- property test
