@@ -49,13 +49,17 @@ _HIGHER_IS_BETTER = (
     "warm_avg_bandwidth_mbps",
     "cache_hit_rate",
     "warm_cache_hit_rate",
+    "page_cache_hit_rate",
+    "warm_page_cache_hit_rate",
 )
 
 #: Metrics where smaller is better (gate on growth): round-trip and
 #: node-count counters.  ``warm_meta_nodes_per_read`` must stay ~0 — warm
 #: traversals fetching nodes from the DHT again is a cache regression —
-#: and ``warm_vm_trips_per_read`` likewise: warm reads paying the version
-#: manager again is a lease regression.
+#: ``warm_vm_trips_per_read`` likewise (warm reads paying the version
+#: manager again is a lease regression), and ``warm_data_trips_per_read``
+#: must stay 0: warm reads paying the data providers again is a
+#: page-cache regression.
 _LOWER_IS_BETTER = (
     "meta_nodes_per_read",
     "meta_trips_per_read",
@@ -63,6 +67,7 @@ _LOWER_IS_BETTER = (
     "vm_trips_per_read",
     "warm_meta_nodes_per_read",
     "warm_meta_trips_per_read",
+    "warm_data_trips_per_read",
     "warm_vm_trips_per_read",
     "metadata_nodes",
     "border_fetches",

@@ -15,8 +15,9 @@ Package layout:
 
 * :mod:`repro.core` — client API (CREATE/WRITE/APPEND/READ/SYNC/BRANCH) and
   in-process cluster wiring.
-* :mod:`repro.cache` — the shared, sharded, LRU-bounded cache for immutable
-  metadata tree nodes that every client reads through.
+* :mod:`repro.cache` — the shared, sharded, LRU-bounded caches for
+  immutable metadata tree nodes AND immutable page payloads that every
+  client reads through (one common sharded-LRU core).
 * :mod:`repro.metadata` — the distributed segment tree (the paper's core
   contribution).
 * :mod:`repro.version` — version manager (total order, publication, SYNC).
@@ -30,7 +31,13 @@ Package layout:
 * :mod:`repro.bench` — harnesses regenerating the paper's figures.
 """
 
-from .cache import CacheStats, NodeCache, shared_node_cache
+from .cache import (
+    CacheStats,
+    NodeCache,
+    PageCache,
+    shared_node_cache,
+    shared_page_cache,
+)
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
 from .core import Blob, BlobStore, Cluster
 from .vm import LeaseCache, VersionManagerService, VMStats
@@ -51,7 +58,9 @@ __all__ = [
     "CacheStats",
     "Cluster",
     "NodeCache",
+    "PageCache",
     "shared_node_cache",
+    "shared_page_cache",
     "BlobSeerConfig",
     "LeaseCache",
     "VersionManagerService",

@@ -19,6 +19,9 @@ its text:
 * ABL-vm      — the version-manager service: per-read VM round trips with
                 and without client leases, and the group-commit window's
                 requests-vs-batches amortization under concurrent writers.
+* ABL-pagecache — the shared page payload cache: provider traffic saved on
+                warm repeated reads, hit rates, and byte-budget enforcement
+                under eviction pressure.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from ..baselines.centralized import (
     run_centralized_read_experiment,
 )
 from ..baselines.fullcopy import FullCopyVersionedStore
-from ..cache import NodeCache
+from ..cache import NodeCache, PageCache
 from ..config import BlobSeerConfig, KiB, MiB
 from ..core.blob_store import BlobStore
 from ..core.cluster import Cluster
@@ -568,6 +571,118 @@ def run_ablation_cache(scale: str = "small") -> ExperimentResult:
     )
     result.note(
         "roomy warm pass: dht_gets == 0 — repeated reads never touch the DHT"
+    )
+    return result
+
+
+# ----------------------------------------------------------------- ABL-pagecache
+#: (page_size, pages, windows) per scale: the blob holds ``pages`` pages and
+#: is read in ``windows`` equal windows per pass.
+_PAGECACHE_PRESETS = {
+    "small": (4 * KiB, 256, 8),
+    "default": (16 * KiB, 1024, 16),
+    "paper": (64 * KiB, 4096, 32),
+}
+
+
+def run_ablation_page_cache(scale: str = "small") -> ExperimentResult:
+    """The shared page payload cache: provider traffic, hit rates, budgets.
+
+    The same read workload (two full passes over the blob, window by
+    window) runs against three page-cache regimes on one threaded cluster
+    (metadata caching pinned off so data-path effects are isolated):
+
+    * ``uncached`` — every read pays its provider fetches (the pre-cache
+      baseline);
+    * ``roomy``    — the byte budget fits every page, so the second pass
+      issues ZERO provider requests;
+    * ``tight``    — the budget holds only a quarter of the payload bytes,
+      forcing LRU evictions while occupancy must stay within budget.
+    """
+    check_scale(scale)
+    page_size, pages, windows = _PAGECACHE_PRESETS[scale]
+    result = ExperimentResult(
+        "ABL-pagecache",
+        "Shared page cache: provider traffic and hit rate per regime, "
+        "byte-budget enforcement",
+    )
+
+    cluster = Cluster.in_memory(
+        num_data_providers=8, num_metadata_providers=8, page_size=page_size
+    )
+    writer = BlobStore(cluster, cache_metadata=False, cache_pages=False)
+    blob_id = writer.create()
+    append_pages = max(1, pages // 8)
+    appended = 0
+    while appended < pages:
+        chunk = min(append_pages, pages - appended)
+        version = writer.append(blob_id, b"p" * (chunk * page_size))
+        appended += chunk
+    writer.sync(blob_id, version)
+    total_bytes = pages * page_size
+    window_bytes = total_bytes // windows
+
+    def provider_gets() -> int:
+        return sum(
+            provider.stats().get_requests
+            for provider in cluster.provider_manager.providers()
+        )
+
+    # Size the bounded regimes from the stored payload: the roomy cache
+    # fits every page (plus key/entry overhead), the tight one holds only
+    # a quarter of the bytes.
+    regimes = [
+        ("uncached", None),
+        ("roomy", PageCache(max_entries=4 * pages, max_bytes=4 * total_bytes,
+                            shards=4)),
+        ("tight", PageCache(max_entries=pages,
+                            max_bytes=max(4 * page_size, total_bytes // 4),
+                            shards=4)),
+    ]
+    for regime, cache in regimes:
+        store = BlobStore(
+            cluster,
+            cache_metadata=False,
+            cache_pages=cache is not None,
+            page_cache=cache,
+        )
+        for pass_index in ("cold", "warm"):
+            gets_before = provider_gets()
+            data_trips = hits = fetched = 0
+            for window in range(windows):
+                _, stats = store.read_ex(
+                    blob_id, version, window * window_bytes, window_bytes
+                )
+                data_trips += stats.data_round_trips
+                hits += stats.page_cache_hits
+                fetched += stats.pages_fetched
+            cache_stats = store.page_cache_stats()
+            result.add(
+                regime=regime,
+                read_pass=pass_index,
+                data_trips=data_trips,
+                provider_gets=provider_gets() - gets_before,
+                page_cache_hit_rate=hits / fetched if fetched else 0.0,
+                cache_entries=cache_stats.entries,
+                cache_bytes=cache_stats.bytes,
+                budget_bytes=cache.max_bytes if cache is not None else 0,
+                evictions=cache_stats.evictions,
+                within_budget=(
+                    cache is None
+                    or (
+                        cache_stats.entries <= cache.max_entries
+                        and cache_stats.bytes <= cache.max_bytes
+                    )
+                ),
+            )
+    result.note(
+        f"one blob of {pages} pages ({total_bytes} payload bytes), read twice "
+        f"in {windows} windows per regime; the tight regime must evict but "
+        "stay within its entry/byte budgets"
+    )
+    result.note(
+        "roomy warm pass: provider_gets == 0 and data_trips == 0 — repeated "
+        "reads never touch the data providers"
     )
     return result
 

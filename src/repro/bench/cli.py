@@ -21,6 +21,7 @@ from .ablations import (
     run_ablation_dht_placement,
     run_ablation_metadata,
     run_ablation_mixed_workload,
+    run_ablation_page_cache,
     run_ablation_page_size,
     run_ablation_storage_space,
     run_ablation_vm,
@@ -36,6 +37,7 @@ _EXPERIMENTS = {
     "ablation-metadata": run_ablation_metadata,
     "ablation-space": run_ablation_storage_space,
     "ablation-writers": run_ablation_concurrent_writers,
+    "ablation-pagecache": run_ablation_page_cache,
     "ablation-pagesize": run_ablation_page_size,
     "ablation-allocation": run_ablation_allocation,
     "ablation-dht": run_ablation_dht_placement,

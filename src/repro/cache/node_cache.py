@@ -24,34 +24,49 @@ module turns into an architectural layer instead of the ad-hoc per-client
   :attr:`repro.core.cluster.Cluster.cache_namespace`) so two in-process
   deployments can never serve each other's nodes.
 
-Byte accounting uses a deterministic *estimate* of an entry's footprint
-(key strings + a fixed per-entry overhead + the node payload), not
-``sys.getsizeof`` traversal — cheap, stable across interpreter versions,
-and close enough to steer eviction.
+The sharding/budget/stats skeleton is the shared
+:class:`~repro.cache.sharded_lru.ShardedLRUCache` core (the page cache of
+:mod:`repro.cache.page_cache` is the other instantiation); this module adds
+only the node weight function, the frontier helpers and the process-wide
+default instance.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from collections import OrderedDict
-from collections.abc import Hashable, Iterable, Sequence
-from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
 
 from ..config import (
     DEFAULT_METADATA_CACHE_BYTES,
     DEFAULT_METADATA_CACHE_ENTRIES,
     DEFAULT_METADATA_CACHE_SHARDS,
 )
-from ..errors import ConfigurationError
 from ..metadata.node import LeafNode, NodeKey
+from .sharded_lru import (
+    ENTRY_OVERHEAD,
+    MIN_SHARD_BYTES,
+    CacheStats,
+    CacheTally,
+    ShardedLRUCache,
+    key_weight,
+)
 
-#: Estimated fixed footprint of one cache entry (map slot, key tuple,
-#: bookkeeping) in bytes, on top of the key strings and the node itself.
-ENTRY_OVERHEAD = 96
-#: Smallest byte budget a single shard is allowed to manage — below roughly
-#: one entry's worth of bytes a shard would evict everything it inserts.
-MIN_SHARD_BYTES = 512
+__all__ = [
+    "ENTRY_OVERHEAD",
+    "MIN_SHARD_BYTES",
+    "CacheStats",
+    "CacheTally",
+    "NodeCache",
+    "complete_frontier",
+    "next_cache_namespace",
+    "node_weight",
+    "reset_shared_node_cache",
+    "set_shared_node_cache",
+    "shared_node_cache",
+    "split_frontier",
+]
+
 #: Estimated footprint of an inner node (two optional child versions).
 INNER_NODE_WEIGHT = 48
 #: Estimated fixed footprint of a leaf node, excluding its id strings.
@@ -69,139 +84,14 @@ def node_weight(key: Hashable, node: object) -> int:
 
 
 def _key_weight(key: Hashable) -> int:
-    if isinstance(key, str):
-        return len(key)
     if isinstance(key, NodeKey):
         return len(key.blob_id) + 24
     if isinstance(key, tuple):
         return sum(_key_weight(part) for part in key)
-    return 8
+    return key_weight(key)
 
 
-@dataclass(frozen=True)
-class CacheStats:
-    """Structured cache counters (replaces the old positional 3-tuple).
-
-    ``hits``/``misses``/``evictions`` are lifetime counters of the cache the
-    stats were read from; ``entries``/``bytes`` are its current occupancy.
-    When attached to a per-operation result (``ReadStats.cache``,
-    ``WriteResult.cache``), ``hits``/``misses`` are that operation's exact
-    deltas (counted by the operation itself) while ``entries``/``bytes``/
-    ``evictions`` snapshot the — possibly shared — cache right after the
-    operation.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    entries: int = 0
-    bytes: int = 0
-    evictions: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        """Hits over lookups, 0.0 when nothing was looked up."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
-
-    def as_tuple(self) -> tuple[int, int, int]:
-        """The legacy positional ``(hits, misses, entries)`` shape."""
-        return (self.hits, self.misses, self.entries)
-
-
-@dataclass
-class CacheTally:
-    """Per-operation accumulator threaded through frontier resolution.
-
-    The threaded client and the simulator both use it to report, per READ or
-    WRITE: how many node lookups the cache served (``hits``), how many nodes
-    actually travelled from the DHT (``fetched`` — the misses, or everything
-    when caching is off), and how many frontiers needed a DHT round trip
-    (``trips`` — an all-hit frontier is free).
-    """
-
-    hits: int = 0
-    fetched: int = 0
-    trips: int = 0
-
-    @property
-    def nodes_resolved(self) -> int:
-        return self.hits + self.fetched
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.nodes_resolved
-        return self.hits / total if total else 0.0
-
-
-class _Shard:
-    """One lock-striped segment of the cache."""
-
-    __slots__ = (
-        "lock", "entries", "bytes", "max_entries", "max_bytes",
-        "hits", "misses", "evictions",
-    )
-
-    def __init__(self, max_entries: int, max_bytes: int):
-        self.lock = threading.Lock()
-        #: key -> (node, weight); insertion/refresh order is LRU order.
-        self.entries: OrderedDict[Hashable, tuple[object, int]] = OrderedDict()
-        self.bytes = 0
-        self.max_entries = max_entries
-        self.max_bytes = max_bytes
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def lookup(self, keys: Sequence[Hashable], out: list, indices: Sequence[int]) -> None:
-        """Resolve ``keys`` into ``out`` at ``indices`` under one lock."""
-        with self.lock:
-            for key, index in zip(keys, indices):
-                entry = self.entries.get(key)
-                if entry is None:
-                    self.misses += 1
-                else:
-                    self.entries.move_to_end(key)
-                    self.hits += 1
-                    out[index] = entry[0]
-
-    def insert(self, items: Iterable[tuple[Hashable, object]]) -> None:
-        """Insert ``items`` under one lock, evicting LRU past the budgets."""
-        with self.lock:
-            for key, node in items:
-                existing = self.entries.get(key)
-                if existing is not None:
-                    # Nodes are immutable: same key means same value, so a
-                    # re-insert is just a recency refresh.
-                    self.entries.move_to_end(key)
-                    continue
-                weight = node_weight(key, node)
-                self.entries[key] = (node, weight)
-                self.bytes += weight
-                while self.entries and (
-                    len(self.entries) > self.max_entries
-                    or self.bytes > self.max_bytes
-                ):
-                    _evicted_key, (_node, evicted_weight) = self.entries.popitem(
-                        last=False
-                    )
-                    self.bytes -= evicted_weight
-                    self.evictions += 1
-
-    def discard(self, key: Hashable) -> bool:
-        with self.lock:
-            entry = self.entries.pop(key, None)
-            if entry is None:
-                return False
-            self.bytes -= entry[1]
-            return True
-
-    def clear(self) -> None:
-        with self.lock:
-            self.entries.clear()
-            self.bytes = 0
-
-
-class NodeCache:
+class NodeCache(ShardedLRUCache):
     """Process-wide sharded LRU cache for immutable metadata tree nodes.
 
     Parameters
@@ -223,127 +113,11 @@ class NodeCache:
         max_bytes: int = DEFAULT_METADATA_CACHE_BYTES,
         shards: int = DEFAULT_METADATA_CACHE_SHARDS,
     ):
-        if max_entries < 1:
-            raise ConfigurationError("max_entries must be >= 1")
-        if max_bytes < MIN_SHARD_BYTES:
-            # A budget that cannot hold even one node entry would evict
-            # every insert immediately — caching silently off while looking
-            # on.  Surface the misconfiguration instead.
-            raise ConfigurationError(
-                f"max_bytes must be >= {MIN_SHARD_BYTES} "
-                "(smaller budgets cannot hold a single tree node)"
-            )
-        if shards < 1:
-            raise ConfigurationError("shards must be >= 1")
-        # Budgets are split evenly, so cap the stripe count at what the
-        # budgets can feed: every shard must be able to hold at least one
-        # typical entry.
-        shards = min(shards, max_entries, max(1, max_bytes // MIN_SHARD_BYTES))
-        self._max_entries = max_entries
-        self._max_bytes = max_bytes
-        self._shards = [
-            _Shard(
-                max(1, max_entries // shards),
-                max(MIN_SHARD_BYTES, max_bytes // shards),
-            )
-            for _ in range(shards)
-        ]
-
-    # -- placement -----------------------------------------------------------
-    def _shard_for(self, key: Hashable) -> _Shard:
-        return self._shards[hash(key) % len(self._shards)]
-
-    # -- single-key operations ----------------------------------------------
-    def get(self, key: Hashable) -> object | None:
-        """Return the cached node for ``key`` (refreshing recency) or None."""
-        out: list[object | None] = [None]
-        self._shard_for(key).lookup([key], out, [0])
-        return out[0]
-
-    def put(self, key: Hashable, node: object) -> None:
-        """Insert one node, evicting LRU entries past the shard budget."""
-        self._shard_for(key).insert([(key, node)])
-
-    def discard(self, key: Hashable) -> bool:
-        """Drop one entry (used by GC after it deletes nodes from the DHT)."""
-        return self._shard_for(key).discard(key)
-
-    # -- batched operations --------------------------------------------------
-    def get_many(self, keys: Sequence[Hashable]) -> list[object | None]:
-        """Resolve a batch of keys, one lock acquisition per touched shard.
-
-        Returns values aligned with ``keys`` (None for misses) — the
-        cache-side half of the frontier protocol: the caller sends only the
-        None slots to the DHT multi-get.
-        """
-        out: list[object | None] = [None] * len(keys)
-        by_shard: dict[int, tuple[list[Hashable], list[int]]] = {}
-        for index, key in enumerate(keys):
-            slot = hash(key) % len(self._shards)
-            shard_keys, shard_indices = by_shard.setdefault(slot, ([], []))
-            shard_keys.append(key)
-            shard_indices.append(index)
-        for slot, (shard_keys, shard_indices) in by_shard.items():
-            self._shards[slot].lookup(shard_keys, out, shard_indices)
-        return out
-
-    def put_many(self, items: Sequence[tuple[Hashable, object]]) -> None:
-        """Insert a batch, one lock acquisition per touched shard."""
-        by_shard: dict[int, list[tuple[Hashable, object]]] = {}
-        for key, node in items:
-            by_shard.setdefault(hash(key) % len(self._shards), []).append(
-                (key, node)
-            )
-        for slot, shard_items in by_shard.items():
-            self._shards[slot].insert(shard_items)
-
-    # -- maintenance / introspection -----------------------------------------
-    def clear(self) -> None:
-        """Drop every entry (counters are kept; they are lifetime totals)."""
-        for shard in self._shards:
-            shard.clear()
-
-    def stats(self) -> CacheStats:
-        """Aggregate counters and occupancy across all shards."""
-        hits = misses = entries = total_bytes = evictions = 0
-        for shard in self._shards:
-            with shard.lock:
-                hits += shard.hits
-                misses += shard.misses
-                entries += len(shard.entries)
-                total_bytes += shard.bytes
-                evictions += shard.evictions
-        return CacheStats(
-            hits=hits,
-            misses=misses,
-            entries=entries,
-            bytes=total_bytes,
-            evictions=evictions,
-        )
-
-    def __len__(self) -> int:
-        return sum(len(shard.entries) for shard in self._shards)
-
-    def bytes_used(self) -> int:
-        return sum(shard.bytes for shard in self._shards)
-
-    @property
-    def max_entries(self) -> int:
-        return self._max_entries
-
-    @property
-    def max_bytes(self) -> int:
-        return self._max_bytes
-
-    @property
-    def shard_count(self) -> int:
-        return len(self._shards)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"NodeCache(entries={len(self)}/{self._max_entries}, "
-            f"bytes={self.bytes_used()}/{self._max_bytes}, "
-            f"shards={len(self._shards)})"
+        super().__init__(
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            shards=shards,
+            weight_of=node_weight,
         )
 
 
@@ -398,7 +172,7 @@ _shared_lock = threading.Lock()
 _shared_cache: NodeCache | None = None
 
 #: Monotonic source of cache namespaces (one per Cluster) so deployments
-#: sharing the process-wide cache can never collide on blob ids.
+#: sharing the process-wide caches can never collide on blob or page ids.
 _namespace_counter = itertools.count(1)
 
 

@@ -31,6 +31,14 @@ DEFAULT_METADATA_CACHE_ENTRIES = 128 * 1024
 DEFAULT_METADATA_CACHE_BYTES = 64 * MiB
 DEFAULT_METADATA_CACHE_SHARDS = 8
 
+#: Defaults of the client-side page payload cache (see
+#: :mod:`repro.cache.page_cache`).  Published pages are immutable, so the
+#: cache never invalidates (except for GC); the byte budget is the knob that
+#: bounds client memory because payload bytes dominate each entry's weight.
+DEFAULT_PAGE_CACHE_ENTRIES = 64 * 1024
+DEFAULT_PAGE_CACHE_BYTES = 256 * MiB
+DEFAULT_PAGE_CACHE_SHARDS = 8
+
 #: Defaults of the client-side version-lease cache (see :mod:`repro.vm`).
 #: Publish notifications keep leases coherent in-process; the TTL bounds
 #: staleness when a notification is lost, and the entry budget bounds the
@@ -88,6 +96,15 @@ class BlobSeerConfig:
         the process defaults joins the process-wide shared cache
         (:func:`repro.cache.shared_node_cache`); custom budgets give the
         cluster a dedicated instance.
+    page_cache_entries / page_cache_bytes / page_cache_shards:
+        Budgets of the client-side LRU cache for immutable page payload
+        ranges (:class:`repro.cache.PageCache`).  Stored pages are never
+        overwritten, so warm repeated reads are served from memory and skip
+        the data providers entirely.  A cluster whose knobs equal the
+        process defaults joins the process-wide shared cache
+        (:func:`repro.cache.shared_page_cache`); custom budgets give the
+        cluster a dedicated instance.  ``page_cache_entries=None`` disables
+        page caching for the whole deployment.
     vm_lease_ttl / vm_lease_entries:
         Budgets of the client-side version-lease cache
         (:class:`repro.vm.LeaseCache`): leased ``GET_RECENT`` answers are
@@ -110,6 +127,9 @@ class BlobSeerConfig:
     metadata_cache_entries: int = DEFAULT_METADATA_CACHE_ENTRIES
     metadata_cache_bytes: int = DEFAULT_METADATA_CACHE_BYTES
     metadata_cache_shards: int = DEFAULT_METADATA_CACHE_SHARDS
+    page_cache_entries: int | None = DEFAULT_PAGE_CACHE_ENTRIES
+    page_cache_bytes: int = DEFAULT_PAGE_CACHE_BYTES
+    page_cache_shards: int = DEFAULT_PAGE_CACHE_SHARDS
     vm_lease_ttl: float | None = DEFAULT_VM_LEASE_TTL
     vm_lease_entries: int = DEFAULT_VM_LEASE_ENTRIES
 
@@ -135,6 +155,14 @@ class BlobSeerConfig:
                  "metadata_cache_bytes must be >= 1")
         _require(self.metadata_cache_shards >= 1,
                  "metadata_cache_shards must be >= 1")
+        if self.page_cache_entries is not None:
+            _require(self.page_cache_entries >= 1,
+                     "page_cache_entries must be >= 1 (None disables "
+                     "page caching)")
+        _require(self.page_cache_bytes >= 1,
+                 "page_cache_bytes must be >= 1")
+        _require(self.page_cache_shards >= 1,
+                 "page_cache_shards must be >= 1")
         if self.vm_lease_ttl is not None:
             _require(self.vm_lease_ttl > 0,
                      "vm_lease_ttl must be > 0 (None disables leasing)")
@@ -148,6 +176,15 @@ class BlobSeerConfig:
             self.metadata_cache_entries == DEFAULT_METADATA_CACHE_ENTRIES
             and self.metadata_cache_bytes == DEFAULT_METADATA_CACHE_BYTES
             and self.metadata_cache_shards == DEFAULT_METADATA_CACHE_SHARDS
+        )
+
+    @property
+    def uses_default_page_cache_budgets(self) -> bool:
+        """True when the page-cache knobs equal the process-wide defaults."""
+        return (
+            self.page_cache_entries == DEFAULT_PAGE_CACHE_ENTRIES
+            and self.page_cache_bytes == DEFAULT_PAGE_CACHE_BYTES
+            and self.page_cache_shards == DEFAULT_PAGE_CACHE_SHARDS
         )
 
 
@@ -164,6 +201,11 @@ class SimConfig:
 
     #: Payload bandwidth of a node's NIC in bytes/second (measured TCP).
     nic_bandwidth: float = 117.5 * MiB
+    #: Local memory-copy bandwidth in bytes/second: what serving a page
+    #: range from the machine's own page cache costs instead of the NIC.
+    #: Fully warm reads are bounded by this, not the network — set
+    #: conservatively to a 2009-era single-stream memcpy.
+    memory_bandwidth: float = 2 * GiB
     #: One-way network latency in seconds.
     latency: float = 0.1e-3
     #: Fixed per-request software overhead charged at the data path endpoints
@@ -188,6 +230,7 @@ class SimConfig:
 
     def __post_init__(self) -> None:
         _require(self.nic_bandwidth > 0, "nic_bandwidth must be > 0")
+        _require(self.memory_bandwidth > 0, "memory_bandwidth must be > 0")
         _require(self.latency >= 0, "latency must be >= 0")
         _require(self.rpc_overhead >= 0, "rpc_overhead must be >= 0")
         _require(self.metadata_rpc_overhead >= 0,

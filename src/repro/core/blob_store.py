@@ -51,6 +51,17 @@ provider bytes land directly at their final offset
 (:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch_into`)
 instead of materializing per-chunk ``bytes`` that are concatenated later.
 
+Page payloads are cached the same way metadata nodes are: stored pages are
+never overwritten (an update always writes *new* pages), so every fetched
+page range is write-through-cached in the cluster's shared
+:class:`~repro.cache.PageCache` and consulted *before* provider batches are
+built — a cached range is deposited straight into the result buffer's
+``memoryview`` and never enters a batch, so a warm repeated READ costs ZERO
+data round trips on top of its zero metadata and version-manager trips.
+Per-operation deltas are reported as ``ReadStats.page_cache_hits`` /
+``ReadStats.page_cache`` and cache-wide totals via
+:meth:`BlobStore.page_cache_stats`.
+
 Data I/O is *provider-parallel* the same way: the page descriptors of a READ
 (or the payloads of a WRITE) are grouped by data provider and each provider
 receives ONE batched ``multi_fetch_into``/``multi_store`` request carrying
@@ -85,6 +96,7 @@ from ..cache import (
     CacheStats,
     CacheTally,
     NodeCache,
+    PageCache,
     complete_frontier,
     split_frontier,
 )
@@ -127,6 +139,9 @@ class WriteResult:
     data_round_trips: int = 0
     #: Border-node lookups served by the shared metadata cache.
     metadata_cache_hits: int = 0
+    #: Boundary page ranges served by the shared page cache (unaligned
+    #: writes fetch boundary bytes; aligned writes never fetch pages).
+    page_cache_hits: int = 0
     #: This update's exact hit/miss counts plus an occupancy snapshot of
     #: the (possibly shared) cache right after it; None when caching is
     #: disabled.
@@ -161,10 +176,16 @@ class ReadStats:
     data_round_trips: int = 0
     #: Tree-node lookups served by the shared metadata cache.
     metadata_cache_hits: int = 0
+    #: Page ranges served by the shared page cache — a warm repeated read
+    #: reports every page here and ``data_round_trips == 0``.
+    page_cache_hits: int = 0
     #: This read's exact hit/miss counts plus an occupancy snapshot of the
     #: (possibly shared) cache right after it; None when caching is
     #: disabled.
     cache: CacheStats | None = None
+    #: The page cache's per-read deltas and occupancy snapshot; None when
+    #: page caching is disabled.
+    page_cache: CacheStats | None = None
     #: Version-manager round trips this read issued: 0 when the blob record
     #: and the snapshot's published size were served by the shared lease
     #: cache (the warm repeated-read regime), up to 2 cold (record +
@@ -204,6 +225,18 @@ class BlobStore:
         Override the cache instance (a private cold
         :class:`~repro.cache.NodeCache` isolates tests from the shared
         one).  Ignored when ``cache_metadata`` is False.
+    cache_pages:
+        When True (the default), fetched page payload ranges are cached in
+        the cluster's shared :class:`~repro.cache.PageCache` and served
+        from it on repeat — stored pages are immutable, so the cache never
+        needs invalidation (except for GC, which discards exactly the
+        pages it deletes).  Pass False for cold-path determinism (exact
+        data-trip assertions, failure-injection tests).  Also off when the
+        cluster's config disables page caching (``page_cache_entries=None``).
+    page_cache:
+        Override the page cache instance (a private
+        :class:`~repro.cache.PageCache` isolates tests from the shared
+        one).  Ignored when ``cache_pages`` is False.
     lease_versions:
         When True (the default), GET_RECENT and the READ publication check
         are served from the cluster's shared :class:`~repro.vm.LeaseCache`
@@ -227,6 +260,8 @@ class BlobStore:
         strict_unaligned: bool = False,
         cache_metadata: bool = True,
         node_cache: NodeCache | None = None,
+        cache_pages: bool = True,
+        page_cache: PageCache | None = None,
         lease_versions: bool = True,
         version_leases: LeaseCache | None = None,
     ):
@@ -247,6 +282,13 @@ class BlobStore:
             # GC invalidation must reach override caches too, not just the
             # cluster's shared one.
             cluster.register_node_cache(self._cache)
+        self._page_cache: PageCache | None = (
+            (page_cache if page_cache is not None else cluster.page_cache)
+            if cache_pages
+            else None
+        )
+        if self._page_cache is not None:
+            cluster.register_page_cache(self._page_cache)
         self._lease: LeaseCache | None = (
             (version_leases if version_leases is not None else cluster.version_leases)
             if lease_versions
@@ -307,15 +349,17 @@ class BlobStore:
                     # (reference_version=None) instead of failing the append.
                     reference_version = None
                 vm_trips += 1
+            page_tally = CacheTally()
             payloads, boundary_trips, boundary_vm_trips = self._compose_page_payloads(
-                record, ticket, data, reference_version=reference_version
+                record, ticket, data, reference_version=reference_version,
+                page_tally=page_tally,
             )
             vm_trips += boundary_vm_trips
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
             trips = boundary_trips + store_trips
             return self._finish_update(
                 record, ticket, descriptors, data_round_trips=trips,
-                vm_round_trips=vm_trips,
+                vm_round_trips=vm_trips, page_cache_hits=page_tally.hits,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "append failed")
@@ -357,7 +401,10 @@ class BlobStore:
 
         buffer = bytearray(size)
         descriptors = plan_result.sorted_descriptors()
-        data_trips = self._fetch_pages_into(record, descriptors, buffer, offset, size)
+        page_tally = CacheTally()
+        data_trips = self._fetch_pages_into(
+            record, descriptors, buffer, offset, size, page_tally
+        )
         stats = ReadStats(
             version=version,
             bytes_read=size,
@@ -366,7 +413,9 @@ class BlobStore:
             metadata_round_trips=tally.trips,
             data_round_trips=data_trips,
             metadata_cache_hits=tally.hits,
+            page_cache_hits=page_tally.hits,
             cache=self._operation_cache_stats(tally),
+            page_cache=self._operation_page_cache_stats(page_tally),
             vm_round_trips=vm_trips,
         )
         return bytes(buffer), stats
@@ -463,14 +512,17 @@ class BlobStore:
         ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
         vm_trips += 1
         try:
+            page_tally = CacheTally()
             payloads, boundary_trips, boundary_vm_trips = (
-                self._compose_page_payloads(record, ticket, data)
+                self._compose_page_payloads(record, ticket, data,
+                                            page_tally=page_tally)
             )
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
             trips = boundary_trips + store_trips
             return self._finish_update(
                 record, ticket, descriptors, data_round_trips=trips,
                 vm_round_trips=vm_trips + boundary_vm_trips,
+                page_cache_hits=page_tally.hits,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
@@ -487,9 +539,11 @@ class BlobStore:
             if ticket.version > 1:
                 self._vm.sync(record.blob_id, ticket.version - 1)
                 vm_trips += 1
+            page_tally = CacheTally()
             payloads, boundary_trips, boundary_vm_trips = (
                 self._compose_page_payloads(
-                    record, ticket, data, reference_version=ticket.version - 1
+                    record, ticket, data, reference_version=ticket.version - 1,
+                    page_tally=page_tally,
                 )
             )
             descriptors, store_trips = self._store_pages(record, ticket, payloads)
@@ -497,6 +551,7 @@ class BlobStore:
             return self._finish_update(
                 record, ticket, descriptors, data_round_trips=trips,
                 vm_round_trips=vm_trips + boundary_vm_trips,
+                page_cache_hits=page_tally.hits,
             )
         except Exception:
             self._vm.abort_update(record.blob_id, ticket.version, "write failed")
@@ -508,6 +563,7 @@ class BlobStore:
         ticket: UpdateTicket,
         data: bytes,
         reference_version: int | None = None,
+        page_tally: CacheTally | None = None,
     ) -> tuple[list[tuple[int, bytes]], int, int]:
         """Split ``data`` into per-page payloads, merging boundary pages with
         existing content where the update is not page-aligned.
@@ -558,7 +614,7 @@ class BlobStore:
             suffix_range = (write_end, min(reference_size, last_end) - write_end)
         wanted = [r for r in (prefix_range, suffix_range) if r is not None]
         chunks, boundary_trips = self._read_byte_ranges(
-            record, reference_version, reference_size, wanted
+            record, reference_version, reference_size, wanted, page_tally
         )
         by_range = dict(zip(wanted, chunks))
 
@@ -593,10 +649,13 @@ class BlobStore:
         version: int,
         snapshot_size: int,
         byte_ranges: list[tuple[int, int]],
+        page_tally: CacheTally | None = None,
     ) -> tuple[list[bytes], int]:
         """Read several small byte ranges of a published snapshot with one
         combined metadata traversal and one provider-grouped batch of page
         fetches covering ALL of the ranges; returns ``(chunks, data_trips)``.
+        Cached page ranges are served from the shared page cache and skip
+        the batch entirely (tallied into ``page_tally``).
         """
         if not byte_ranges:
             return [], 0
@@ -631,7 +690,11 @@ class BlobStore:
                     )
                 )
         data_trips = self._pm.multi_fetch_into(
-            requests, run_batches=self._run_batches
+            requests,
+            run_batches=self._run_batches,
+            cache=self._page_cache,
+            cache_key=self._cluster.page_cache_key,
+            tally=page_tally,
         )
         return [bytes(buffer) for buffer in buffers], data_trips
 
@@ -692,6 +755,7 @@ class BlobStore:
         descriptors: list[PageDescriptor],
         data_round_trips: int = 0,
         vm_round_trips: int = 0,
+        page_cache_hits: int = 0,
     ) -> WriteResult:
         """Resolve border nodes, build and store the new metadata tree, then
         notify the version manager (Algorithm 2, lines 10-13)."""
@@ -727,6 +791,7 @@ class BlobStore:
             metadata_round_trips=tally.trips + 1,  # + the batched publish
             data_round_trips=data_round_trips,
             metadata_cache_hits=tally.hits,
+            page_cache_hits=page_cache_hits,
             cache=self._operation_cache_stats(tally),
             vm_round_trips=vm_round_trips + 1,  # + the completion notice
         )
@@ -822,6 +887,21 @@ class BlobStore:
             evictions=now.evictions,
         )
 
+    def _operation_page_cache_stats(self, tally: CacheTally) -> CacheStats | None:
+        """Per-operation page-cache :class:`CacheStats` (same shape as the
+        metadata variant: exact per-op hit/miss deltas, shared-cache
+        occupancy snapshot)."""
+        if self._page_cache is None:
+            return None
+        now = self._page_cache.stats()
+        return CacheStats(
+            hits=tally.hits,
+            misses=tally.fetched,
+            entries=now.entries,
+            bytes=now.bytes,
+            evictions=now.evictions,
+        )
+
     def _run_batches(self, jobs: list) -> list:
         """Execute per-backend batch jobs — the DHT's per-bucket groups and
         the provider manager's per-provider groups — concurrently when the
@@ -845,6 +925,19 @@ class BlobStore:
         ``WriteResult.cache``.  An uncached store reports all zeros.
         """
         return self._cache.stats() if self._cache is not None else CacheStats()
+
+    def page_cache_stats(self) -> CacheStats:
+        """Lifetime counters and occupancy of the page payload cache.
+
+        Shared like the metadata cache (see :meth:`cache_stats`); per-read
+        deltas live on ``ReadStats.page_cache``.  An uncached store reports
+        all zeros.
+        """
+        return (
+            self._page_cache.stats()
+            if self._page_cache is not None
+            else CacheStats()
+        )
 
     def lease_stats(self):
         """Counters of the (possibly shared) version lease cache, or None
@@ -886,9 +979,12 @@ class BlobStore:
         buffer: bytearray,
         offset: int,
         size: int,
+        page_tally: CacheTally | None = None,
     ) -> int:
         """Fetch the needed byte range of every page into ``buffer`` with one
-        batched multi-fetch per provider; return the batch count.
+        batched multi-fetch per provider; return the batch count.  Ranges
+        held by the shared page cache are deposited directly and never
+        enter a provider batch — a fully cached read costs zero batches.
 
         Zero-copy assembly: each request carries a writable ``memoryview``
         slice of the (single) result buffer, so providers deposit page bytes
@@ -909,7 +1005,13 @@ class BlobStore:
                 (provider_id, page_id, page_offset,
                  view[destination:destination + length])
             )
-        return self._pm.multi_fetch_into(requests, run_batches=self._run_batches)
+        return self._pm.multi_fetch_into(
+            requests,
+            run_batches=self._run_batches,
+            cache=self._page_cache,
+            cache_key=self._cluster.page_cache_key,
+            tally=page_tally,
+        )
 
     def _executor(self) -> ThreadPoolExecutor:
         """The client's persistent thread pool, created on first use.

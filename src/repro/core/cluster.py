@@ -14,7 +14,13 @@ from __future__ import annotations
 import weakref
 from collections.abc import Callable
 
-from ..cache import NodeCache, next_cache_namespace, shared_node_cache
+from ..cache import (
+    NodeCache,
+    PageCache,
+    next_cache_namespace,
+    shared_node_cache,
+    shared_page_cache,
+)
 from ..config import BlobSeerConfig
 from ..dht.dht import DHT
 from ..metadata.metadata_provider import MetadataProvider
@@ -36,6 +42,7 @@ class Cluster:
         page_store_factory: Callable[[str], PageStore] | None = None,
         seed: int | None = None,
         node_cache: NodeCache | None = None,
+        page_cache: PageCache | None = None,
         version_manager: VersionManager | None = None,
     ):
         self.config = config if config is not None else BlobSeerConfig()
@@ -62,6 +69,24 @@ class Cluster:
         # Per-store override caches (tests, ablations) register here so GC
         # can invalidate them too; weak refs keep dropped stores collectable.
         self._override_caches: weakref.WeakSet[NodeCache] = weakref.WeakSet()
+
+        # The page payload cache follows the same sharing rules as the node
+        # cache — process-wide instance for default budgets, dedicated
+        # otherwise — and ``page_cache_entries=None`` disables it for the
+        # whole deployment (every read then pays its provider fetches).
+        if page_cache is not None:
+            self.page_cache: PageCache | None = page_cache
+        elif self.config.page_cache_entries is None:
+            self.page_cache = None
+        elif self.config.uses_default_page_cache_budgets:
+            self.page_cache = shared_page_cache()
+        else:
+            self.page_cache = PageCache(
+                max_entries=self.config.page_cache_entries,
+                max_bytes=self.config.page_cache_bytes,
+                shards=self.config.page_cache_shards,
+            )
+        self._override_page_caches: weakref.WeakSet[PageCache] = weakref.WeakSet()
 
         strategy = make_allocation_strategy(
             self.config.allocation_strategy,
@@ -169,6 +194,33 @@ class Cluster:
         self.node_cache.discard(cache_key)
         for cache in self._override_caches:
             cache.discard(cache_key)
+
+    # -- page cache -------------------------------------------------------------
+    def page_cache_key(self, page_id: str, offset: int, length: int) -> tuple:
+        """Namespace one fetched page sub-range for the page cache.
+
+        All page-cache traffic of this cluster — read-path lookups,
+        miss write-through, GC invalidation — goes through this mapping,
+        so one process-wide cache can serve many in-process clusters
+        without page-id collisions.
+        """
+        return (self.cache_namespace, page_id, offset, length)
+
+    def register_page_cache(self, cache: PageCache) -> None:
+        """Track a per-store override page cache so GC invalidation
+        reaches it too."""
+        if cache is not self.page_cache:
+            self._override_page_caches.add(cache)
+
+    def discard_cached_page(self, page_id: str) -> None:
+        """Drop every cached sub-range of one page from the cluster page
+        cache AND every override cache — the page-side twin of
+        :meth:`discard_cached_node`, called by GC for each page it deletes
+        from the providers."""
+        if self.page_cache is not None:
+            self.page_cache.discard_page(self.cache_namespace, page_id)
+        for cache in self._override_page_caches:
+            cache.discard_page(self.cache_namespace, page_id)
 
     # -- introspection ----------------------------------------------------------
     def storage_bytes_used(self) -> int:

@@ -3,8 +3,10 @@
 The DHT stores metadata tree nodes for the metadata provider (Section 4.1 of
 the paper: "Tree nodes are stored on the metadata provider in a distributed
 way, using a simple DHT").  Values are written to ``replication`` buckets and
-read from the first live replica, which is the minimal fault-tolerance hook
-the paper defers to future work.
+read from the first replica that holds them — a live replica missing a key
+falls through to the next one, because a write only guarantees ONE replica
+accepted it.  This is the minimal fault-tolerance hook the paper defers to
+future work.
 
 Besides the per-key ``get``/``put``, the DHT exposes true multi-ops
 (:meth:`DHT.multi_get` / :meth:`DHT.multi_put`): keys are grouped by bucket
@@ -102,17 +104,29 @@ class DHT:
             raise last_error
 
     def get(self, key: str) -> object:
-        """Return the value stored under *key* from the first live replica."""
-        last_error: Exception | None = None
+        """Return the value stored under *key* from the first replica that
+        holds it.
+
+        A replica that is live but *misses* the key is not authoritative:
+        a write succeeds as soon as one replica stores the value, so a
+        replica that was down during the put legitimately lacks the key
+        after rejoining.  The lookup therefore falls through remaining
+        replicas on a missing key, and raises
+        :class:`MetadataNotFoundError` only when every replica was probed
+        live and none held it.  If ANY replica was unavailable, the result
+        is :class:`ProviderUnavailableError` — the value may well exist on
+        the dead replica, so "not found" would wrongly report durable loss.
+        """
+        unavailable: ProviderUnavailableError | None = None
         for bucket_id in self.buckets_for(key):
             try:
                 return self._buckets[bucket_id].get(key)
             except ProviderUnavailableError as error:
-                last_error = error
-            except MetadataNotFoundError as error:
-                last_error = error
-        if isinstance(last_error, ProviderUnavailableError):
-            raise last_error
+                unavailable = error
+            except MetadataNotFoundError:
+                continue
+        if unavailable is not None:
+            raise unavailable
         raise MetadataNotFoundError(key)
 
     @staticmethod
@@ -180,9 +194,10 @@ class DHT:
         :meth:`~repro.dht.storage.BucketStore.multi_get` per bucket — one
         lock acquisition per bucket per batch), and only keys whose replica
         was dead or missing move on to the next replica.  Like :meth:`get`,
-        a key raises :class:`ProviderUnavailableError` when its last failure
-        was a dead replica and :class:`MetadataNotFoundError` when every
-        live replica lacked it.
+        a key raises :class:`ProviderUnavailableError` when ANY of its
+        replicas was dead and no live replica served it (the dead replica
+        may hold the value), and :class:`MetadataNotFoundError` only when
+        every replica was probed live and lacked it.
 
         ``run_batches`` optionally executes the per-bucket lookup jobs of
         one replica wave concurrently (see :meth:`multi_put`).
@@ -225,8 +240,12 @@ class DHT:
                 values.update(found)
                 for key in found:
                     unavailable.pop(key, None)
-                for key in missing:
-                    unavailable.pop(key, None)
+                # A live replica missing the key is NOT authoritative (the
+                # key may live only on a replica that was down during the
+                # put), so an earlier replica's recorded unavailability must
+                # survive the miss: if no replica ends up serving the key,
+                # the caller gets ProviderUnavailableError, not a wrong
+                # "not found".
                 retry.extend(missing)
             pending = retry
         for key in keys:

@@ -114,5 +114,19 @@ class IntegrityError(BlobSeerError):
         self.actual = actual
 
 
+class ShortReadError(IntegrityError):
+    """A page read returned fewer bytes than the requested window.
+
+    Every read request is sized from the metadata tree (a leaf's recorded
+    page length bounds what the client asks for), so a provider handing
+    back less than the full window means the stored page was truncated or
+    corrupted.  Before this error existed, the zero-copy path silently left
+    the tail of the destination buffer untouched — serving zeros as data.
+    """
+
+    def __init__(self, what: str, expected: int, actual: int):
+        super().__init__(what, f"{expected} bytes", f"{actual} bytes")
+
+
 class SimulationError(BlobSeerError):
     """The discrete-event simulator was driven into an invalid state."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Sequence
 
-from ..errors import NoProvidersError
+from ..errors import NoProvidersError, ShortReadError
 from .allocation import AllocationStrategy, RoundRobinAllocation
 from .data_provider import DataProvider
 
@@ -180,6 +180,9 @@ class ProviderManager:
         self,
         requests: Sequence[tuple[str, str, int, memoryview]],
         run_batches=None,
+        cache=None,
+        cache_key=None,
+        tally=None,
     ) -> int:
         """Zero-copy variant of :meth:`multi_fetch`: each
         ``(provider_id, page_id, offset, out)`` request carries a writable
@@ -191,11 +194,46 @@ class ProviderManager:
         ``run_batches`` execution and failure semantics match
         :meth:`multi_fetch`; the destination views must be disjoint when
         ``run_batches`` executes batches concurrently.
+
+        With ``cache`` (a :class:`~repro.cache.PageCache`) and ``cache_key``
+        (``cache_key(page_id, offset, length) -> key``, usually
+        :meth:`repro.core.cluster.Cluster.page_cache_key`), cached requests
+        are deposited straight into their destination views and never enter
+        a provider batch — published pages are immutable, so a cached range
+        can never be stale — and misses are write-through-cached after the
+        fetch.  An all-hit call costs ZERO provider round trips.  The
+        optional ``tally`` (a :class:`~repro.cache.CacheTally`) collects the
+        call's hit/fetch/trip counts.
+
+        Every provider batch's byte count is reconciled against the
+        requested total — a short read surfaces as
+        :class:`~repro.errors.ShortReadError` rather than silently served
+        zeros, even for provider implementations that do not self-check.
         """
         if not requests:
             return 0
+        misses: Sequence[tuple[str, str, int, memoryview]] = requests
+        miss_keys: list | None = None
+        if cache is not None and cache_key is not None:
+            keys = [
+                cache_key(page_id, offset, len(out))
+                for _provider_id, page_id, offset, out in requests
+            ]
+            cached = cache.get_many(keys)
+            misses, miss_keys = [], []
+            for request, key, value in zip(requests, keys, cached):
+                if value is None:
+                    misses.append(request)
+                    miss_keys.append(key)
+                else:
+                    out = request[3]
+                    out[:] = value
+            if tally is not None:
+                tally.hits += len(requests) - len(misses)
+            if not misses:
+                return 0
         by_provider: dict[str, list[tuple[str, int, memoryview]]] = {}
-        for provider_id, page_id, offset, out in requests:
+        for provider_id, page_id, offset, out in misses:
             by_provider.setdefault(provider_id, []).append((page_id, offset, out))
         groups = list(by_provider.items())
         outcomes = self._dispatch_batches(
@@ -203,9 +241,28 @@ class ProviderManager:
             lambda provider, batch: provider.multi_fetch_into(batch),
             run_batches,
         )
-        for outcome in outcomes:
+        for (provider_id, batch), outcome in zip(groups, outcomes):
             if isinstance(outcome, Exception):
                 raise outcome
+            expected = sum(len(out) for _page_id, _offset, out in batch)
+            if outcome != expected:
+                raise ShortReadError(
+                    f"batched fetch from provider {provider_id!r}",
+                    expected=expected,
+                    actual=int(outcome),
+                )
+        if miss_keys is not None:
+            # Write-through AFTER every batch landed: the views now hold the
+            # fetched bytes, and a failed call caches nothing.
+            cache.put_many(
+                [
+                    (key, bytes(request[3]))
+                    for key, request in zip(miss_keys, misses)
+                ]
+            )
+        if tally is not None:
+            tally.fetched += len(misses)
+            tally.trips += len(groups)
         return len(groups)
 
     def multi_store(

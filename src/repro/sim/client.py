@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Generator
 
-from ..cache import CacheTally, complete_frontier, split_frontier
+from ..cache import CacheTally, VirtualPagePayload, complete_frontier, split_frontier
 from ..errors import InvalidRangeError
 from ..metadata.build import border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
@@ -75,6 +75,10 @@ class ReadOutcome:
     data_round_trips: int = 0
     #: Tree-node lookups served by the client machine's metadata cache.
     metadata_cache_hits: int = 0
+    #: Page ranges served by the client machine's page cache — those pages
+    #: skip the provider NIC pipes entirely, so a fully cached read reports
+    #: ``data_round_trips == 0``.
+    page_cache_hits: int = 0
     #: Version-manager round trips: 1 when the publication check travelled
     #: to the VM node, 0 when the machine's version lease served it — the
     #: warm repeated-read regime skips the VM entirely.  Note the sim has
@@ -95,6 +99,15 @@ class ReadOutcome:
         total = self.metadata_cache_hits + self.metadata_nodes_fetched
         return self.metadata_cache_hits / total if total else 0.0
 
+    @property
+    def page_cache_hit_rate(self) -> float:
+        """Page-cache hits over all page ranges this read needed."""
+        return (
+            self.page_cache_hits / self.pages_fetched
+            if self.pages_fetched
+            else 0.0
+        )
+
 
 class SimClient:
     """One simulated client process slot."""
@@ -106,6 +119,9 @@ class SimClient:
         # The machine-wide metadata cache: co-located clients share it, and
         # it survives reset_timing (it is client state, not NIC state).
         self._node_cache = deployment.node_cache_for(self.node)
+        # The machine-wide page cache (None when disabled): same sharing
+        # and lifetime as the node cache; cached ranges skip the NIC pipes.
+        self._page_cache = deployment.page_cache_for(self.node)
         # The machine-wide version-lease cache (None when leasing is
         # disabled): same sharing and lifetime as the node cache.
         self._version_lease = deployment.version_lease_for(self.node)
@@ -300,14 +316,43 @@ class SimClient:
         plan = read_plan(version, span, page_offset, page_count)
         plan_result, tally = yield from self._drive_plan_timed(record, plan)
 
-        # Fetch the pages with ONE batched multi-page request per provider,
-        # all providers in parallel — the data-path counterpart of the
-        # batched metadata frontiers above.
-        by_provider: dict[str, list[int]] = {}
-        for descriptor in plan_result.descriptors:
-            by_provider.setdefault(descriptor.provider_id, []).append(
-                min(descriptor.length, page_size)
+        # Consult the machine's page cache BEFORE building provider
+        # batches: a cached range is served locally in zero simulated time
+        # (pages are immutable, so the copy can never be stale) and never
+        # enters a batch.  The misses travel with ONE batched multi-page
+        # request per provider, all providers in parallel — the data-path
+        # counterpart of the batched metadata frontiers above — and are
+        # write-through-cached on the way back, so the repeated-read
+        # regime skips the providers entirely.
+        requests = [
+            (
+                descriptor,
+                dep.cluster.page_cache_key(
+                    descriptor.page_id, 0, min(descriptor.length, page_size)
+                ),
             )
+            for descriptor in plan_result.descriptors
+        ]
+        if self._page_cache is not None:
+            cached = self._page_cache.get_many([key for _desc, key in requests])
+        else:
+            cached = [None] * len(requests)
+        page_cache_hits = sum(1 for value in cached if value is not None)
+        hit_bytes = sum(
+            len(value) for value in cached if value is not None
+        )
+        if hit_bytes:
+            # Serving cached ranges is not free: the bytes still cross the
+            # machine's memory bus.  Fully warm reads are therefore bounded
+            # by memory_bandwidth instead of the NIC — orders of magnitude
+            # faster, not infinitely fast.
+            yield sim.timeout(hit_bytes / cfg.memory_bandwidth)
+        by_provider: dict[str, list[int]] = {}
+        for (descriptor, _key), value in zip(requests, cached):
+            if value is None:
+                by_provider.setdefault(descriptor.provider_id, []).append(
+                    min(descriptor.length, page_size)
+                )
         fetches = [
             sim.process(
                 net.multi_fetch(
@@ -321,6 +366,14 @@ class SimClient:
             for provider_id, lengths in by_provider.items()
         ]
         yield sim.all_of([process.event for process in fetches])
+        if self._page_cache is not None:
+            self._page_cache.put_many(
+                [
+                    (key, VirtualPagePayload(key[-1]))
+                    for (_desc, key), value in zip(requests, cached)
+                    if value is None
+                ]
+            )
 
         return ReadOutcome(
             version=version,
@@ -331,6 +384,7 @@ class SimClient:
             metadata_round_trips=tally.trips,
             data_round_trips=len(by_provider),
             metadata_cache_hits=tally.hits,
+            page_cache_hits=page_cache_hits,
             vm_round_trips=vm_trips,
         )
 

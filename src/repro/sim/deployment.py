@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Generator
 
-from ..cache import CacheStats, NodeCache
+from ..cache import CacheStats, NodeCache, PageCache
 from ..config import BlobSeerConfig, SimConfig
 from ..core.cluster import Cluster
 from ..errors import BlobSeerError
@@ -165,6 +165,15 @@ class SimDeployment:
         #: NIC state — which is what gives repeated runs a warm regime;
         #: :meth:`clear_node_caches` restores a cold start.
         self._node_caches: dict[str, NodeCache] = {}
+        #: One page payload cache per *machine* (same keying): cached page
+        #: ranges are served locally during a simulated READ and skip the
+        #: provider NIC pipes entirely, so warm repeated reads report zero
+        #: data round trips.  Payloads are size-only
+        #: :class:`~repro.cache.VirtualPagePayload` stand-ins (the sim's
+        #: page stores are Null), so the byte budgets stay honest without
+        #: materializing bytes.  None per machine when the config disables
+        #: page caching.
+        self._page_caches: dict[str, PageCache] = {}
         #: One version-lease cache per *machine* (same keying): leased
         #: GET_RECENT answers and immutable VM facts let warm repeated
         #: reads skip the version-manager RPC entirely.  None per machine
@@ -237,6 +246,31 @@ class SimDeployment:
             self.cluster.register_node_cache(cache)
         return cache
 
+    def page_cache_for(self, node: SimNode) -> PageCache | None:
+        """The page payload cache of the machine hosting ``node``.
+
+        None when the deployment config disables page caching
+        (``page_cache_entries=None``).  Budgets come from the config's
+        ``page_cache_*`` knobs; like the node caches, page caches are
+        machine state — co-located clients share one, they survive
+        :meth:`reset_timing`, and :meth:`clear_node_caches` restores a
+        cold start.
+        """
+        if self.config.page_cache_entries is None:
+            return None
+        cache = self._page_caches.get(node.name)
+        if cache is None:
+            cache = PageCache(
+                max_entries=self.config.page_cache_entries,
+                max_bytes=self.config.page_cache_bytes,
+                shards=self.config.page_cache_shards,
+            )
+            self._page_caches[node.name] = cache
+            # Register with the cluster so GC's page discards reach the
+            # simulated machines' caches too.
+            self.cluster.register_page_cache(cache)
+        return cache
+
     def version_lease_for(self, node: SimNode) -> LeaseCache | None:
         """The version-lease cache of the machine hosting ``node``.
 
@@ -261,29 +295,28 @@ class SimDeployment:
         return cache
 
     def clear_node_caches(self) -> None:
-        """Drop every machine's cached metadata AND version leases
-        (cold-start measurements)."""
+        """Drop every machine's cached metadata, page ranges AND version
+        leases (cold-start measurements)."""
         for cache in self._node_caches.values():
+            cache.clear()
+        for cache in self._page_caches.values():
             cache.clear()
         for lease in self._version_leases.values():
             lease.clear()
 
     def node_cache_stats(self) -> CacheStats:
         """Aggregate :class:`~repro.cache.CacheStats` over every machine."""
-        hits = misses = entries = total_bytes = evictions = 0
-        for cache in self._node_caches.values():
-            stats = cache.stats()
-            hits += stats.hits
-            misses += stats.misses
-            entries += stats.entries
-            total_bytes += stats.bytes
-            evictions += stats.evictions
-        return CacheStats(
-            hits=hits,
-            misses=misses,
-            entries=entries,
-            bytes=total_bytes,
-            evictions=evictions,
+        return sum(
+            (cache.stats() for cache in self._node_caches.values()),
+            CacheStats(),
+        )
+
+    def page_cache_stats(self) -> CacheStats:
+        """Aggregate :class:`~repro.cache.CacheStats` over every machine's
+        page cache."""
+        return sum(
+            (cache.stats() for cache in self._page_caches.values()),
+            CacheStats(),
         )
 
     def node_for_provider(self, provider_id: str) -> SimNode:

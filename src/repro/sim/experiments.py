@@ -69,12 +69,19 @@ class ReadConcurrencySample:
     avg_vm_round_trips: float = 0.0
     #: Metadata cache hit rate of the cold pass (~0 on a cold start).
     avg_cache_hit_rate: float = 0.0
+    #: Page cache hit rate of the cold pass (~0 on a cold start).
+    avg_page_cache_hit_rate: float = 0.0
     #: Warm repeated-read pass (zeros unless ``measure_warm=True``).
     warm_avg_bandwidth_mbps: float = 0.0
     warm_avg_metadata_nodes_fetched: float = 0.0
     warm_avg_metadata_round_trips: float = 0.0
+    #: Batched data round trips of the warm pass — 0 when every page range
+    #: is served by the machine's page cache (warm reads skip the
+    #: providers entirely).
+    warm_avg_data_round_trips: float = 0.0
     warm_avg_vm_round_trips: float = 0.0
     warm_avg_cache_hit_rate: float = 0.0
+    warm_avg_page_cache_hit_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -230,6 +237,9 @@ def run_read_concurrency_experiment(
                 avg_cache_hit_rate=mean(
                     outcome.cache_hit_rate for outcome in outcomes
                 ),
+                avg_page_cache_hit_rate=mean(
+                    outcome.page_cache_hit_rate for outcome in outcomes
+                ),
                 warm_avg_bandwidth_mbps=(
                     mean(outcome.bandwidth / MiB for outcome in warm)
                     if warm
@@ -245,6 +255,11 @@ def run_read_concurrency_experiment(
                     if warm
                     else 0.0
                 ),
+                warm_avg_data_round_trips=(
+                    mean(outcome.data_round_trips for outcome in warm)
+                    if warm
+                    else 0.0
+                ),
                 warm_avg_vm_round_trips=(
                     mean(outcome.vm_round_trips for outcome in warm)
                     if warm
@@ -252,6 +267,11 @@ def run_read_concurrency_experiment(
                 ),
                 warm_avg_cache_hit_rate=(
                     mean(outcome.cache_hit_rate for outcome in warm)
+                    if warm
+                    else 0.0
+                ),
+                warm_avg_page_cache_hit_rate=(
+                    mean(outcome.page_cache_hit_rate for outcome in warm)
                     if warm
                     else 0.0
                 ),

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
 from ..core.cluster import Cluster
-from ..errors import ConcurrencyError, UnknownBlobError
+from ..errors import ConcurrencyError, ProviderUnavailableError, UnknownBlobError
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import InnerNode, LeafNode, NodeKey
 from ..version.records import resolve_owner
@@ -38,6 +38,11 @@ class GarbageCollectionReport:
     deleted_pages: int
     deleted_nodes: int
     reclaimed_bytes: int
+    #: Providers whose sweep was skipped because they were dead (at the
+    #: start of the pass or mid-sweep).  Their unreachable pages stay put;
+    #: the pass is idempotent, so a later run reclaims them once the
+    #: provider rejoins — one dead provider never aborts the whole sweep.
+    skipped_providers: tuple[str, ...] = ()
 
 
 def collect_garbage(
@@ -94,15 +99,34 @@ def collect_garbage(
 
     deleted_pages = 0
     reclaimed_bytes = 0
+    skipped_providers: list[str] = []
     for provider in cluster.provider_manager.providers():
-        for page_id in provider.page_ids():
-            if page_id in reachable_pages:
-                continue
-            size = provider.page_size_of(page_id)
-            if not dry_run:
-                provider.delete_page(page_id)
-            deleted_pages += 1
-            reclaimed_bytes += size
+        # A dead provider must not abort the sweep: the pages already
+        # deleted from live providers are unreachable garbage either way,
+        # and re-running the pass later (the sweep is idempotent) reclaims
+        # whatever the dead provider still holds once it rejoins.
+        if not provider.alive:
+            skipped_providers.append(provider.provider_id)
+            continue
+        try:
+            for page_id in provider.page_ids():
+                if page_id in reachable_pages:
+                    continue
+                size = provider.page_size_of(page_id)
+                if not dry_run:
+                    provider.delete_page(page_id)
+                    # The page cache never invalidates on its own (stored
+                    # pages are immutable); GC — the one event that removes
+                    # pages — must drop every cached sub-range of each page
+                    # it deletes, exactly like the node-cache twin below.
+                    cluster.discard_cached_page(page_id)
+                deleted_pages += 1
+                reclaimed_bytes += size
+        except ProviderUnavailableError:
+            # Died mid-sweep: keep what this pass already reclaimed and
+            # move on to the next provider.
+            skipped_providers.append(provider.provider_id)
+            continue
 
     deleted_nodes = 0
     for bucket_id in cluster.dht.bucket_ids():
@@ -127,6 +151,7 @@ def collect_garbage(
         deleted_pages=deleted_pages,
         deleted_nodes=deleted_nodes,
         reclaimed_bytes=reclaimed_bytes,
+        skipped_providers=tuple(skipped_providers),
     )
 
 

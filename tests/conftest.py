@@ -28,11 +28,13 @@ def cluster() -> Cluster:
 
 @pytest.fixture
 def store(cluster) -> BlobStore:
-    """A cold-cache client: ``cache_metadata`` now defaults to True (shared,
-    LRU-bounded), but the suite's exact trip-count and DHT-traffic
-    assertions need cold-cache determinism; cache behaviour has its own
-    tests with explicit :class:`~repro.cache.NodeCache` instances."""
-    return BlobStore(cluster, cache_metadata=False)
+    """A cold-cache client: ``cache_metadata`` and ``cache_pages`` default
+    to True (shared, LRU-bounded), but the suite's exact trip-count,
+    DHT-traffic and provider-traffic assertions need cold-cache
+    determinism; cache behaviour has its own tests with explicit
+    :class:`~repro.cache.NodeCache` / :class:`~repro.cache.PageCache`
+    instances."""
+    return BlobStore(cluster, cache_metadata=False, cache_pages=False)
 
 
 @pytest.fixture

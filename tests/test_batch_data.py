@@ -22,6 +22,7 @@ from repro.errors import (
     IntegrityError,
     PageNotFoundError,
     ProviderUnavailableError,
+    ShortReadError,
 )
 from repro.metadata.geometry import pages_for_size, span_for_pages
 from repro.providers.data_provider import DataProvider
@@ -138,6 +139,73 @@ class TestProviderMultiOps:
         provider.multi_store_virtual([("p0", 100), ("p1", 200)])
         assert provider.bytes_used() == 300
         assert provider.multi_fetch([("p1", 10, 5)]) == [bytes(5)]
+
+
+class TestShortReads:
+    """Zero-copy short reads must raise, never silently serve zeros.
+
+    Regression tests for the PR 5 bugfix: ``multi_fetch_into`` used to do
+    ``out[:len(data)] = data`` and count ``len(data)``, leaving the tail of
+    the destination view untouched when a stored page was truncated — the
+    caller then returned those zero bytes as blob content.
+    """
+
+    def test_truncated_page_raises_instead_of_serving_zeros(self):
+        provider = DataProvider("data-0000")
+        provider.store_page("p0", b"x" * 64)
+        # Simulate truncation: the store now holds fewer bytes than the
+        # leaf metadata (and hence the request window) promises.
+        provider._store.put("p0", b"x" * 40)
+        out = bytearray(64)
+        with pytest.raises(ShortReadError):
+            provider.multi_fetch_into([("p0", 0, memoryview(out))])
+
+    def test_truncated_page_raises_on_checksum_verify_path_too(self):
+        provider = DataProvider("data-0000", verify_checksums=True)
+        provider.store_page("p0", b"y" * 64)
+        # The re-put refreshes the stored checksum, so only the length
+        # reconciliation can catch the truncation — the verify path used to
+        # be the one silently zero-filling.
+        provider._store.put("p0", b"y" * 40)
+        out = bytearray(64)
+        with pytest.raises(ShortReadError):
+            provider.multi_fetch_into([("p0", 0, memoryview(out))])
+
+    def test_intact_page_still_reads_full_window(self):
+        provider = DataProvider("data-0000")
+        provider.store_page("p0", b"z" * 64)
+        out = bytearray(16)
+        written = provider.multi_fetch_into([("p0", 8, memoryview(out))])
+        assert written == 16 and bytes(out) == b"z" * 16
+
+    def test_manager_reconciles_batch_byte_counts(self):
+        # Even a provider implementation that does NOT self-check cannot
+        # smuggle a short batch past the manager: the per-batch byte count
+        # is reconciled against the requested total.
+        manager = ProviderManager()
+        provider = DataProvider("data-0000")
+        provider.store_page("p0", b"w" * 64)
+        manager.register(provider)
+        provider.multi_fetch_into = lambda requests: 3  # claims a short batch
+        with pytest.raises(ShortReadError):
+            manager.multi_fetch_into(
+                [("data-0000", "p0", 0, memoryview(bytearray(8)))]
+            )
+
+    def test_end_to_end_read_surfaces_truncation(self, store, cluster, blob_id):
+        payload = make_payload(4 * PAGE, seed=11)
+        version = store.append(blob_id, payload)
+        store.sync(blob_id, version)
+        victim = next(
+            provider
+            for provider in cluster.provider_manager.providers()
+            if provider.page_count()
+        )
+        page_id = victim.page_ids()[0]
+        original = victim._store.get(page_id)
+        victim._store.put(page_id, original[:-10])
+        with pytest.raises(ShortReadError):
+            store.read(blob_id, version, 0, 4 * PAGE)
 
 
 class TestProviderManagerGrouping:
@@ -261,8 +329,10 @@ class TestEndToEndAccounting:
 
     def test_parallel_io_batches_match_sequential(self):
         cluster = self._cluster(providers=8)
-        parallel = BlobStore(cluster, parallel_io=4)
-        sequential = BlobStore(cluster)
+        # cache_pages pinned off: the second read would otherwise be served
+        # by the shared page cache and report zero data trips.
+        parallel = BlobStore(cluster, parallel_io=4, cache_pages=False)
+        sequential = BlobStore(cluster, cache_pages=False)
         blob_id = parallel.create()
         payload = make_payload(64 * PAGE, seed=9)
         version = parallel.append(blob_id, payload)

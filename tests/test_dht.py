@@ -119,6 +119,51 @@ class TestDHT:
         dht.put("key", 1)  # one live replica is enough
         assert dht.get("key") == 1
 
+    def test_rejoined_replica_miss_falls_through_to_live_holder(self):
+        # Kill the primary during the put (the write lands on the second
+        # replica only), then let it rejoin: a GET must fall through the
+        # rejoined-but-empty primary and serve the key from the replica
+        # that holds it — a live replica's miss is not authoritative.
+        dht = DHT(num_buckets=4, replication=2)
+        primary, secondary = dht.buckets_for("key")[:2]
+        dht.kill_bucket(primary)
+        dht.put("key", "survivor")
+        dht.revive_bucket(primary)
+        assert dht.get("key") == "survivor"
+        assert dht.multi_get(["key"]) == ["survivor"]
+        # And the key is still reachable if the holder's PEER dies.
+        dht.kill_bucket(secondary)
+        with pytest.raises(ProviderUnavailableError):
+            dht.get("key")
+
+    def test_miss_after_dead_replica_reports_unavailable_not_missing(self):
+        # Regression (PR 5): the key lives ONLY on the primary (the second
+        # replica was down during the put).  With the primary now dead and
+        # the empty second replica rejoined, the old code let the live
+        # replica's miss overwrite the recorded unavailability and raised
+        # MetadataNotFoundError — wrongly reporting durable loss for data
+        # that is merely behind a dead node.
+        dht = DHT(num_buckets=4, replication=2)
+        primary, secondary = dht.buckets_for("key")[:2]
+        dht.kill_bucket(secondary)
+        dht.put("key", "on-primary-only")
+        dht.revive_bucket(secondary)
+        dht.kill_bucket(primary)
+        with pytest.raises(ProviderUnavailableError):
+            dht.get("key")
+        with pytest.raises(ProviderUnavailableError):
+            dht.multi_get(["key"])
+        # Once the holder rejoins, the value is served again.
+        dht.revive_bucket(primary)
+        assert dht.get("key") == "on-primary-only"
+
+    def test_missing_key_with_all_replicas_live_is_not_found(self):
+        dht = DHT(num_buckets=4, replication=2)
+        with pytest.raises(MetadataNotFoundError):
+            dht.get("never-written")
+        with pytest.raises(MetadataNotFoundError):
+            dht.multi_get(["never-written"])
+
     def test_delete_removes_from_all_replicas(self):
         dht = DHT(num_buckets=4, replication=2)
         dht.put("key", "value")

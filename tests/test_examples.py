@@ -28,6 +28,7 @@ def load_example(name: str):
         "simulated_grid_run",
         "dataset_curation",
         "version_leases",
+        "warm_reads",
     ],
 )
 def test_example_runs_to_completion(name, capsys):
@@ -62,6 +63,13 @@ def test_version_leases_demonstrates_zero_trip_reads(capsys):
     output = capsys.readouterr().out
     assert "vm_round_trips=0 (lease hit)" in output
     assert "rounds saved by group commit" in output
+
+
+def test_warm_reads_demonstrates_zero_trip_reads(capsys):
+    load_example("warm_reads").main()
+    output = capsys.readouterr().out
+    assert "zero round trips on all three legs" in output
+    assert "hit rate 1.00" in output
 
 
 def test_dataset_curation_reports_and_collects(capsys):

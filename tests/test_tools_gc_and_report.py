@@ -93,6 +93,48 @@ class TestCollectGarbage:
         with pytest.raises(ConcurrencyError):
             collect_garbage(cluster, {blob_id: [1]})
 
+    def test_dead_provider_is_skipped_not_fatal(self, store, cluster, blob_id):
+        # Regression (PR 5): the sweep used to call page_ids()/delete_page()
+        # on every provider, so one dead provider aborted the pass AFTER
+        # pages had already been deleted elsewhere.  It must instead skip
+        # the dead provider, report it, and stay idempotent.
+        build_history(store, blob_id)
+        latest = store.get_recent(blob_id)
+        victim_id = cluster.provider_manager.provider_ids()[2]
+        cluster.kill_data_provider(victim_id)
+        report = collect_garbage(cluster, {blob_id: [latest]})
+        assert report.skipped_providers == (victim_id,)
+        assert report.deleted_pages > 0  # live providers were still swept
+        # Idempotent: once the provider rejoins, a second pass reclaims
+        # exactly what the dead one still held and skips nobody.  The
+        # victim demonstrably held garbage (round-robin allocation spreads
+        # every version over all providers), so the pass must delete > 0.
+        cluster.revive_data_provider(victim_id)
+        second = collect_garbage(cluster, {blob_id: [latest]})
+        assert second.skipped_providers == ()
+        assert second.deleted_pages > 0
+        third = collect_garbage(cluster, {blob_id: [latest]})
+        assert third.deleted_pages == 0 and third.reclaimed_bytes == 0
+        assert cluster.storage_bytes_used() == 4 * PAGE
+
+    def test_provider_dying_mid_sweep_is_skipped(self, store, cluster, blob_id):
+        build_history(store, blob_id)
+        latest = store.get_recent(blob_id)
+        victim = next(
+            provider
+            for provider in cluster.provider_manager.providers()
+            if provider.page_count()
+        )
+        original = victim.page_ids
+
+        def dying_page_ids():
+            victim.kill()
+            return original()
+
+        victim.page_ids = dying_page_ids
+        report = collect_garbage(cluster, {blob_id: [latest]})
+        assert victim.provider_id in report.skipped_providers
+
 
 class TestClusterReport:
     def test_report_counts_match_cluster_state(self, store, cluster, blob_id):
