@@ -106,6 +106,7 @@ def compare_rows(
     figure: str,
     tolerance: float,
     required_columns: tuple[str, ...] = (),
+    exact_columns: tuple[str, ...] = (),
 ) -> tuple[list[dict], list[str], list[str]]:
     """Compare matched rows metric by metric.
 
@@ -118,6 +119,13 @@ def compare_rows(
     predates the counter.  A required column missing from the *current*
     rows (the harness stopped emitting it) fails the same way — the gate
     never goes green while a counter it was told to watch is uncompared.
+
+    ``exact_columns`` are held to EQUALITY, not tolerance: a listed column
+    must be present on both sides of every matched row and bit-identical
+    (as a float).  This is the no-drift gate — e.g. the cold fig2b counters
+    must not move at all while the default configuration is unchanged,
+    because the cold path is meant to be byte-for-byte the pre-change
+    system.
     """
     baseline_by_key = {row_key(row, figure): row for row in baseline}
     records: list[dict] = []
@@ -167,6 +175,30 @@ def compare_rows(
                         f"{label}: {name} {now:.2f} vs baseline {then:.2f} "
                         f"(limit {limit:.2f})"
                     )
+        for name in exact_columns:
+            if name not in row or name not in base:
+                side = "current rows" if name not in row else "baseline"
+                failures.append(
+                    f"{label}: exact column {name!r} missing from the {side}"
+                )
+                continue
+            now, then = float(row[name]), float(base[name])
+            ok = now == then
+            records.append(
+                {
+                    "row": label,
+                    "metric": name,
+                    "baseline": then,
+                    "current": now,
+                    "limit": then,
+                    "ok": ok,
+                }
+            )
+            if not ok:
+                failures.append(
+                    f"{label}: {name} {now!r} != baseline {then!r} "
+                    "(exact column — must not drift at all)"
+                )
     if matched == 0:
         failures.append(
             f"no baseline rows matched the current {figure} rows — "
@@ -215,15 +247,25 @@ def main(argv: list[str] | None = None) -> int:
         "a listed column the baseline predates fails the gate with a clear "
         "message instead of being skipped",
     )
+    parser.add_argument(
+        "--exact-columns",
+        default="",
+        help="comma-separated columns that must be EXACTLY equal (no "
+        "tolerance) on every matched row — the no-drift gate for cold-path "
+        "counters; a listed column missing from either side fails",
+    )
     args = parser.parse_args(argv)
     required = tuple(
         name.strip() for name in args.require_columns.split(",") if name.strip()
+    )
+    exact = tuple(
+        name.strip() for name in args.exact_columns.split(",") if name.strip()
     )
 
     baseline_rows = load_baseline_rows(args.baseline, args.figure, args.scale)
     result = _FIGURES[args.figure](scale=args.scale)
     records, failures, skipped = compare_rows(
-        result.rows, baseline_rows, args.figure, args.tolerance, required
+        result.rows, baseline_rows, args.figure, args.tolerance, required, exact
     )
 
     report = {
@@ -231,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         "scale": args.scale,
         "baseline_file": str(args.baseline),
         "tolerance": args.tolerance,
+        "exact_columns": list(exact),
         "passed": not failures,
         "failures": failures,
         "skipped_columns": skipped,

@@ -24,6 +24,8 @@ Package layout:
 * :mod:`repro.vm` — the version-manager *service* layer: group-commit
   ticketing, pipelined publication and client version leases.
 * :mod:`repro.providers` — data providers and the provider manager.
+* :mod:`repro.fault` — data-path fault tolerance: retry with backoff,
+  provider failure detection, background replication repair (DESIGN.md).
 * :mod:`repro.dht` — the custom DHT storing metadata.
 * :mod:`repro.sim` — discrete-event simulator of the Grid'5000-like testbed
   used for the paper's throughput experiments.
@@ -40,6 +42,7 @@ from .cache import (
 )
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
 from .core import Blob, BlobStore, Cluster
+from .fault import ProviderHealth, RepairReport, RepairService, RetryPolicy
 from .vm import LeaseCache, VersionManagerService, VMStats
 from .errors import (
     BlobSeerError,
@@ -62,6 +65,10 @@ __all__ = [
     "shared_node_cache",
     "shared_page_cache",
     "BlobSeerConfig",
+    "ProviderHealth",
+    "RepairReport",
+    "RepairService",
+    "RetryPolicy",
     "LeaseCache",
     "VersionManagerService",
     "VMStats",

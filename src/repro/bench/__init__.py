@@ -15,6 +15,7 @@ from .fig2b import run_fig2b
 from .ablations import (
     run_ablation_allocation,
     run_ablation_cache,
+    run_ablation_churn,
     run_ablation_concurrent_writers,
     run_ablation_dht_placement,
     run_ablation_metadata,
@@ -30,6 +31,7 @@ __all__ = [
     "run_fig2b",
     "run_ablation_allocation",
     "run_ablation_cache",
+    "run_ablation_churn",
     "run_ablation_concurrent_writers",
     "run_ablation_dht_placement",
     "run_ablation_metadata",

@@ -17,6 +17,7 @@ import time
 from .ablations import (
     run_ablation_allocation,
     run_ablation_cache,
+    run_ablation_churn,
     run_ablation_concurrent_writers,
     run_ablation_dht_placement,
     run_ablation_metadata,
@@ -34,6 +35,7 @@ _EXPERIMENTS = {
     "fig2a": run_fig2a,
     "fig2b": run_fig2b,
     "ablation-cache": run_ablation_cache,
+    "ablation-churn": run_ablation_churn,
     "ablation-metadata": run_ablation_metadata,
     "ablation-space": run_ablation_storage_space,
     "ablation-writers": run_ablation_concurrent_writers,

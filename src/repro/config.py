@@ -70,8 +70,44 @@ class BlobSeerConfig:
         Number of data provider processes in the deployment.
     num_metadata_providers:
         Number of DHT buckets / metadata provider processes.
+    metadata_replication:
+        Number of DHT buckets each metadata node is stored on.  Reads fall
+        through dead buckets to the next replica (see
+        :meth:`repro.dht.DHT.multi_get`), so a deployment survives up to
+        ``metadata_replication - 1`` simultaneous bucket failures.
+    page_replication:
+        Number of distinct data providers each page is stored on.  Reads
+        fail over to the next live replica when a provider is dead
+        (reported via ``ReadStats.failovers``/``degraded``), and the
+        background :class:`repro.fault.RepairService` re-replicates pages
+        that lost copies.  ``1`` (the default) reproduces the paper's
+        single-home layout bit-identically on the wire.
     replication:
-        Number of replicas stored for each page and each metadata node.
+        Deprecated alias for ``metadata_replication``, kept for backward
+        compatibility.  Earlier revisions documented this knob as covering
+        "each page and each metadata node" while only metadata was ever
+        replicated; the knob is now split so the two legs are controlled
+        (and validated) independently.  Setting both ``replication`` and
+        ``metadata_replication`` to conflicting values is an error.
+    retry_attempts:
+        Maximum attempts (initial try + retries) a
+        :class:`repro.fault.RetryPolicy` makes for one provider/DHT batch
+        call that failed with a retryable error (see
+        :func:`repro.errors.is_retryable`).  ``1`` (the default) disables
+        retries entirely, matching pre-fault-tolerance behaviour.
+    retry_backoff_base / retry_backoff_max:
+        Exponential-backoff schedule between retry attempts: attempt *n*
+        sleeps ``min(retry_backoff_base * 2**(n-1), retry_backoff_max)``
+        seconds before jitter.
+    retry_jitter:
+        Fraction (0..1) of each backoff delay randomized away to avoid
+        retry stampedes: the actual sleep is uniformly drawn from
+        ``[delay * (1 - retry_jitter), delay]``.
+    suspect_after:
+        Consecutive failures after which :class:`repro.fault.ProviderHealth`
+        marks a provider *suspect*; allocation steers new pages away from
+        suspects (unless no other provider is available) until a successful
+        call — or an explicit revival probe — clears the suspicion.
     allocation_strategy:
         Name of the page-to-provider allocation strategy registered with the
         provider manager (``"round_robin"``, ``"random"``, ``"least_loaded"``).
@@ -118,7 +154,14 @@ class BlobSeerConfig:
     page_size: int = DEFAULT_PAGE_SIZE
     num_data_providers: int = 16
     num_metadata_providers: int = 16
-    replication: int = 1
+    replication: int | None = None
+    metadata_replication: int | None = None
+    page_replication: int = 1
+    retry_attempts: int = 1
+    retry_backoff_base: float = 0.05
+    retry_backoff_max: float = 1.0
+    retry_jitter: float = 0.5
+    suspect_after: int = 3
     allocation_strategy: str = "round_robin"
     dht_strategy: str = "static"
     update_timeout: float | None = None
@@ -140,8 +183,46 @@ class BlobSeerConfig:
                  "num_data_providers must be >= 1")
         _require(self.num_metadata_providers >= 1,
                  "num_metadata_providers must be >= 1")
-        _require(1 <= self.replication <= self.num_data_providers,
-                 "replication must be between 1 and num_data_providers")
+        # Resolve the deprecated ``replication`` alias: after construction
+        # both names hold the same (integer) metadata replication factor.
+        metadata_replication = self.metadata_replication
+        if metadata_replication is None:
+            if self.replication is None:
+                metadata_replication = 1
+            else:
+                # The deprecated knob keeps its historical validation
+                # envelope (bounded by the data-provider count) and its
+                # historical clamp to the bucket count, so configs written
+                # against the old combined knob keep working unchanged.
+                _require(1 <= self.replication <= self.num_data_providers,
+                         "replication must be between 1 and "
+                         "num_data_providers")
+                metadata_replication = min(
+                    self.replication, self.num_metadata_providers
+                )
+        else:
+            if (self.replication is not None
+                    and self.replication != metadata_replication):
+                raise ConfigurationError(
+                    "replication (deprecated alias) and metadata_replication "
+                    f"conflict: {self.replication} != {metadata_replication}"
+                )
+            _require(1 <= metadata_replication <= self.num_metadata_providers,
+                     "metadata_replication must be between 1 and "
+                     "num_metadata_providers")
+        object.__setattr__(self, "metadata_replication", metadata_replication)
+        object.__setattr__(self, "replication", metadata_replication)
+        _require(1 <= self.page_replication <= self.num_data_providers,
+                 "page_replication must be between 1 and num_data_providers")
+        _require(self.retry_attempts >= 1,
+                 "retry_attempts must be >= 1 (1 disables retries)")
+        _require(self.retry_backoff_base >= 0,
+                 "retry_backoff_base must be >= 0")
+        _require(self.retry_backoff_max >= self.retry_backoff_base,
+                 "retry_backoff_max must be >= retry_backoff_base")
+        _require(0 <= self.retry_jitter <= 1,
+                 "retry_jitter must be between 0 and 1")
+        _require(self.suspect_after >= 1, "suspect_after must be >= 1")
         _require(self.allocation_strategy in
                  ("round_robin", "random", "least_loaded"),
                  f"unknown allocation strategy {self.allocation_strategy!r}")

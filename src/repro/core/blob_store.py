@@ -110,6 +110,7 @@ from ..metadata.read_plan import (
     multi_range_read_plan,
     read_plan,
 )
+from ..providers.provider_manager import FaultTally
 from ..util.ranges import covering_page_range, is_aligned
 from ..version.records import BlobRecord, UpdateTicket, resolve_owner
 from ..vm import LeaseCache
@@ -192,6 +193,14 @@ class ReadStats:
     #: combined publication check) — the read path never blocks on the VM's
     #: global order beyond these lookups.
     vm_round_trips: int = 0
+    #: Page requests re-routed to another replica because a provider batch
+    #: failed (dead provider, missing page, short read) — the read-path
+    #: fault-tolerance counter (see :mod:`repro.fault` and DESIGN.md).
+    failovers: int = 0
+    #: Page requests ultimately served by a NON-primary replica.  A
+    #: non-zero value means the read ran *degraded*: correct bytes, reduced
+    #: redundancy behind them — callers can alert or trigger a repair pass.
+    degraded: int = 0
 
 
 class BlobStore:
@@ -402,8 +411,9 @@ class BlobStore:
         buffer = bytearray(size)
         descriptors = plan_result.sorted_descriptors()
         page_tally = CacheTally()
+        fault_tally = FaultTally()
         data_trips = self._fetch_pages_into(
-            record, descriptors, buffer, offset, size, page_tally
+            record, descriptors, buffer, offset, size, page_tally, fault_tally
         )
         stats = ReadStats(
             version=version,
@@ -417,6 +427,8 @@ class BlobStore:
             cache=self._operation_cache_stats(tally),
             page_cache=self._operation_page_cache_stats(page_tally),
             vm_round_trips=vm_trips,
+            failovers=fault_tally.failovers,
+            degraded=fault_tally.degraded,
         )
         return bytes(buffer), stats
 
@@ -672,6 +684,7 @@ class BlobStore:
         descriptors = plan_result.sorted_descriptors()
         buffers = [bytearray(byte_size) for _byte_offset, byte_size in byte_ranges]
         requests: list[tuple[str, str, int, memoryview]] = []
+        failover: list[tuple[str, ...]] = []
         for index, (byte_offset, byte_size) in enumerate(byte_ranges):
             view = memoryview(buffers[index])
             for descriptor in descriptors:
@@ -689,12 +702,14 @@ class BlobStore:
                         view[destination:destination + length],
                     )
                 )
+                failover.append(descriptor.provider_ids)
         data_trips = self._pm.multi_fetch_into(
             requests,
             run_batches=self._run_batches,
             cache=self._page_cache,
             cache_key=self._cluster.page_cache_key,
             tally=page_tally,
+            failover=failover,
         )
         return [bytes(buffer) for buffer in buffers], data_trips
 
@@ -713,40 +728,65 @@ class BlobStore:
         manager — ONE batched multi-store per provider touched — and return
         the page descriptors (paper's ``PD`` set) plus the batch count.
 
-        A provider dying mid-update fails the whole store *after* the live
+        With ``page_replication > 1`` each page fans out to that many
+        distinct providers; the descriptor records the replicas that
+        actually stored it (a dead replica degrades redundancy without
+        failing the write — the repair service tops it back up).  A page
+        landing on NO replica fails the whole store *after* the live
         providers' batches completed, so the pages that did land are
         garbage-collected here before the error propagates.
         """
-        provider_ids = self._pm.allocate(len(payloads))
+        replication = self._cluster.config.page_replication
+        replica_sets = self._pm.allocate_replicas(len(payloads), replication)
         descriptors: list[PageDescriptor] = []
-        items: list[tuple[str, str, bytes]] = []
-        for (page_index, payload), provider_id in zip(payloads, provider_ids):
+        items: list[tuple[tuple[str, ...], str, bytes]] = []
+        for (_page_index, payload), replicas in zip(payloads, replica_sets):
             page_id = self._cluster._ids.next_page_id()
+            items.append((replicas, page_id, payload))
+        try:
+            landed, store_trips = self._pm.multi_store_replicated(
+                items, run_batches=self._run_batches
+            )
+        except Exception:
+            self._discard_pages(
+                [
+                    PageDescriptor(
+                        page_index=page_index,
+                        page_id=page_id,
+                        provider_id=replicas[0],
+                        length=len(payload),
+                        provider_ids=replicas,
+                    )
+                    for (page_index, payload), (replicas, page_id, _payload)
+                    in zip(payloads, items)
+                ]
+            )
+            raise
+        for (page_index, payload), (_replicas, page_id, _payload), stored in zip(
+            payloads, items, landed
+        ):
             descriptors.append(
                 PageDescriptor(
                     page_index=page_index,
                     page_id=page_id,
-                    provider_id=provider_id,
+                    provider_id=stored[0],
                     length=len(payload),
+                    provider_ids=stored,
                 )
             )
-            items.append((provider_id, page_id, payload))
-        try:
-            store_trips = self._pm.multi_store(items, run_batches=self._run_batches)
-        except Exception:
-            self._discard_pages(descriptors)
-            raise
         return descriptors, store_trips
 
     def _discard_pages(self, descriptors: list[PageDescriptor]) -> None:
-        """Best-effort garbage collection of pages of a failed update."""
+        """Best-effort garbage collection of pages of a failed update —
+        every replica of every page."""
         for descriptor in descriptors:
-            try:
-                self._pm.provider(descriptor.provider_id).delete_page(
-                    descriptor.page_id
-                )
-            except Exception:  # noqa: BLE001 - GC must never mask the real error
-                continue
+            for provider_id in descriptor.provider_ids:
+                try:
+                    self._pm.provider(provider_id).delete_page(
+                        descriptor.page_id
+                    )
+                except Exception:  # noqa: BLE001 - GC must never mask the real error
+                    continue
 
     def _finish_update(
         self,
@@ -980,11 +1020,15 @@ class BlobStore:
         offset: int,
         size: int,
         page_tally: CacheTally | None = None,
+        fault_tally: FaultTally | None = None,
     ) -> int:
         """Fetch the needed byte range of every page into ``buffer`` with one
         batched multi-fetch per provider; return the batch count.  Ranges
         held by the shared page cache are deposited directly and never
         enter a provider batch — a fully cached read costs zero batches.
+        Each request carries its page's replica tuple, so a failed provider
+        batch fails over to the next live replica (counted in
+        ``fault_tally``) instead of failing the read.
 
         Zero-copy assembly: each request carries a writable ``memoryview``
         slice of the (single) result buffer, so providers deposit page bytes
@@ -996,6 +1040,7 @@ class BlobStore:
         page_size = record.page_size
         view = memoryview(buffer)
         requests: list[tuple[str, str, int, memoryview]] = []
+        failover: list[tuple[str, ...]] = []
         for descriptor in descriptors:
             request = self._page_request(descriptor, page_size, offset, size)
             if request is None:
@@ -1005,12 +1050,15 @@ class BlobStore:
                 (provider_id, page_id, page_offset,
                  view[destination:destination + length])
             )
+            failover.append(descriptor.provider_ids)
         return self._pm.multi_fetch_into(
             requests,
             run_batches=self._run_batches,
             cache=self._page_cache,
             cache_key=self._cluster.page_cache_key,
             tally=page_tally,
+            failover=failover,
+            fault_tally=fault_tally,
         )
 
     def _executor(self) -> ThreadPoolExecutor:

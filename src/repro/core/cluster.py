@@ -23,6 +23,7 @@ from ..cache import (
 )
 from ..config import BlobSeerConfig
 from ..dht.dht import DHT
+from ..fault import ProviderHealth, RetryPolicy
 from ..metadata.metadata_provider import MetadataProvider
 from ..providers.allocation import make_allocation_strategy
 from ..providers.data_provider import DataProvider
@@ -93,7 +94,20 @@ class Cluster:
             seed=seed,
             page_size_hint=self.config.page_size,
         )
-        self.provider_manager = ProviderManager(strategy)
+        # Fault-tolerance wiring (see :mod:`repro.fault` and DESIGN.md):
+        # one health registry and one retry policy per cluster, shared by
+        # every client.  The config defaults (``retry_attempts=1``) make
+        # the retry policy a no-op, so a vanilla deployment behaves —
+        # and times — exactly as before.
+        self.provider_health = ProviderHealth(
+            suspect_after=self.config.suspect_after
+        )
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self.provider_manager = ProviderManager(
+            strategy,
+            retry_policy=self.retry_policy,
+            health=self.provider_health,
+        )
         for index in range(self.config.num_data_providers):
             provider_id = f"data-{index:04d}"
             provider = DataProvider(
@@ -106,7 +120,8 @@ class Cluster:
         self.dht = DHT(
             num_buckets=self.config.num_metadata_providers,
             strategy=self.config.dht_strategy,
-            replication=self.config.replication,
+            replication=self.config.metadata_replication,
+            retry_policy=self.retry_policy,
         )
         self.metadata_provider = MetadataProvider(
             self.dht, encode_values=self.config.encode_metadata
@@ -163,6 +178,9 @@ class Cluster:
         provider = self.provider_manager.provider(provider_id)
         provider.revive()
         self.provider_manager.register(provider)
+        # Revival probe: a rejoining provider starts with a clean slate so
+        # allocation stops steering around it immediately.
+        self.provider_health.probe([provider])
 
     def kill_metadata_bucket(self, bucket_id: str) -> None:
         """Crash one metadata DHT bucket."""

@@ -52,6 +52,7 @@ class DHT:
         strategy: str = "static",
         replication: int = 1,
         bucket_id_prefix: str = "meta",
+        retry_policy=None,
     ):
         if num_buckets < 1:
             raise ValueError("num_buckets must be >= 1")
@@ -63,6 +64,15 @@ class DHT:
         }
         self._placement: HashPlacement = make_placement(strategy, bucket_ids)
         self._replication = min(replication, num_buckets)
+        # Optional :class:`repro.fault.RetryPolicy` wrapped around every
+        # bucket call (transient errors only); None / a no-op policy keeps
+        # the pre-fault-tolerance behaviour and timing.
+        self._retry = retry_policy
+
+    def _bucket_call(self, fn):
+        if self._retry is not None and not self._retry.is_noop:
+            return self._retry.run(fn)
+        return fn()
 
     # -- topology ----------------------------------------------------------
     @property
@@ -95,8 +105,9 @@ class DHT:
         stored = 0
         last_error: ProviderUnavailableError | None = None
         for bucket_id in self.buckets_for(key):
+            bucket = self._buckets[bucket_id]
             try:
-                self._buckets[bucket_id].put(key, value)
+                self._bucket_call(lambda: bucket.put(key, value))
                 stored += 1
             except ProviderUnavailableError as error:
                 last_error = error
@@ -119,8 +130,9 @@ class DHT:
         """
         unavailable: ProviderUnavailableError | None = None
         for bucket_id in self.buckets_for(key):
+            bucket = self._buckets[bucket_id]
             try:
-                return self._buckets[bucket_id].get(key)
+                return self._bucket_call(lambda: bucket.get(key))
             except ProviderUnavailableError as error:
                 unavailable = error
             except MetadataNotFoundError:
@@ -158,10 +170,14 @@ class DHT:
                 by_bucket.setdefault(bucket_id, []).append(index)
 
         def make_job(bucket_id: str, indices: list[int]):
+            bucket = self._buckets[bucket_id]
+
             def job():
                 try:
-                    self._buckets[bucket_id].multi_put(
-                        [items[index] for index in indices]
+                    self._bucket_call(
+                        lambda: bucket.multi_put(
+                            [items[index] for index in indices]
+                        )
                     )
                     return None
                 except ProviderUnavailableError as error:
@@ -217,9 +233,13 @@ class DHT:
                     by_bucket.setdefault(replicas[attempt], []).append(key)
 
             def make_job(bucket_id: str, bucket_keys: list[str]):
+                bucket = self._buckets[bucket_id]
+
                 def job():
                     try:
-                        return self._buckets[bucket_id].multi_get(bucket_keys)
+                        return self._bucket_call(
+                            lambda: bucket.multi_get(bucket_keys)
+                        )
                     except ProviderUnavailableError as error:
                         return error
 

@@ -1,0 +1,85 @@
+"""Failure detection: a consecutive-failure suspicion registry.
+
+:class:`ProviderHealth` is the client-side answer to "which providers should
+I stop trusting?": every failed provider call records a failure, every
+successful one clears the count, and a provider whose *consecutive* failures
+reach ``suspect_after`` becomes **suspect**.  Allocation steers new pages
+away from suspects (:meth:`prefer_healthy`) so fresh writes do not pile onto
+a flapping node, while reads still try suspects last-resort — suspicion is a
+hint, never a verdict.
+
+Suspicion clears on the first successful call, or explicitly through a
+revival probe (:meth:`probe`, invoked by
+:meth:`repro.core.cluster.Cluster.revive_data_provider`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+
+
+class ProviderHealth:
+    """Tracks consecutive per-provider failures and flags suspects."""
+
+    def __init__(self, suspect_after: int = 3):
+        if suspect_after < 1:
+            raise ValueError("suspect_after must be >= 1")
+        self.suspect_after = suspect_after
+        self._failures: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def record_failure(self, provider_id: str) -> bool:
+        """Record one failed call; return True when the provider is now
+        suspect."""
+        with self._lock:
+            count = self._failures.get(provider_id, 0) + 1
+            self._failures[provider_id] = count
+            return count >= self.suspect_after
+
+    def record_success(self, provider_id: str) -> None:
+        """Record one successful call, clearing any suspicion."""
+        with self._lock:
+            self._failures.pop(provider_id, None)
+
+    def consecutive_failures(self, provider_id: str) -> int:
+        with self._lock:
+            return self._failures.get(provider_id, 0)
+
+    def is_suspect(self, provider_id: str) -> bool:
+        with self._lock:
+            return self._failures.get(provider_id, 0) >= self.suspect_after
+
+    def suspects(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(
+                pid
+                for pid, count in self._failures.items()
+                if count >= self.suspect_after
+            )
+
+    def prefer_healthy(self, provider_ids: Sequence[str]) -> list[str]:
+        """Filter suspects out of a candidate list — unless that would empty
+        it, in which case the original order is returned: a suspect provider
+        is still better than failing the operation outright."""
+        suspects = self.suspects()
+        if not suspects:
+            return list(provider_ids)
+        healthy = [pid for pid in provider_ids if pid not in suspects]
+        return healthy if healthy else list(provider_ids)
+
+    def probe(self, providers: Iterable) -> list[str]:
+        """Revival probe: ask each provider whether it is alive and clear
+        (or deepen) suspicion accordingly; return the ids found alive.
+
+        ``providers`` yields objects with ``provider_id`` and ``alive``
+        attributes (:class:`repro.providers.data_provider.DataProvider`).
+        """
+        revived: list[str] = []
+        for provider in providers:
+            if provider.alive:
+                self.record_success(provider.provider_id)
+                revived.append(provider.provider_id)
+            else:
+                self.record_failure(provider.provider_id)
+        return revived

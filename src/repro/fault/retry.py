@@ -1,0 +1,127 @@
+"""Deterministic retry with exponential backoff and jitter.
+
+A :class:`RetryPolicy` wraps one I/O call (a provider batch, a DHT bucket
+request) and re-issues it when it fails with a *transient* error — one whose
+class opted into retryability via :class:`repro.errors.TransientError`.
+Deterministic errors (bad ranges, missing pages, checksum mismatches) are
+re-raised immediately: retrying them cannot succeed and only hides bugs.
+
+The policy is deterministic by construction: the clock (``sleep``) and the
+randomness source (``rng``) are injected, so tests drive it with a recording
+fake and a seeded generator and never wall-sleep.  The default
+``attempts=1`` means a single try and no sleeping at all — behaviour (and
+timing) identical to a deployment without the fault-tolerance layer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+from ..errors import ConfigurationError, is_retryable
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Retry transient failures with capped exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Maximum number of tries (initial call + retries).  ``1`` disables
+        retries.
+    backoff_base / backoff_max:
+        Retry *n* (1-based) sleeps ``min(backoff_base * 2**(n-1),
+        backoff_max)`` seconds before jitter.
+    jitter:
+        Fraction (0..1) of each delay randomized away so concurrent clients
+        do not retry in lockstep: the actual sleep is uniformly drawn from
+        ``[delay * (1 - jitter), delay]``.
+    sleep / rng:
+        Injected clock and randomness (``rng`` is a :class:`random.Random`);
+        tests pass fakes for determinism.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 1,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        jitter: float = 0.5,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ):
+        if attempts < 1:
+            raise ConfigurationError("retry attempts must be >= 1")
+        if backoff_base < 0 or backoff_max < backoff_base:
+            raise ConfigurationError(
+                "retry backoff must satisfy 0 <= base <= max"
+            )
+        if not 0 <= jitter <= 1:
+            raise ConfigurationError("retry jitter must be between 0 and 1")
+        self.attempts = attempts
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> "RetryPolicy":
+        """Build a policy from a :class:`repro.config.BlobSeerConfig`."""
+        return cls(
+            attempts=config.retry_attempts,
+            backoff_base=config.retry_backoff_base,
+            backoff_max=config.retry_backoff_max,
+            jitter=config.retry_jitter,
+            sleep=sleep,
+            rng=rng,
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the policy never retries (``attempts == 1``)."""
+        return self.attempts == 1
+
+    def delay(self, retry_index: int) -> float:
+        """Jittered backoff before retry number *retry_index* (1-based)."""
+        base = min(
+            self.backoff_base * (2 ** (retry_index - 1)), self.backoff_max
+        )
+        if base <= 0:
+            return 0.0
+        if self.jitter:
+            base *= 1 - self.jitter * self._rng.random()
+        return base
+
+    def run(
+        self,
+        call: Callable[[], T],
+        on_failure: Callable[[Exception, int], None] | None = None,
+    ) -> T:
+        """Invoke *call*, retrying transient failures up to the budget.
+
+        ``on_failure(error, attempt)`` is invoked for every failed attempt
+        that will be retried (the hook feeds
+        :class:`repro.fault.ProviderHealth`); the final failure — retryable
+        or not — is re-raised to the caller unchanged.
+        """
+        attempt = 1
+        while True:
+            try:
+                return call()
+            except Exception as error:
+                if not is_retryable(error) or attempt >= self.attempts:
+                    raise
+                if on_failure is not None:
+                    on_failure(error, attempt)
+                self._sleep(self.delay(attempt))
+                attempt += 1

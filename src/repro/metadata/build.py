@@ -271,6 +271,7 @@ def build_nodes(
             page_id=descriptor.page_id,
             provider_id=descriptor.provider_id,
             length=descriptor.length,
+            provider_ids=descriptor.provider_ids,
         )
         result.nodes.append((ref, leaf))
 

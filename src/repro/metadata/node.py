@@ -79,11 +79,32 @@ class LeafNode:
 
     ``length`` is the number of valid bytes in the page — equal to the page
     size except possibly for the last page of a snapshot.
+
+    ``provider_ids`` is the full replica set of the page, primary first:
+    ``provider_ids[0] == provider_id`` always holds, and a single-replica
+    leaf (``page_replication=1``, the paper's layout) has exactly
+    ``(provider_id,)`` so its wire encoding stays bit-identical to the
+    pre-replication format.  Constructing with ``provider_ids=()`` (the
+    default) normalizes to the single-replica tuple.
     """
 
     page_id: str
     provider_id: str
     length: int
+    provider_ids: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        replicas = tuple(self.provider_ids)
+        if not replicas:
+            replicas = (self.provider_id,)
+        if replicas[0] != self.provider_id:
+            raise ValueError(
+                f"provider_ids must list the primary first: "
+                f"{replicas[0]!r} != {self.provider_id!r}"
+            )
+        if len(set(replicas)) != len(replicas):
+            raise ValueError(f"duplicate replica in provider_ids: {replicas}")
+        object.__setattr__(self, "provider_ids", replicas)
 
     @property
     def is_leaf(self) -> bool:
@@ -117,10 +138,24 @@ class PageDescriptor:
 
     ``page_index`` is the absolute page index within the blob; ``page_id``
     and ``provider_id`` locate the stored page; ``length`` is the number of
-    valid bytes in it.
+    valid bytes in it.  ``provider_ids`` carries the page's full replica
+    set (primary first, mirroring :class:`LeafNode`) so the read path can
+    fail over to the next live replica when the primary is dead.
     """
 
     page_index: int
     page_id: str
     provider_id: str
     length: int
+    provider_ids: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        replicas = tuple(self.provider_ids)
+        if not replicas:
+            replicas = (self.provider_id,)
+        if replicas[0] != self.provider_id:
+            raise ValueError(
+                f"provider_ids must list the primary first: "
+                f"{replicas[0]!r} != {self.provider_id!r}"
+            )
+        object.__setattr__(self, "provider_ids", replicas)

@@ -154,6 +154,7 @@ def _frontier_walk(
                         page_id=node.page_id,
                         provider_id=node.provider_id,
                         length=node.length,
+                        provider_ids=node.provider_ids,
                     )
                 )
                 continue

@@ -8,8 +8,15 @@ format is deliberately simple and self-describing:
 
 ``TreeNode`` →  one tag byte followed by the payload:
 
-* ``b"L"`` — leaf: big-endian ``u16`` page-id length, page id (UTF-8),
-  ``u16`` provider-id length, provider id (UTF-8), ``u32`` valid length;
+* ``b"L"`` — single-replica leaf: big-endian ``u16`` page-id length, page id
+  (UTF-8), ``u16`` provider-id length, provider id (UTF-8), ``u32`` valid
+  length;
+* ``b"R"`` — replicated leaf (``page_replication > 1``): ``u16`` page-id
+  length, page id (UTF-8), ``u8`` replica count, then per replica a ``u16``
+  provider-id length and provider id (UTF-8, primary first), and finally the
+  ``u32`` valid length.  A leaf with exactly one replica always encodes with
+  ``b"L"``, keeping ``page_replication=1`` deployments bit-identical to the
+  pre-replication wire format;
 * ``b"I"`` — inner node: two child slots, each a tag byte ``b"V"`` followed
   by a big-endian ``u64`` version, or ``b"N"`` for a dangling child.
 
@@ -26,11 +33,13 @@ import struct
 from ..errors import MetadataNotFoundError
 from .node import InnerNode, LeafNode, NodeKey, TreeNode
 
+_U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 
 LEAF_TAG = b"L"
+REPLICATED_LEAF_TAG = b"R"
 INNER_TAG = b"I"
 _VERSION_TAG = b"V"
 _NONE_TAG = b"N"
@@ -50,6 +59,19 @@ def encode_node(node: TreeNode) -> bytes:
     """Encode a tree node to its wire representation."""
     if isinstance(node, LeafNode):
         page_id = node.page_id.encode("utf-8")
+        if len(node.provider_ids) > 1:
+            parts = [
+                REPLICATED_LEAF_TAG,
+                _U16.pack(len(page_id)),
+                page_id,
+                _U8.pack(len(node.provider_ids)),
+            ]
+            for replica in node.provider_ids:
+                replica_bytes = replica.encode("utf-8")
+                parts.append(_U16.pack(len(replica_bytes)))
+                parts.append(replica_bytes)
+            parts.append(_U32.pack(node.length))
+            return b"".join(parts)
         provider_id = node.provider_id.encode("utf-8")
         return b"".join(
             (
@@ -75,6 +97,8 @@ def decode_node(raw: bytes) -> TreeNode:
     tag, payload = raw[:1], raw[1:]
     if tag == LEAF_TAG:
         return _decode_leaf(payload)
+    if tag == REPLICATED_LEAF_TAG:
+        return _decode_replicated_leaf(payload)
     if tag == INNER_TAG:
         left, payload = _decode_child(payload)
         right, payload = _decode_child(payload)
@@ -127,3 +151,35 @@ def _decode_leaf(payload: bytes) -> LeafNode:
     if position != len(payload):
         raise MetadataNotFoundError("trailing bytes in leaf payload")
     return LeafNode(page_id=page_id, provider_id=provider_id, length=length)
+
+
+def _decode_replicated_leaf(payload: bytes) -> LeafNode:
+    try:
+        position = 0
+        (page_len,) = _U16.unpack_from(payload, position)
+        position += _U16.size
+        page_id = payload[position:position + page_len].decode("utf-8")
+        position += page_len
+        (replica_count,) = _U8.unpack_from(payload, position)
+        position += _U8.size
+        replicas: list[str] = []
+        for _ in range(replica_count):
+            (replica_len,) = _U16.unpack_from(payload, position)
+            position += _U16.size
+            replica = payload[position:position + replica_len].decode("utf-8")
+            position += replica_len
+            replicas.append(replica)
+        (length,) = _U32.unpack_from(payload, position)
+        position += _U32.size
+    except (struct.error, UnicodeDecodeError) as error:
+        raise MetadataNotFoundError(f"malformed leaf payload: {error}") from error
+    if position != len(payload):
+        raise MetadataNotFoundError("trailing bytes in leaf payload")
+    if not replicas:
+        raise MetadataNotFoundError("replicated leaf with zero replicas")
+    return LeafNode(
+        page_id=page_id,
+        provider_id=replicas[0],
+        length=length,
+        provider_ids=tuple(replicas),
+    )

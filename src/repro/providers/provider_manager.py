@@ -3,11 +3,26 @@
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from ..errors import NoProvidersError, ShortReadError
 from .allocation import AllocationStrategy, RoundRobinAllocation
 from .data_provider import DataProvider
+
+
+@dataclass
+class FaultTally:
+    """Mutable per-call recorder of the read path's fault-tolerance events.
+
+    ``failovers`` counts re-route events (a request's batch failed and the
+    request moved to its next replica); ``degraded`` counts requests that
+    were ultimately served by a non-primary replica.  A fully healthy read
+    leaves both at zero.
+    """
+
+    failovers: int = 0
+    degraded: int = 0
 
 
 class ProviderManager:
@@ -18,13 +33,38 @@ class ProviderManager:
     Algorithm 2, line 2).  The manager also supports deregistration and
     skips providers known to be dead, which is the hook used by the
     fault-injection tests.
+
+    Fault-tolerance wiring (both optional, see :mod:`repro.fault` and
+    DESIGN.md): ``retry_policy`` re-issues failed per-provider batch calls
+    for transient errors, and ``health`` records every batch outcome so
+    allocation can steer around providers that keep failing.
     """
 
-    def __init__(self, strategy: AllocationStrategy | None = None):
+    def __init__(
+        self,
+        strategy: AllocationStrategy | None = None,
+        retry_policy=None,
+        health=None,
+    ):
         self._strategy = strategy if strategy is not None else RoundRobinAllocation()
         self._providers: dict[str, DataProvider] = {}
         self._allocatable: set[str] = set()
         self._lock = threading.Lock()
+        self._retry = retry_policy
+        self._health = health
+
+    @property
+    def health(self):
+        """The :class:`repro.fault.ProviderHealth` registry, if wired."""
+        return self._health
+
+    def _note_success(self, provider_id: str) -> None:
+        if self._health is not None:
+            self._health.record_success(provider_id)
+
+    def _note_failure(self, provider_id: str) -> None:
+        if self._health is not None:
+            self._health.record_failure(provider_id)
 
     # -- membership ----------------------------------------------------------
     def register(self, provider: DataProvider) -> None:
@@ -63,14 +103,7 @@ class ProviderManager:
             return len(self._providers)
 
     # -- allocation ------------------------------------------------------------
-    def allocate(self, count: int) -> list[str]:
-        """Return *count* provider ids that should store the next pages.
-
-        Only live, allocatable providers are considered.  Raises
-        :class:`NoProvidersError` when none are available.
-        """
-        if count <= 0:
-            return []
+    def _live_allocatable(self) -> tuple[list[str], dict[str, DataProvider]]:
         with self._lock:
             live = [
                 pid
@@ -80,11 +113,68 @@ class ProviderManager:
             providers = dict(self._providers)
         if not live:
             raise NoProvidersError("no live data providers registered")
+        return live, providers
+
+    def allocate(self, count: int) -> list[str]:
+        """Return *count* provider ids that should store the next pages.
+
+        Only live, allocatable providers are considered; health suspects
+        are steered around unless they are all that is left.  Raises
+        :class:`NoProvidersError` when none are available.
+        """
+        if count <= 0:
+            return []
+        live, providers = self._live_allocatable()
+        candidates = (
+            self._health.prefer_healthy(live) if self._health is not None else live
+        )
 
         def load_of(provider_id: str) -> int:
             return providers[provider_id].bytes_used()
 
-        return self._strategy.select(live, count, load_of)
+        return self._strategy.select(candidates, count, load_of)
+
+    def allocate_replicas(self, count: int, replicas: int = 1) -> list[tuple[str, ...]]:
+        """Return *count* replica sets, each of up to *replicas* DISTINCT
+        live providers (primary first).
+
+        The primary of each set comes from the configured allocation
+        strategy exactly as :meth:`allocate` would pick it; the extra
+        replicas walk the candidate ring from the primary's position, which
+        spreads replica load evenly without a second strategy.  When fewer
+        than *replicas* live providers exist the sets degrade to what is
+        available (a degraded WRITE beats an unavailable one; the
+        :class:`repro.fault.RepairService` tops replication back up once
+        providers rejoin).  Health suspects are steered around unless
+        excluding them would leave the ring short.
+        """
+        if count <= 0:
+            return []
+        live, providers = self._live_allocatable()
+        k = min(replicas, len(live))
+        candidates = (
+            self._health.prefer_healthy(live) if self._health is not None else live
+        )
+
+        def load_of(provider_id: str) -> int:
+            return providers[provider_id].bytes_used()
+
+        primaries = self._strategy.select(candidates, count, load_of)
+        if k <= 1:
+            return [(primary,) for primary in primaries]
+        ring = candidates if len(candidates) >= k else live
+        sets: list[tuple[str, ...]] = []
+        for primary in primaries:
+            start = ring.index(primary)
+            chosen = [primary]
+            step = 1
+            while len(chosen) < k:
+                candidate = ring[(start + step) % len(ring)]
+                step += 1
+                if candidate not in chosen:
+                    chosen.append(candidate)
+            sets.append(tuple(chosen))
+        return sets
 
     def allocate_providers(self, count: int) -> list[DataProvider]:
         """Like :meth:`allocate` but resolves ids to provider objects."""
@@ -106,6 +196,11 @@ class ProviderManager:
         A job's exception is captured and returned in its slot instead of
         aborting the dispatch, so every live provider's batch completes
         before the caller decides how to surface failures.
+
+        When a :class:`repro.fault.RetryPolicy` is wired, each job retries
+        its provider call on transient errors before giving up; every job
+        outcome (including each failed retry attempt) is recorded with the
+        health registry.
         """
         if run_batches is None:
             run_batches = self._run_batches_serial
@@ -113,11 +208,25 @@ class ProviderManager:
         def make_job(provider_id: str, batch: list):
             provider = self.provider(provider_id)
 
+            def attempt():
+                return call(provider, batch)
+
             def job():
                 try:
-                    return call(provider, batch)
+                    if self._retry is not None and not self._retry.is_noop:
+                        result = self._retry.run(
+                            attempt,
+                            on_failure=lambda _error, _n: self._note_failure(
+                                provider_id
+                            ),
+                        )
+                    else:
+                        result = attempt()
                 except Exception as error:  # noqa: BLE001 - surfaced by caller
+                    self._note_failure(provider_id)
                     return error
+                self._note_success(provider_id)
+                return result
 
             return job
 
@@ -183,6 +292,8 @@ class ProviderManager:
         cache=None,
         cache_key=None,
         tally=None,
+        failover: Sequence[tuple[str, ...]] | None = None,
+        fault_tally: FaultTally | None = None,
     ) -> int:
         """Zero-copy variant of :meth:`multi_fetch`: each
         ``(provider_id, page_id, offset, out)`` request carries a writable
@@ -209,10 +320,23 @@ class ProviderManager:
         requested total — a short read surfaces as
         :class:`~repro.errors.ShortReadError` rather than silently served
         zeros, even for provider implementations that do not self-check.
+
+        ``failover`` (aligned with ``requests``) carries each page's full
+        replica tuple, primary first.  When a provider's batch fails — it
+        is dead, a page is missing, a read came back short — every request
+        of that batch *fails over* to its next untried replica in the
+        following wave, exactly like the replicated DHT's
+        :meth:`repro.dht.DHT.multi_get`; the error surfaces only when a
+        request exhausts its replicas.  The optional ``fault_tally``
+        (a :class:`FaultTally`) reports how many requests re-routed and how
+        many were ultimately served degraded (by a non-primary replica).
+        Without ``failover`` — or with single-replica tuples — one failed
+        batch fails the call, exactly the pre-replication behaviour.
         """
         if not requests:
             return 0
         misses: Sequence[tuple[str, str, int, memoryview]] = requests
+        miss_failover = list(failover) if failover is not None else None
         miss_keys: list | None = None
         if cache is not None and cache_key is not None:
             keys = [
@@ -220,37 +344,78 @@ class ProviderManager:
                 for _provider_id, page_id, offset, out in requests
             ]
             cached = cache.get_many(keys)
-            misses, miss_keys = [], []
-            for request, key, value in zip(requests, keys, cached):
+            misses, miss_keys, kept_failover = [], [], []
+            for index, (request, key, value) in enumerate(
+                zip(requests, keys, cached)
+            ):
                 if value is None:
                     misses.append(request)
                     miss_keys.append(key)
+                    if miss_failover is not None:
+                        kept_failover.append(miss_failover[index])
                 else:
                     out = request[3]
                     out[:] = value
+            if miss_failover is not None:
+                miss_failover = kept_failover
             if tally is not None:
                 tally.hits += len(requests) - len(misses)
             if not misses:
                 return 0
-        by_provider: dict[str, list[tuple[str, int, memoryview]]] = {}
-        for provider_id, page_id, offset, out in misses:
-            by_provider.setdefault(provider_id, []).append((page_id, offset, out))
-        groups = list(by_provider.items())
-        outcomes = self._dispatch_batches(
-            groups,
-            lambda provider, batch: provider.multi_fetch_into(batch),
-            run_batches,
-        )
-        for (provider_id, batch), outcome in zip(groups, outcomes):
-            if isinstance(outcome, Exception):
-                raise outcome
-            expected = sum(len(out) for _page_id, _offset, out in batch)
-            if outcome != expected:
-                raise ShortReadError(
-                    f"batched fetch from provider {provider_id!r}",
-                    expected=expected,
-                    actual=int(outcome),
-                )
+        # One entry per outstanding miss: [page_id, offset, out, replicas,
+        # next-replica index].  Requests whose batch fails re-enter the next
+        # wave pointed at their next replica.
+        outstanding: list[list] = []
+        for index, (provider_id, page_id, offset, out) in enumerate(misses):
+            replicas: tuple[str, ...] = (provider_id,)
+            if miss_failover is not None and miss_failover[index]:
+                replicas = tuple(miss_failover[index])
+            outstanding.append([page_id, offset, out, replicas, 0])
+        total_trips = 0
+        first_error: Exception | None = None
+        while outstanding:
+            by_provider: dict[str, list[list]] = {}
+            for entry in outstanding:
+                by_provider.setdefault(entry[3][entry[4]], []).append(entry)
+            groups = list(by_provider.items())
+            outcomes = self._dispatch_batches(
+                groups,
+                lambda provider, batch: provider.multi_fetch_into(
+                    [(entry[0], entry[1], entry[2]) for entry in batch]
+                ),
+                run_batches,
+            )
+            total_trips += len(groups)
+            requeued: list[list] = []
+            for (provider_id, batch), outcome in zip(groups, outcomes):
+                error: Exception | None = None
+                if isinstance(outcome, Exception):
+                    error = outcome
+                else:
+                    expected = sum(len(entry[2]) for entry in batch)
+                    if outcome != expected:
+                        error = ShortReadError(
+                            f"batched fetch from provider {provider_id!r}",
+                            expected=expected,
+                            actual=int(outcome),
+                        )
+                if error is None:
+                    if fault_tally is not None:
+                        fault_tally.degraded += sum(
+                            1 for entry in batch if entry[4] > 0
+                        )
+                    continue
+                for entry in batch:
+                    entry[4] += 1
+                    if entry[4] < len(entry[3]):
+                        if fault_tally is not None:
+                            fault_tally.failovers += 1
+                        requeued.append(entry)
+                    elif first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+            outstanding = requeued
         if miss_keys is not None:
             # Write-through AFTER every batch landed: the views now hold the
             # fetched bytes, and a failed call caches nothing.
@@ -262,8 +427,8 @@ class ProviderManager:
             )
         if tally is not None:
             tally.fetched += len(misses)
-            tally.trips += len(groups)
-        return len(groups)
+            tally.trips += total_trips
+        return total_trips
 
     def multi_store(
         self,
@@ -274,14 +439,76 @@ class ProviderManager:
         :meth:`DataProvider.multi_store` per provider; return the number of
         per-provider batches issued.
 
-        Unlike the replicated DHT, a page has exactly one home, so any dead
-        provider fails the whole call — after the live providers' batches
-        completed, leaving the caller to garbage-collect the pages that did
-        land (see :meth:`repro.core.blob_store.BlobStore._store_payloads`).
+        In this single-home variant any dead provider fails the whole call —
+        after the live providers' batches completed, leaving the caller to
+        garbage-collect the pages that did land (see
+        :meth:`repro.core.blob_store.BlobStore._store_payloads`).  The
+        replicated write path uses :meth:`multi_store_replicated`, which
+        tolerates dead replicas the way the DHT's ``multi_put`` does.
         """
         return self._multi_store(
             items, lambda provider, batch: provider.multi_store(batch), run_batches
         )
+
+    def multi_store_replicated(
+        self,
+        items: Sequence[tuple[tuple[str, ...], str, bytes]],
+        run_batches=None,
+    ) -> tuple[list[tuple[str, ...]], int]:
+        """Store each ``(provider_ids, page_id, payload)`` item on EVERY
+        listed replica, one batch per touched provider.
+
+        Returns ``(landed, round_trips)``: ``landed`` aligns with ``items``
+        and holds the replicas that actually stored each page, preserving
+        the requested order (primary first).  Mirroring the DHT's
+        ``multi_put``, the call succeeds as long as every page landed on at
+        least one replica — a dead replica merely degrades that page's
+        redundancy (the leaf records only the replicas that hold it, and
+        the :class:`repro.fault.RepairService` tops it back up later).  A
+        page that landed nowhere raises, after all batches completed.  With
+        single-replica tuples the failure semantics and the per-provider
+        trip count match :meth:`multi_store` exactly.
+        """
+        if not items:
+            return [], 0
+        by_provider: dict[str, list[tuple[int, str, bytes]]] = {}
+        for index, (provider_ids, page_id, payload) in enumerate(items):
+            for provider_id in provider_ids:
+                by_provider.setdefault(provider_id, []).append(
+                    (index, page_id, payload)
+                )
+        groups = list(by_provider.items())
+        outcomes = self._dispatch_batches(
+            groups,
+            lambda provider, batch: provider.multi_store(
+                [(page_id, payload) for _index, page_id, payload in batch]
+            ),
+            run_batches,
+        )
+        landed_on: list[set[str]] = [set() for _ in items]
+        item_error: list[Exception | None] = [None] * len(items)
+        for (provider_id, batch), outcome in zip(groups, outcomes):
+            if isinstance(outcome, Exception):
+                for index, _page_id, _payload in batch:
+                    if item_error[index] is None:
+                        item_error[index] = outcome
+                continue
+            for index, _page_id, _payload in batch:
+                landed_on[index].add(provider_id)
+        landed: list[tuple[str, ...]] = []
+        for (provider_ids, page_id, _payload), stored, error in zip(
+            items, landed_on, item_error
+        ):
+            if not stored:
+                if error is not None:
+                    raise error
+                raise NoProvidersError(
+                    f"page {page_id!r} has an empty replica set"
+                )
+            landed.append(
+                tuple(pid for pid in provider_ids if pid in stored)
+            )
+        return landed, len(groups)
 
     def multi_store_virtual(
         self,

@@ -84,7 +84,7 @@ def collect_garbage(
                 "only when the system is quiescent"
             )
 
-    reachable_pages: dict[str, str] = {}   # page id -> provider id
+    reachable_pages: dict[str, tuple[str, ...]] = {}   # page id -> replica ids
     reachable_nodes: set[str] = set()
     kept_versions = 0
 
@@ -159,7 +159,7 @@ def _mark_version(
     cluster: Cluster,
     record,
     version: int,
-    reachable_pages: dict[str, str],
+    reachable_pages: dict[str, tuple[str, ...]],
     reachable_nodes: set[str],
 ) -> None:
     """Mark every node and page reachable from one snapshot's tree."""
@@ -181,7 +181,10 @@ def _mark_version(
         reachable_nodes.add(key_string)
         node = meta.get_node(key)
         if isinstance(node, LeafNode):
-            reachable_pages[node.page_id] = node.provider_id
+            # Record the FULL replica set: the sweep walks every provider
+            # and reclaims by page id, so each replica of a swept page is
+            # deleted wherever it lives.
+            reachable_pages[node.page_id] = node.provider_ids
             continue
         if isinstance(node, InnerNode):
             half = size // 2
