@@ -6,15 +6,61 @@ Quickstart::
     from repro import BlobStore, Cluster
 
     cluster = Cluster.in_memory(num_data_providers=8, page_size=4096)
-    store = BlobStore(cluster)
-    blob_id = store.create()
-    v1 = store.append(blob_id, b"hello world")
-    print(store.read(blob_id, v1, 0, 11))
+    with BlobStore(cluster) as store:
+        blob_id = store.create()
+        v1 = store.append(blob_id, b"hello world")
+        print(store.read(blob_id, v1, 0, 11))
+
+Async quickstart — the same primitives as awaitables, sharing one event
+loop instead of one thread per client::
+
+    import asyncio
+    from repro import AsyncBlobStore, Cluster
+
+    async def main():
+        cluster = Cluster.in_memory(num_data_providers=8, page_size=4096)
+        async with AsyncBlobStore(cluster) as store:
+            blob_id = await store.create()
+            v1 = await store.append(blob_id, b"hello world")
+            print(await store.read(blob_id, v1, 0, 11))
+
+    asyncio.run(main())
+
+Migration guide (asyncio-native core)
+-------------------------------------
+
+The client core is now asyncio-native: :class:`~repro.core.AsyncBlobStore`
+is the implementation, and the familiar synchronous :class:`BlobStore` is a
+thin loop-free bridge over it (see :mod:`repro.aio`).  What this means for
+existing code:
+
+* **Nothing breaks.**  Every ``BlobStore`` method keeps its exact
+  signature, semantics, error behaviour and ``*_ex`` trip counters; no
+  event loop is created and no thread is parked on the sync path.  The
+  ``*_ex`` methods (``write_ex`` / ``append_ex`` / ``read_ex``) are the
+  canonical operations; bare ``write`` / ``append`` / ``read`` remain
+  supported convenience wrappers that discard the stats.
+* **To go async**, replace ``BlobStore(cluster)`` with
+  ``AsyncBlobStore(cluster)`` and ``await`` the same method names.  Use
+  ``async with`` (or ``await store.aclose()``) for lifecycle; the sync
+  class gained the matching ``with`` / ``close()`` support.  Both classes
+  raise :class:`~repro.errors.StoreClosedError` after close.
+* **Concurrency model**: ``asyncio.gather`` thousands of operations on one
+  ``AsyncBlobStore`` — reads pipeline their metadata-tree descent across
+  DHT buckets and writes overlap their metadata publish with the page
+  stores, with zero per-operation threads.  The ``parallel_io`` thread
+  pool remains a sync-``BlobStore``-only knob.
+* **Deprecation**: ``BlobSeerConfig(replication=...)`` now emits a
+  ``DeprecationWarning``; spell it ``metadata_replication=`` (and
+  ``page_replication=`` for the data path).  The alias still resolves
+  identically while it lasts.
 
 Package layout:
 
-* :mod:`repro.core` — client API (CREATE/WRITE/APPEND/READ/SYNC/BRANCH) and
-  in-process cluster wiring.
+* :mod:`repro.core` — client API (CREATE/WRITE/APPEND/READ/SYNC/BRANCH),
+  async and sync, and in-process cluster wiring.
+* :mod:`repro.aio` — the I/O runtime seam: one async code path, two
+  execution modes (event loop vs suspension-free trampoline).
 * :mod:`repro.cache` — the shared, sharded, LRU-bounded caches for
   immutable metadata tree nodes AND immutable page payloads that every
   client reads through (one common sharded-LRU core).
@@ -41,13 +87,14 @@ from .cache import (
     shared_page_cache,
 )
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
-from .core import Blob, BlobStore, Cluster
+from .core import AsyncBlobStore, Blob, BlobStore, Cluster
 from .fault import ProviderHealth, RepairReport, RepairService, RetryPolicy
 from .vm import LeaseCache, VersionManagerService, VMStats
 from .errors import (
     BlobSeerError,
     ConfigurationError,
     InvalidRangeError,
+    StoreClosedError,
     UnknownBlobError,
     UpdateAbortedError,
     VersionNotPublishedError,
@@ -56,6 +103,7 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncBlobStore",
     "Blob",
     "BlobStore",
     "CacheStats",
@@ -80,6 +128,7 @@ __all__ = [
     "BlobSeerError",
     "ConfigurationError",
     "InvalidRangeError",
+    "StoreClosedError",
     "UnknownBlobError",
     "UpdateAbortedError",
     "VersionNotPublishedError",

@@ -11,6 +11,7 @@ Two dataclasses are exposed:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .errors import ConfigurationError
@@ -185,6 +186,14 @@ class BlobSeerConfig:
                  "num_metadata_providers must be >= 1")
         # Resolve the deprecated ``replication`` alias: after construction
         # both names hold the same (integer) metadata replication factor.
+        if self.replication is not None:
+            warnings.warn(
+                "BlobSeerConfig.replication is deprecated; use "
+                "metadata_replication (and page_replication for the data "
+                "path) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         metadata_replication = self.metadata_replication
         if metadata_replication is None:
             if self.replication is None:

@@ -3,19 +3,23 @@
 * :class:`~repro.core.cluster.Cluster` — an in-process deployment wiring
   together the version manager, provider manager, data providers and the
   metadata DHT.
-* :class:`~repro.core.blob_store.BlobStore` — the client implementing the
-  paper's primitives (CREATE, WRITE, APPEND, READ, GET_RECENT, GET_SIZE,
-  SYNC, BRANCH).
+* :class:`~repro.core.async_store.AsyncBlobStore` — the asyncio-native
+  client core implementing the paper's primitives (CREATE, WRITE, APPEND,
+  READ, GET_RECENT, GET_SIZE, SYNC, BRANCH) as awaitables.
+* :class:`~repro.core.blob_store.BlobStore` — the synchronous client, a
+  loop-free bridge over the same core.
 * :class:`~repro.core.blob.Blob` — an object-style handle over one blob.
 """
 
 from .cluster import Cluster
+from .async_store import AsyncBlobStore
 from .blob_store import BlobStore, ReadStats, WriteResult
 from .blob import Blob
 from .io import AppendWriter, SnapshotReader
 
 __all__ = [
     "Cluster",
+    "AsyncBlobStore",
     "BlobStore",
     "Blob",
     "ReadStats",

@@ -1,0 +1,1235 @@
+"""The asyncio-native client core: CREATE, WRITE, APPEND, READ, GET_RECENT,
+GET_SIZE, SYNC and BRANCH as awaitables (paper, Section 2.1).
+
+:class:`AsyncBlobStore` IS the client implementation — the sync
+:class:`~repro.core.blob_store.BlobStore` is a loop-free bridge over this
+class (see :mod:`repro.aio`), so planning, caching, replication, retry and
+trip accounting exist exactly once.  Which of the two execution modes runs
+underneath is decided by the injected :class:`~repro.aio.IORuntime`:
+
+* under :class:`~repro.aio.SyncRuntime` no awaitable ever suspends, the
+  traversal stays strictly level-by-level and the write path stores pages
+  before publishing metadata — the pre-async behaviour, timing and counters,
+  bit for bit;
+
+* under :class:`~repro.aio.AsyncRuntime` (the default) the store exploits
+  the event loop where the old thread pool could not:
+
+  - READ *pipelines* the metadata tree descent: one frontier's fetches are
+    grouped by DHT bucket and each group expands its children — and issues
+    their level-N+1 fetches — the moment it lands, while the level's slower
+    buckets are still in flight (``_pipelined_walk``);
+  - WRITE *overlaps* the batched ``put_nodes`` publish with the page
+    stores: descriptors are built optimistically from the allocated replica
+    sets, the publish task starts while pages are still landing, and the
+    rare page that landed on fewer replicas than allocated gets its leaf
+    re-put before the version manager is notified (``_finish_update``);
+  - SYNC and retry backoff park on the loop instead of a thread, so
+    thousands of operations stay concurrently in flight in one process
+    with zero per-operation threads.
+
+Both modes produce identical bytes and identical ``ReadStats`` /
+``WriteResult`` trip counters on healthy clusters (the equivalence property
+in ``tests/test_async_store.py`` asserts this across random histories);
+the only intentional divergence is the degraded-write reconciliation trip,
+which can only occur with ``page_replication > 1`` and a mid-write replica
+failure.
+
+Everything the sync client's docstring says about frontier-parallel
+metadata I/O, provider-parallel data I/O, shared caches and version leases
+(see :mod:`repro.core.blob_store`) applies unchanged — same planners, same
+components, same accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aio import AsyncRuntime, Handle, IORuntime
+from ..cache import (
+    CacheStats,
+    CacheTally,
+    NodeCache,
+    PageCache,
+    complete_frontier,
+    split_frontier,
+)
+from ..errors import InvalidRangeError, StoreClosedError, UpdateAbortedError
+from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
+from ..metadata.geometry import pages_for_size, span_for_pages, validate_node_range
+from ..metadata.node import LeafNode, NodeKey, NodeRef, PageDescriptor, TreeNode
+from ..metadata.read_plan import (
+    ReadPlanResult,
+    adrive_plan,
+    multi_range_read_plan,
+    plan_walker,
+    read_plan,
+)
+from ..providers.provider_manager import FaultTally
+from ..util.ranges import covering_page_range, is_aligned
+from ..version.records import BlobRecord, UpdateTicket, resolve_owner
+from ..vm import LeaseCache
+from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Detailed outcome of a WRITE/APPEND (``*_ex`` variants)."""
+
+    version: int
+    bytes_written: int
+    pages_written: int
+    metadata_nodes_written: int
+    #: Border nodes that actually travelled from the DHT during border
+    #: resolution; nodes served by the shared cache are counted in
+    #: ``metadata_cache_hits`` instead.
+    border_nodes_fetched: int
+    #: Batched metadata round trips: one per border-plan frontier that had
+    #: at least one cache miss, plus one for the batched publish of the new
+    #: tree nodes.  A fully cached border resolution costs just the publish.
+    #: (An event-loop write that had to reconcile a degraded page adds one
+    #: more for the leaf re-put.)
+    metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page store per provider touched
+    #: (plus one multi-page fetch per provider supplying boundary bytes for
+    #: an unaligned write) — compare ``pages_written``, which counts
+    #: individual pages and is unchanged by batching.
+    data_round_trips: int = 0
+    #: Border-node lookups served by the shared metadata cache.
+    metadata_cache_hits: int = 0
+    #: Boundary page ranges served by the shared page cache (unaligned
+    #: writes fetch boundary bytes; aligned writes never fetch pages).
+    page_cache_hits: int = 0
+    #: This update's exact hit/miss counts plus an occupancy snapshot of
+    #: the (possibly shared) cache right after it; None when caching is
+    #: disabled.
+    cache: CacheStats | None = None
+    #: Version-manager round trips this update issued: ticket registration,
+    #: the completion notice, plus any record/recency/size lookups the
+    #: shared lease cache could not serve.  The registration and completion
+    #: trips additionally coalesce with concurrent writers' in the
+    #: cluster's ticket window / publish queue (see ``VMStats``).
+    vm_round_trips: int = 0
+
+
+@dataclass(frozen=True)
+class ReadStats:
+    """Detailed outcome of a READ (``read_ex``)."""
+
+    version: int
+    bytes_read: int
+    pages_fetched: int
+    #: Tree nodes that actually travelled from the DHT; lookups served by
+    #: the shared cache are counted in ``metadata_cache_hits`` instead, so
+    #: a warm repeated read reports ~0 here.
+    metadata_nodes_fetched: int
+    #: Batched metadata round trips of the tree traversal: one per frontier
+    #: with at least one cache miss, i.e. at most O(log pages) — and zero
+    #: for a fully cached traversal.  Compare ``metadata_nodes_fetched``,
+    #: which counts individual nodes and is unchanged by batching.  The
+    #: pipelined event-loop traversal preserves the count: its per-bucket
+    #: fetch tasks of one tree level still constitute one logical round.
+    metadata_round_trips: int = 0
+    #: Batched data round trips: one multi-page fetch per provider touched,
+    #: i.e. O(providers), not O(pages) — compare ``pages_fetched``, which
+    #: counts individual pages and is unchanged by batching.
+    data_round_trips: int = 0
+    #: Tree-node lookups served by the shared metadata cache.
+    metadata_cache_hits: int = 0
+    #: Page ranges served by the shared page cache — a warm repeated read
+    #: reports every page here and ``data_round_trips == 0``.
+    page_cache_hits: int = 0
+    #: This read's exact hit/miss counts plus an occupancy snapshot of the
+    #: (possibly shared) cache right after it; None when caching is
+    #: disabled.
+    cache: CacheStats | None = None
+    #: The page cache's per-read deltas and occupancy snapshot; None when
+    #: page caching is disabled.
+    page_cache: CacheStats | None = None
+    #: Version-manager round trips this read issued: 0 when the blob record
+    #: and the snapshot's published size were served by the shared lease
+    #: cache (the warm repeated-read regime), up to 2 cold (record +
+    #: combined publication check) — the read path never blocks on the VM's
+    #: global order beyond these lookups.
+    vm_round_trips: int = 0
+    #: Page requests re-routed to another replica because a provider batch
+    #: failed (dead provider, missing page, short read) — the read-path
+    #: fault-tolerance counter (see :mod:`repro.fault` and DESIGN.md).
+    failovers: int = 0
+    #: Page requests ultimately served by a NON-primary replica.  A
+    #: non-zero value means the read ran *degraded*: correct bytes, reduced
+    #: redundancy behind them — callers can alert or trigger a repair pass.
+    degraded: int = 0
+
+
+@dataclass
+class _PendingStore:
+    """An in-flight batched page store plus its optimistic descriptors.
+
+    ``planned`` records the replica sets the allocator CHOSE; the handle
+    resolves to the descriptors of the replicas that actually STORED each
+    page (plus the store's batch count).  Under ``SyncRuntime`` the handle
+    is always already done, so the two never diverge observably; under the
+    event loop the gap is what lets the metadata publish overlap the store.
+    """
+
+    handle: Handle
+    planned: list[PageDescriptor]
+
+
+class AsyncBlobStore:
+    """Awaitable client front-end to a BlobSeer :class:`Cluster`.
+
+    Accepts the same caching/leasing knobs as the sync
+    :class:`~repro.core.blob_store.BlobStore` (see its docstring for the
+    full parameter discussion) minus ``parallel_io`` — concurrency comes
+    from the event loop, not a thread pool — plus:
+
+    runtime:
+        The :class:`~repro.aio.IORuntime` executing the store's batched
+        I/O.  Defaults to :class:`~repro.aio.AsyncRuntime` (event-loop
+        mode: pipelined reads, overlapped writes, loop-parked SYNC).  The
+        sync bridge injects a :class:`~repro.aio.SyncRuntime` instead.
+
+    Use as an async context manager (``async with AsyncBlobStore(c) as s:``)
+    or call :meth:`aclose` explicitly; a closed store raises
+    :class:`~repro.errors.StoreClosedError` on further operations.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        strict_unaligned: bool = False,
+        cache_metadata: bool = True,
+        node_cache: NodeCache | None = None,
+        cache_pages: bool = True,
+        page_cache: PageCache | None = None,
+        lease_versions: bool = True,
+        version_leases: LeaseCache | None = None,
+        runtime: IORuntime | None = None,
+    ):
+        self._cluster = cluster
+        self._vm = cluster.version_manager
+        self._pm = cluster.provider_manager
+        self._meta = cluster.metadata_provider
+        self._runtime: IORuntime = runtime if runtime is not None else AsyncRuntime()
+        self._strict_unaligned = strict_unaligned
+        self._closed = False
+        # What StoreClosedError names; the sync bridge overrides this so a
+        # closed BlobStore reports itself, not its engine.
+        self._display_name = type(self).__name__
+        self._cache: NodeCache | None = (
+            (node_cache if node_cache is not None else cluster.node_cache)
+            if cache_metadata
+            else None
+        )
+        if self._cache is not None:
+            # GC invalidation must reach override caches too, not just the
+            # cluster's shared one.
+            cluster.register_node_cache(self._cache)
+        self._page_cache: PageCache | None = (
+            (page_cache if page_cache is not None else cluster.page_cache)
+            if cache_pages
+            else None
+        )
+        if self._page_cache is not None:
+            cluster.register_page_cache(self._page_cache)
+        self._lease: LeaseCache | None = (
+            (version_leases if version_leases is not None else cluster.version_leases)
+            if lease_versions
+            else None
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(self._display_name)
+
+    def close(self) -> None:
+        """Release the store (idempotent); further operations raise
+        :class:`~repro.errors.StoreClosedError`.  The shared caches and the
+        cluster stay untouched — other stores keep using them."""
+        if not self._closed:
+            self._closed = True
+            self._runtime.close()
+
+    async def aclose(self) -> None:
+        """Awaitable :meth:`close` (idempotent)."""
+        self.close()
+
+    async def __aenter__(self) -> "AsyncBlobStore":
+        self._ensure_open()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ CREATE
+    async def create(self, page_size: int | None = None) -> str:
+        """CREATE: make a new blob with an empty, published snapshot 0."""
+        self._ensure_open()
+        return self._vm.create_blob(page_size).blob_id
+
+    # ------------------------------------------------------------------- WRITE
+    async def write(self, blob_id: str, data: bytes, offset: int) -> int:
+        """WRITE: replace ``len(data)`` bytes at ``offset``; return the new
+        snapshot version (which may not be published yet — use SYNC).
+
+        Thin wrapper over the canonical :meth:`write_ex`.
+        """
+        return (await self.write_ex(blob_id, data, offset)).version
+
+    async def write_ex(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
+        self._ensure_open()
+        data = bytes(data)
+        if offset < 0:
+            raise InvalidRangeError(f"negative write offset: {offset}")
+        if not data:
+            raise InvalidRangeError("WRITE requires a non-empty buffer")
+        record, vm_trips = self._get_record(blob_id)
+        page_size = record.page_size
+
+        if is_aligned(offset, len(data), page_size) and not self._strict_unaligned:
+            return await self._write_aligned(record, data, offset, vm_trips)
+        if self._strict_unaligned:
+            return await self._write_strict(record, data, offset, vm_trips)
+        return await self._write_unaligned(record, data, offset, vm_trips)
+
+    # ------------------------------------------------------------------ APPEND
+    async def append(self, blob_id: str, data: bytes) -> int:
+        """APPEND: WRITE at the end of the previous snapshot; the offset is
+        chosen by the version manager.
+
+        Thin wrapper over the canonical :meth:`append_ex`.
+        """
+        return (await self.append_ex(blob_id, data)).version
+
+    async def append_ex(self, blob_id: str, data: bytes) -> WriteResult:
+        self._ensure_open()
+        data = bytes(data)
+        if not data:
+            raise InvalidRangeError("APPEND requires a non-empty buffer")
+        record, vm_trips = self._get_record(blob_id)
+        ticket = self._vm.register_update(record.blob_id, len(data), is_append=True)
+        vm_trips += 1  # the (group-committed) ticket registration
+        try:
+            reference_version: int | None = None
+            if ticket.byte_offset % record.page_size != 0 and ticket.version > 1:
+                # The append starts inside the tail page of the previous
+                # snapshot: wait for it so the boundary bytes are exact.
+                try:
+                    await self._runtime.vm_sync(
+                        self._vm, record.blob_id, ticket.version - 1
+                    )
+                    reference_version = ticket.version - 1
+                except UpdateAbortedError:
+                    # The predecessor became a hole: its size already fell
+                    # back to its own predecessor's, so the boundary bytes
+                    # come from the most recent *published* snapshot
+                    # (reference_version=None) instead of failing the append.
+                    reference_version = None
+                vm_trips += 1
+            page_tally = CacheTally()
+            payloads, boundary_trips, boundary_vm_trips = (
+                await self._compose_page_payloads(
+                    record, ticket, data, reference_version=reference_version,
+                    page_tally=page_tally,
+                )
+            )
+            vm_trips += boundary_vm_trips
+            pending = self._start_page_stores(payloads)
+            return await self._finish_update(
+                record, ticket, pending, data_round_trips=boundary_trips,
+                vm_round_trips=vm_trips, page_cache_hits=page_tally.hits,
+            )
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "append failed")
+            raise
+
+    # -------------------------------------------------------------------- READ
+    async def read(self, blob_id: str, version: int, offset: int, size: int) -> bytes:
+        """READ: return ``size`` bytes at ``offset`` from snapshot ``version``.
+
+        Fails when the version is not published or the range exceeds the
+        snapshot size (paper, Section 2.1).  Thin wrapper over the
+        canonical :meth:`read_ex`.
+        """
+        data, _stats = await self.read_ex(blob_id, version, offset, size)
+        return data
+
+    async def read_ex(
+        self, blob_id: str, version: int, offset: int, size: int
+    ) -> tuple[bytes, ReadStats]:
+        self._ensure_open()
+        if offset < 0 or size < 0:
+            raise InvalidRangeError(f"negative read offset/size ({offset}, {size})")
+        record, vm_trips = self._get_record(blob_id)
+        snapshot_size, check_trips = self._published_size(blob_id, version)
+        vm_trips += check_trips
+        if offset + size > snapshot_size:
+            raise InvalidRangeError(
+                f"read range ({offset}, {size}) exceeds snapshot {version} "
+                f"size {snapshot_size}"
+            )
+        if size == 0:
+            return b"", ReadStats(version, 0, 0, 0, 0, vm_round_trips=vm_trips)
+
+        page_size = record.page_size
+        page_offset, page_count = covering_page_range(offset, size, page_size)
+        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        tally = CacheTally()
+        plan_result = await self._run_read_plan(
+            record, version, span, page_offset, page_count, tally
+        )
+
+        buffer = bytearray(size)
+        descriptors = plan_result.sorted_descriptors()
+        page_tally = CacheTally()
+        fault_tally = FaultTally()
+        data_trips = await self._fetch_pages_into(
+            record, descriptors, buffer, offset, size, page_tally, fault_tally
+        )
+        stats = ReadStats(
+            version=version,
+            bytes_read=size,
+            pages_fetched=len(descriptors),
+            metadata_nodes_fetched=tally.fetched,
+            metadata_round_trips=tally.trips,
+            data_round_trips=data_trips,
+            metadata_cache_hits=tally.hits,
+            page_cache_hits=page_tally.hits,
+            cache=self._operation_cache_stats(tally),
+            page_cache=self._operation_page_cache_stats(page_tally),
+            vm_round_trips=vm_trips,
+            failovers=fault_tally.failovers,
+            degraded=fault_tally.degraded,
+        )
+        return bytes(buffer), stats
+
+    async def read_recent(
+        self, blob_id: str, offset: int, size: int
+    ) -> tuple[int, bytes]:
+        """Convenience: READ from the most recently published snapshot."""
+        version = await self.get_recent(blob_id)
+        return version, await self.read(blob_id, version, offset, size)
+
+    # ------------------------------------------------------- version primitives
+    async def get_recent(self, blob_id: str) -> int:
+        """GET_RECENT: a recently published snapshot version.
+
+        Served from the shared version lease when one is fresh — publish
+        notifications renew leases synchronously, so the answer equals what
+        the version manager itself would return.
+        """
+        self._ensure_open()
+        version, _trips = self._recent(blob_id)
+        return version
+
+    async def get_size(self, blob_id: str, version: int) -> int:
+        """GET_SIZE: size in bytes of a published snapshot.
+
+        A published snapshot's size is immutable, so the answer is served
+        from the lease cache's fact map once known.
+        """
+        self._ensure_open()
+        size, _trips = self._published_size(blob_id, version)
+        return size
+
+    async def sync(
+        self, blob_id: str, version: int, timeout: float | None = None
+    ) -> None:
+        """SYNC: wait until ``version`` is published ("read your writes").
+
+        Under the event-loop runtime the wait parks on the loop (publish
+        notifications wake it) instead of blocking a thread on the version
+        manager's condition variable.
+        """
+        self._ensure_open()
+        await self._runtime.vm_sync(self._vm, blob_id, version, timeout)
+
+    async def branch(self, blob_id: str, version: int) -> str:
+        """BRANCH: virtually duplicate the blob up to ``version``; return the
+        new blob id."""
+        self._ensure_open()
+        return self._vm.branch(blob_id, version).blob_id
+
+    # ------------------------------------------------------------ version leases
+    def _get_record(self, blob_id: str) -> tuple[BlobRecord, int]:
+        """The blob's immutable record, via the lease cache's fact map:
+        ``(record, vm_round_trips)``."""
+        if self._lease is not None:
+            return self._lease.record(blob_id)
+        return self._vm.get_record(blob_id), 1
+
+    def _published_size(self, blob_id: str, version: int) -> tuple[int, int]:
+        """Size of a published snapshot (raises
+        :class:`~repro.errors.VersionNotPublishedError` otherwise):
+        ``(size, vm_round_trips)``.  One combined ``check_read`` trip cold,
+        zero once the immutable fact is cached."""
+        if self._lease is not None:
+            return self._lease.published_size(blob_id, version)
+        return self._vm.check_read(blob_id, version), 1
+
+    def _recent(self, blob_id: str) -> tuple[int, int]:
+        """Leased GET_RECENT: ``(version, vm_round_trips)``."""
+        if self._lease is not None:
+            return self._lease.recent(blob_id)
+        return self._vm.get_recent(blob_id), 1
+
+    # ---------------------------------------------------------------- internals
+    async def _write_aligned(
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
+    ) -> WriteResult:
+        """Fast path for page-aligned writes: page stores START before the
+        version is assigned, exactly as in Algorithm 2 (and complete before
+        it under the sync runtime)."""
+        page_size = record.page_size
+        first_page = offset // page_size
+        payloads = [
+            (first_page + index, data[index * page_size:(index + 1) * page_size])
+            for index in range(len(data) // page_size)
+        ]
+        pending = self._start_page_stores(payloads)
+        try:
+            ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        except Exception:
+            await self._reap(pending.handle)
+            self._discard_pages(pending.planned)
+            raise
+        try:
+            return await self._finish_update(
+                record, ticket, pending, vm_round_trips=vm_trips + 1,
+            )
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    async def _write_unaligned(
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
+    ) -> WriteResult:
+        """Unaligned write: boundary pages are completed from the most
+        recently published snapshot, then the update proceeds as usual."""
+        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        vm_trips += 1
+        try:
+            page_tally = CacheTally()
+            payloads, boundary_trips, boundary_vm_trips = (
+                await self._compose_page_payloads(record, ticket, data,
+                                                  page_tally=page_tally)
+            )
+            pending = self._start_page_stores(payloads)
+            return await self._finish_update(
+                record, ticket, pending, data_round_trips=boundary_trips,
+                vm_round_trips=vm_trips + boundary_vm_trips,
+                page_cache_hits=page_tally.hits,
+            )
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    async def _write_strict(
+        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
+    ) -> WriteResult:
+        """Strict unaligned write: wait for the previous snapshot so boundary
+        bytes are taken from exactly version - 1."""
+        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
+        vm_trips += 1
+        try:
+            if ticket.version > 1:
+                await self._runtime.vm_sync(
+                    self._vm, record.blob_id, ticket.version - 1
+                )
+                vm_trips += 1
+            page_tally = CacheTally()
+            payloads, boundary_trips, boundary_vm_trips = (
+                await self._compose_page_payloads(
+                    record, ticket, data, reference_version=ticket.version - 1,
+                    page_tally=page_tally,
+                )
+            )
+            pending = self._start_page_stores(payloads)
+            return await self._finish_update(
+                record, ticket, pending, data_round_trips=boundary_trips,
+                vm_round_trips=vm_trips + boundary_vm_trips,
+                page_cache_hits=page_tally.hits,
+            )
+        except Exception:
+            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
+            raise
+
+    async def _compose_page_payloads(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        data: bytes,
+        reference_version: int | None = None,
+        page_tally: CacheTally | None = None,
+    ) -> tuple[list[tuple[int, bytes]], int, int]:
+        """Split ``data`` into per-page payloads, merging boundary pages with
+        existing content where the update is not page-aligned.
+
+        Only the first page can need an old prefix and only the last page an
+        old suffix; both are resolved with ONE combined metadata traversal
+        (:func:`repro.metadata.read_plan.multi_range_read_plan`) instead of
+        one full READ — each a complete tree walk — per boundary page, and
+        the boundary bytes of both ranges come back in one provider-grouped
+        batch of page fetches.
+
+        Returns ``(page_index, payload)`` pairs covering the ticket's page
+        range exactly, plus the number of batched data round trips the
+        boundary fetches cost, plus the version-manager round trips the
+        reference-snapshot lookups cost (zero when the shared lease cache
+        served them).
+        """
+        page_size = record.page_size
+        offset = ticket.byte_offset
+        size = ticket.byte_size
+        first_page = ticket.page_offset
+        last_page = first_page + ticket.page_count - 1
+
+        # Content outside the written range but inside the previous snapshot
+        # must be preserved: figure out which reference snapshot supplies it.
+        vm_trips = 0
+        if reference_version is None:
+            reference_version, trips = self._recent(record.blob_id)
+            vm_trips += trips
+        if reference_version > 0:
+            reference_size, trips = self._published_size(
+                record.blob_id, reference_version
+            )
+            vm_trips += trips
+        else:
+            reference_size = 0
+
+        # Old bytes [first_page_start, offset) and [offset + size, last_page_end),
+        # both capped at the reference snapshot's size.
+        first_start = first_page * page_size
+        last_end = (last_page + 1) * page_size
+        write_end = offset + size
+        prefix_range: tuple[int, int] | None = None
+        if offset > first_start and min(offset, reference_size) > first_start:
+            prefix_range = (first_start, min(offset, reference_size) - first_start)
+        suffix_range: tuple[int, int] | None = None
+        if write_end < last_end and min(reference_size, last_end) > write_end:
+            suffix_range = (write_end, min(reference_size, last_end) - write_end)
+        wanted = [r for r in (prefix_range, suffix_range) if r is not None]
+        chunks, boundary_trips = await self._read_byte_ranges(
+            record, reference_version, reference_size, wanted, page_tally
+        )
+        by_range = dict(zip(wanted, chunks))
+
+        payloads: list[tuple[int, bytes]] = []
+        for page_index in range(first_page, last_page + 1):
+            page_start = page_index * page_size
+            page_end = page_start + page_size
+            write_start = max(offset, page_start)
+            write_stop = min(write_end, page_end)
+            prefix = b""
+            suffix = b""
+            if write_start > page_start:
+                # Bytes [page_start, write_start) must come from old content.
+                if prefix_range is not None:
+                    prefix = by_range[prefix_range]
+                prefix = prefix.ljust(write_start - page_start, b"\x00")
+            if write_stop < page_end and suffix_range is not None:
+                # Preserve old bytes between the end of the write and the end
+                # of the previous snapshot (capped at the page boundary).
+                suffix = by_range[suffix_range]
+            payload = (
+                prefix
+                + data[write_start - offset:write_stop - offset]
+                + suffix
+            )
+            payloads.append((page_index, payload))
+        return payloads, boundary_trips, vm_trips
+
+    async def _read_byte_ranges(
+        self,
+        record: BlobRecord,
+        version: int,
+        snapshot_size: int,
+        byte_ranges: list[tuple[int, int]],
+        page_tally: CacheTally | None = None,
+    ) -> tuple[list[bytes], int]:
+        """Read several small byte ranges of a published snapshot with one
+        combined metadata traversal and one provider-grouped batch of page
+        fetches covering ALL of the ranges; returns ``(chunks, data_trips)``.
+        Cached page ranges are served from the shared page cache and skip
+        the batch entirely (tallied into ``page_tally``).
+        """
+        if not byte_ranges:
+            return [], 0
+        page_size = record.page_size
+        page_ranges = [
+            covering_page_range(byte_offset, byte_size, page_size)
+            for byte_offset, byte_size in byte_ranges
+        ]
+        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        plan_result = await self._resolve_ranges(record, version, span, page_ranges)
+        descriptors = plan_result.sorted_descriptors()
+        buffers = [bytearray(byte_size) for _byte_offset, byte_size in byte_ranges]
+        requests: list[tuple[str, str, int, memoryview]] = []
+        failover: list[tuple[str, ...]] = []
+        for index, (byte_offset, byte_size) in enumerate(byte_ranges):
+            view = memoryview(buffers[index])
+            for descriptor in descriptors:
+                request = self._page_request(
+                    descriptor, page_size, byte_offset, byte_size
+                )
+                if request is None:
+                    continue
+                destination, (provider_id, page_id, page_offset, length) = request
+                requests.append(
+                    (
+                        provider_id,
+                        page_id,
+                        page_offset,
+                        view[destination:destination + length],
+                    )
+                )
+                failover.append(descriptor.provider_ids)
+        data_trips = await self._pm.multi_fetch_into_async(
+            requests,
+            self._runtime,
+            cache=self._page_cache,
+            cache_key=self._cluster.page_cache_key,
+            tally=page_tally,
+            failover=failover,
+        )
+        return [bytes(buffer) for buffer in buffers], data_trips
+
+    # ------------------------------------------------------------- page stores
+    def _start_page_stores(self, payloads: list[tuple[int, bytes]]) -> _PendingStore:
+        """Allocate replica sets and page ids, then START the batched store
+        — ONE multi-store per provider touched (paper's ``PD`` set).
+
+        Allocation happens here, synchronously, so the optimistic leaf
+        descriptors exist before a single byte moves; under the event loop
+        the returned handle's store overlaps the caller's border resolution
+        and metadata publish, under the sync runtime it has already
+        completed (and already raised on failure) when this returns.
+
+        With ``page_replication > 1`` each page fans out to that many
+        distinct providers; the final descriptors record the replicas that
+        actually stored it (a dead replica degrades redundancy without
+        failing the write — the repair service tops it back up).  A page
+        landing on NO replica fails the whole store *after* the live
+        providers' batches completed, and the pages that did land are
+        garbage-collected before the error propagates.
+        """
+        replication = self._cluster.config.page_replication
+        replica_sets = self._pm.allocate_replicas(len(payloads), replication)
+        items: list[tuple[tuple[str, ...], str, bytes]] = []
+        planned: list[PageDescriptor] = []
+        for (page_index, payload), replicas in zip(payloads, replica_sets):
+            page_id = self._cluster._ids.next_page_id()
+            items.append((replicas, page_id, payload))
+            planned.append(
+                PageDescriptor(
+                    page_index=page_index,
+                    page_id=page_id,
+                    provider_id=replicas[0],
+                    length=len(payload),
+                    provider_ids=replicas,
+                )
+            )
+        handle = self._runtime.start(self._execute_page_stores(items, planned))
+        return _PendingStore(handle=handle, planned=planned)
+
+    async def _execute_page_stores(
+        self,
+        items: list[tuple[tuple[str, ...], str, bytes]],
+        planned: list[PageDescriptor],
+    ) -> tuple[list[PageDescriptor], int]:
+        try:
+            landed, store_trips = await self._pm.multi_store_replicated_async(
+                items, self._runtime
+            )
+        except Exception:
+            self._discard_pages(planned)
+            raise
+        descriptors = [
+            PageDescriptor(
+                page_index=descriptor.page_index,
+                page_id=descriptor.page_id,
+                provider_id=stored[0],
+                length=descriptor.length,
+                provider_ids=stored,
+            )
+            for descriptor, stored in zip(planned, landed)
+        ]
+        return descriptors, store_trips
+
+    @staticmethod
+    async def _reap(handle: Handle) -> None:
+        """Settle an in-flight handle whose outcome no longer matters (a
+        failure elsewhere already decides the operation's fate); its pages
+        were garbage-collected by the store task itself on failure."""
+        try:
+            await handle.result()
+        except Exception:  # noqa: BLE001 - reaped error must not mask the real one
+            pass
+
+    def _discard_pages(self, descriptors: list[PageDescriptor]) -> None:
+        """Best-effort garbage collection of pages of a failed update —
+        every replica of every page."""
+        for descriptor in descriptors:
+            for provider_id in descriptor.provider_ids:
+                try:
+                    self._pm.provider(provider_id).delete_page(
+                        descriptor.page_id
+                    )
+                except Exception:  # noqa: BLE001 - GC must never mask the real error
+                    continue
+
+    # ----------------------------------------------------------------- publish
+    async def _finish_update(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        pending: _PendingStore,
+        data_round_trips: int = 0,
+        vm_round_trips: int = 0,
+        page_cache_hits: int = 0,
+    ) -> WriteResult:
+        """Resolve border nodes, build and store the new metadata tree, then
+        notify the version manager (Algorithm 2, lines 10-13).
+
+        Border resolution always proceeds while the page stores are in
+        flight.  If the store has settled by then (always true under the
+        sync runtime), the tree is built from the descriptors of the
+        replicas that actually stored each page — the exact legacy path.
+        Otherwise the publish is *optimistic*: leaves are built from the
+        allocated replica sets and ``put_nodes`` overlaps the remaining
+        store; once the store settles, any page that landed on fewer
+        replicas than allocated gets its leaf re-put (one extra metadata
+        round trip) before the completion notice — re-puts are safe because
+        nothing can read the version before it is published.
+        """
+        needed, dangling = border_targets(
+            ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
+        )
+        tally = CacheTally()
+        try:
+            spec = await self._resolve_borders(record, ticket, needed, dangling, tally)
+        except Exception:
+            await self._reap(pending.handle)
+            raise
+        publish_trips = 1  # the batched publish itself
+
+        def build_items(
+            descriptors: list[PageDescriptor],
+        ) -> list[tuple[NodeKey, TreeNode]]:
+            build = build_nodes(
+                ticket.version,
+                ticket.page_offset,
+                ticket.page_count,
+                ticket.span,
+                descriptors,
+                spec,
+            )
+            return [
+                (NodeKey(record.blob_id, ref.version, ref.offset, ref.size), node)
+                for ref, node in build.nodes
+            ]
+
+        if pending.handle.done():
+            descriptors, store_trips = await pending.handle.result()
+            items = build_items(descriptors)
+            await self._meta.put_nodes_async(items, self._runtime)
+        else:
+            items = build_items(pending.planned)
+            publish = self._runtime.start(
+                self._meta.put_nodes_async(items, self._runtime)
+            )
+            try:
+                descriptors, store_trips = await pending.handle.result()
+            except Exception:
+                await self._reap(publish)
+                raise
+            await publish.result()
+            fixups = self._degraded_fixups(items, pending.planned, descriptors)
+            if fixups:
+                await self._meta.put_nodes_async(
+                    [(key, node) for _index, key, node in fixups], self._runtime
+                )
+                publish_trips += 1
+                for index, key, node in fixups:
+                    items[index] = (key, node)
+        # Write-through: published nodes are immutable from this moment on,
+        # so caching them at publish time makes the writer's own subsequent
+        # reads (and every other store on this cluster) warm.
+        self._cache_put_items(items)
+        self._vm.complete_update(record.blob_id, ticket.version)
+        return WriteResult(
+            version=ticket.version,
+            bytes_written=ticket.byte_size,
+            pages_written=len(descriptors),
+            metadata_nodes_written=len(items),
+            border_nodes_fetched=tally.fetched,
+            metadata_round_trips=tally.trips + publish_trips,
+            data_round_trips=data_round_trips + store_trips,
+            metadata_cache_hits=tally.hits,
+            page_cache_hits=page_cache_hits,
+            cache=self._operation_cache_stats(tally),
+            vm_round_trips=vm_round_trips + 1,  # + the completion notice
+        )
+
+    @staticmethod
+    def _degraded_fixups(
+        items: list[tuple[NodeKey, TreeNode]],
+        planned: list[PageDescriptor],
+        actual: list[PageDescriptor],
+    ) -> list[tuple[int, NodeKey, LeafNode]]:
+        """Leaf corrections for pages whose landed replica set differs from
+        the allocated one an optimistic publish already wrote."""
+        changed: dict[str, PageDescriptor] = {
+            landed.page_id: landed
+            for chosen, landed in zip(planned, actual)
+            if chosen.provider_ids != landed.provider_ids
+        }
+        if not changed:
+            return []
+        fixups: list[tuple[int, NodeKey, LeafNode]] = []
+        for index, (key, node) in enumerate(items):
+            if isinstance(node, LeafNode) and node.page_id in changed:
+                landed = changed[node.page_id]
+                fixups.append(
+                    (
+                        index,
+                        key,
+                        LeafNode(
+                            page_id=node.page_id,
+                            provider_id=landed.provider_id,
+                            length=node.length,
+                            provider_ids=landed.provider_ids,
+                        ),
+                    )
+                )
+        return fixups
+
+    async def _resolve_borders(
+        self,
+        record: BlobRecord,
+        ticket: UpdateTicket,
+        needed: list[tuple[int, int]],
+        dangling: list[tuple[int, int]],
+        tally: CacheTally | None = None,
+    ) -> BorderSpec:
+        plan = border_plan(
+            needed,
+            dangling,
+            ticket.published_version if ticket.published_version else None,
+            ticket.published_num_pages,
+            ticket.inflight_tuples(),
+        )
+        return await adrive_plan(
+            plan, lambda refs: self._fetch_frontier(record, refs, tally)
+        )
+
+    # --------------------------------------------------------- metadata reads
+    async def _run_read_plan(
+        self,
+        record: BlobRecord,
+        version: int,
+        span: int,
+        page_offset: int,
+        page_count: int,
+        tally: CacheTally | None = None,
+    ) -> ReadPlanResult:
+        if self._runtime.pipelined:
+            walker = plan_walker(version, span, [(page_offset, page_count)])
+            return await self._pipelined_walk(record, walker, tally)
+        plan = read_plan(version, span, page_offset, page_count)
+        return await adrive_plan(
+            plan, lambda refs: self._fetch_frontier(record, refs, tally)
+        )
+
+    async def _resolve_ranges(
+        self,
+        record: BlobRecord,
+        version: int,
+        span: int,
+        page_ranges: list[tuple[int, int]],
+        tally: CacheTally | None = None,
+    ) -> ReadPlanResult:
+        if self._runtime.pipelined:
+            walker = plan_walker(version, span, page_ranges)
+            return await self._pipelined_walk(record, walker, tally)
+        plan = multi_range_read_plan(version, span, page_ranges)
+        return await adrive_plan(
+            plan, lambda refs: self._fetch_frontier(record, refs, tally)
+        )
+
+    async def _fetch_frontier(
+        self,
+        record: BlobRecord,
+        refs: list[NodeRef],
+        tally: CacheTally | None = None,
+    ) -> list[TreeNode]:
+        """Resolve one frontier of node fetches, branch lineage included.
+
+        Cached keys are filtered out *before* the DHT multi-get: a hit is
+        served from the shared :class:`~repro.cache.NodeCache` and never
+        enters the batch (tree nodes are immutable, so a cached copy is
+        always valid), and a frontier of pure hits costs zero round trips.
+        The misses travel in one bucket-grouped multi-get and are inserted
+        into the cache on the way back.
+        """
+        keys = [
+            NodeKey(
+                resolve_owner(record, ref.version), ref.version, ref.offset, ref.size
+            )
+            for ref in refs
+        ]
+        cache_keys = [self._cluster.node_cache_key(key) for key in keys]
+        nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
+        if miss_indices:
+            fetched = await self._meta.get_nodes_async(
+                [keys[index] for index in miss_indices], self._runtime
+            )
+            complete_frontier(
+                self._cache, cache_keys, miss_indices, fetched, nodes, tally
+            )
+        return nodes
+
+    async def _pipelined_walk(
+        self,
+        record: BlobRecord,
+        walker,
+        tally: CacheTally | None = None,
+    ) -> ReadPlanResult:
+        """Event-loop metadata descent: level N+1 starts before level N ends.
+
+        Each frontier's cache misses are grouped by primary DHT bucket
+        (:meth:`~repro.metadata.metadata_provider.MetadataProvider.bucket_groups`)
+        and fetched as independent tasks; every group expands its children
+        and recurses the moment its own fetch lands, so a slow bucket delays
+        only its own subtree.  Cache hits expand immediately without waiting
+        for any fetch at all.
+
+        The trip accounting is defined to match the level-by-level driver
+        exactly: a tree level with at least one cache miss counts as ONE
+        metadata round trip no matter how many per-bucket tasks fanned out
+        (the sync driver issues those same per-bucket sub-batches inside one
+        ``multi_get``), and hit/fetched tallies are per-node sums that do
+        not depend on resolution order.
+        """
+        runtime = self._runtime
+        levels: set[int] = set()
+        miss_levels: set[int] = set()
+
+        async def resolve(refs: list[NodeRef], level: int) -> None:
+            levels.add(level)
+            for ref in refs:
+                validate_node_range(ref.offset, ref.size)
+            keys = [
+                NodeKey(
+                    resolve_owner(record, ref.version),
+                    ref.version,
+                    ref.offset,
+                    ref.size,
+                )
+                for ref in refs
+            ]
+            cache_keys = [self._cluster.node_cache_key(key) for key in keys]
+            nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
+            walker.note_fetched(len(refs))
+            children: list[NodeRef] = []
+            for ref, node in zip(refs, nodes):
+                if node is not None:
+                    children.extend(walker.expand(ref, node))
+            branches = []
+            if miss_indices:
+                miss_levels.add(level)
+                for group in self._meta.bucket_groups(
+                    [keys[index] for index in miss_indices]
+                ):
+                    positions = [miss_indices[g] for g in group]
+                    branches.append(
+                        fetch_group(refs, keys, cache_keys, positions, level)
+                    )
+            if children:
+                branches.append(resolve(children, level + 1))
+            if branches:
+                await runtime.gather(*branches)
+
+        async def fetch_group(
+            refs: list[NodeRef],
+            keys: list[NodeKey],
+            cache_keys: list,
+            positions: list[int],
+            level: int,
+        ) -> None:
+            fetched = await self._meta.get_nodes_async(
+                [keys[position] for position in positions], runtime
+            )
+            if self._cache is not None:
+                self._cache.put_many(
+                    [
+                        (cache_keys[position], node)
+                        for position, node in zip(positions, fetched)
+                    ]
+                )
+            if tally is not None:
+                tally.fetched += len(positions)
+            children: list[NodeRef] = []
+            for position, node in zip(positions, fetched):
+                children.extend(walker.expand(refs[position], node))
+            if children:
+                await resolve(children, level + 1)
+
+        roots = walker.root_refs()
+        if roots:
+            await resolve(roots, 0)
+        if tally is not None:
+            tally.trips += len(miss_levels)
+        walker.result.round_trips = len(levels)
+        return walker.result
+
+    # ----------------------------------------------------------- cache plumbing
+    def _cache_put_items(self, items: list[tuple[NodeKey, TreeNode]]) -> None:
+        if self._cache is not None:
+            self._cache.put_many(
+                [
+                    (self._cluster.node_cache_key(key), node)
+                    for key, node in items
+                ]
+            )
+
+    def _operation_cache_stats(self, tally: CacheTally) -> CacheStats | None:
+        """Per-operation :class:`CacheStats`: this operation's exact hit and
+        miss counts (from its tally — correct even when other clients share
+        the cache) plus one occupancy snapshot taken right after it."""
+        if self._cache is None:
+            return None
+        now = self._cache.stats()
+        return CacheStats(
+            hits=tally.hits,
+            misses=tally.fetched,
+            entries=now.entries,
+            bytes=now.bytes,
+            evictions=now.evictions,
+        )
+
+    def _operation_page_cache_stats(self, tally: CacheTally) -> CacheStats | None:
+        """Per-operation page-cache :class:`CacheStats` (same shape as the
+        metadata variant: exact per-op hit/miss deltas, shared-cache
+        occupancy snapshot)."""
+        if self._page_cache is None:
+            return None
+        now = self._page_cache.stats()
+        return CacheStats(
+            hits=tally.hits,
+            misses=tally.fetched,
+            entries=now.entries,
+            bytes=now.bytes,
+            evictions=now.evictions,
+        )
+
+    def cache_stats(self) -> CacheStats:
+        """Lifetime counters and occupancy of the metadata node cache.
+
+        The cache is shared — by default across every store of this
+        cluster, and (with default budgets) across all clusters of the
+        process — so the numbers are cache-wide, not per-store.  Per-read
+        and per-write deltas live on ``ReadStats.cache`` /
+        ``WriteResult.cache``.  An uncached store reports all zeros.
+        """
+        return self._cache.stats() if self._cache is not None else CacheStats()
+
+    def page_cache_stats(self) -> CacheStats:
+        """Lifetime counters and occupancy of the page payload cache.
+
+        Shared like the metadata cache (see :meth:`cache_stats`); per-read
+        deltas live on ``ReadStats.page_cache``.  An uncached store reports
+        all zeros.
+        """
+        return (
+            self._page_cache.stats()
+            if self._page_cache is not None
+            else CacheStats()
+        )
+
+    def lease_stats(self):
+        """Counters of the (possibly shared) version lease cache, or None
+        when this store runs unleased — see
+        :class:`~repro.vm.lease.LeaseStats`."""
+        return self._lease.stats() if self._lease is not None else None
+
+    # ------------------------------------------------------------- data fetches
+    @staticmethod
+    def _page_request(
+        descriptor: PageDescriptor, page_size: int, offset: int, size: int
+    ) -> tuple[int, tuple[str, str, int, int]] | None:
+        """Provider fetch request for the part of a page inside the byte
+        window ``[offset, offset + size)``.
+
+        Returns ``(destination, (provider_id, page_id, page_offset, length))``
+        where ``destination`` is the chunk's position relative to ``offset``,
+        or None when the page lies outside the window.  ``length`` is always
+        a concrete byte count — the zero-copy callers slice their result
+        buffer with it.
+        """
+        page_start = descriptor.page_index * page_size
+        page_end = page_start + page_size
+        want_start = max(offset, page_start)
+        want_end = min(offset + size, page_end)
+        if want_end <= want_start:
+            return None
+        fetch = (
+            descriptor.provider_id,
+            descriptor.page_id,
+            want_start - page_start,
+            want_end - want_start,
+        )
+        return want_start - offset, fetch
+
+    async def _fetch_pages_into(
+        self,
+        record: BlobRecord,
+        descriptors: list[PageDescriptor],
+        buffer: bytearray,
+        offset: int,
+        size: int,
+        page_tally: CacheTally | None = None,
+        fault_tally: FaultTally | None = None,
+    ) -> int:
+        """Fetch the needed byte range of every page into ``buffer`` with one
+        batched multi-fetch per provider; return the batch count.  Ranges
+        held by the shared page cache are deposited directly and never
+        enter a provider batch — a fully cached read costs zero batches.
+        Each request carries its page's replica tuple, so a failed provider
+        batch fails over to the next live replica (counted in
+        ``fault_tally``) instead of failing the read.
+
+        Zero-copy assembly: each request carries a writable ``memoryview``
+        slice of the (single) result buffer, so providers deposit page bytes
+        directly at their final destination instead of materializing
+        per-chunk ``bytes`` objects that get copied a second time.  The
+        slices are disjoint, so concurrent per-provider batches never
+        overlap.
+        """
+        page_size = record.page_size
+        view = memoryview(buffer)
+        requests: list[tuple[str, str, int, memoryview]] = []
+        failover: list[tuple[str, ...]] = []
+        for descriptor in descriptors:
+            request = self._page_request(descriptor, page_size, offset, size)
+            if request is None:
+                continue
+            destination, (provider_id, page_id, page_offset, length) = request
+            requests.append(
+                (provider_id, page_id, page_offset,
+                 view[destination:destination + length])
+            )
+            failover.append(descriptor.provider_ids)
+        return await self._pm.multi_fetch_into_async(
+            requests,
+            self._runtime,
+            cache=self._page_cache,
+            cache_key=self._cluster.page_cache_key,
+            tally=page_tally,
+            failover=failover,
+            fault_tally=fault_tally,
+        )

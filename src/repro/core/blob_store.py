@@ -1,11 +1,26 @@
-"""The BlobSeer client: CREATE, WRITE, APPEND, READ, GET_RECENT, GET_SIZE,
-SYNC and BRANCH (paper, Section 2.1).
+"""The synchronous BlobSeer client: CREATE, WRITE, APPEND, READ, GET_RECENT,
+GET_SIZE, SYNC and BRANCH (paper, Section 2.1).
 
-A :class:`BlobStore` is what an application links against.  Several
+A :class:`BlobStore` is what a threaded application links against.  Several
 ``BlobStore`` instances (one per thread, or one shared — the class is
 thread-safe) can operate concurrently against the same :class:`Cluster`,
 which is how the concurrency tests model the paper's "arbitrarily large
 number of concurrent clients".
+
+Since the asyncio redesign this class is a *bridge*, not an implementation:
+every operation delegates to the one async client core,
+:class:`~repro.core.async_store.AsyncBlobStore`, executed on a
+:class:`~repro.aio.SyncRuntime` whose awaitables never suspend — so
+:func:`~repro.aio.run_sync` drives each call to completion without an event
+loop, a task, or a parked thread.  Planning, caching, replication, retry and
+trip accounting exist exactly once, in the async core; this module only
+supplies the synchronous calling convention (plus the legacy ``parallel_io``
+thread pool, which lives on the runtime).  Under the sync runtime the core
+keeps the strict level-by-level metadata traversal and the
+store-then-publish write order, so behaviour, timing and every ``*_ex``
+counter are bit-for-bit what they were before the redesign; the pipelined
+traversal and the store/publish overlap switch on only under
+:class:`~repro.aio.AsyncRuntime` (see :mod:`repro.core.async_store`).
 
 Write path (Algorithm 2): pages are stored on data providers chosen by the
 provider manager, the version manager assigns the snapshot version and
@@ -31,180 +46,42 @@ therefore O(tree depth) = O(log pages), not O(nodes touched); the ``*_ex``
 stats report both ``metadata_nodes_fetched`` (nodes that actually travelled
 from the DHT) and ``metadata_round_trips``.
 
-Metadata caching is a *shared subsystem*, not per-client state: published
-tree nodes are immutable (the paper's total-order versioning), so every
-``BlobStore`` on a :class:`Cluster` reads and writes one sharded,
-LRU-bounded :class:`~repro.cache.NodeCache` (by default the process-wide
-instance of :func:`repro.cache.shared_node_cache`, namespaced per cluster).
-Frontier resolution filters cached keys *before* the DHT multi-get — a hit
-never enters the batch, a frontier of pure hits costs zero round trips —
-and an update writes its new nodes through to the cache at publish time, so
-a writer's own subsequent reads are warm.  Warm repeated reads of a
-snapshot therefore fetch ~0 nodes from the DHT; the per-operation cache
-deltas are reported as a structured :class:`~repro.cache.CacheStats` on
-``ReadStats.cache`` / ``WriteResult.cache`` and cache-wide totals via
-:meth:`BlobStore.cache_stats`.
+Metadata caching, page-payload caching and version leases are *shared
+subsystems* (see the async core's docstring and :mod:`repro.cache` /
+:mod:`repro.vm`): published tree nodes, stored pages and published-snapshot
+facts are immutable, so every store on a :class:`Cluster` reads and writes
+the same sharded LRU caches, frontier resolution filters cached keys before
+the DHT multi-get, page fetches are served zero-copy from the page cache,
+and a warm repeated READ costs zero metadata, data AND version-manager
+round trips.  Per-operation deltas are reported on
+``ReadStats``/``WriteResult``; cache-wide totals via :meth:`cache_stats`,
+:meth:`page_cache_stats` and :meth:`lease_stats`.
 
-Data I/O assembles pages *zero-copy*: a READ allocates one writable result
-buffer and hands each batched page fetch a ``memoryview`` slice of it, so
-provider bytes land directly at their final offset
-(:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch_into`)
-instead of materializing per-chunk ``bytes`` that are concatenated later.
-
-Page payloads are cached the same way metadata nodes are: stored pages are
-never overwritten (an update always writes *new* pages), so every fetched
-page range is write-through-cached in the cluster's shared
-:class:`~repro.cache.PageCache` and consulted *before* provider batches are
-built — a cached range is deposited straight into the result buffer's
-``memoryview`` and never enters a batch, so a warm repeated READ costs ZERO
-data round trips on top of its zero metadata and version-manager trips.
-Per-operation deltas are reported as ``ReadStats.page_cache_hits`` /
-``ReadStats.page_cache`` and cache-wide totals via
-:meth:`BlobStore.page_cache_stats`.
-
-Data I/O is *provider-parallel* the same way: the page descriptors of a READ
-(or the payloads of a WRITE) are grouped by data provider and each provider
-receives ONE batched ``multi_fetch_into``/``multi_store`` request carrying
-all of its pages
-(:meth:`repro.providers.provider_manager.ProviderManager.multi_fetch_into`),
-the per-provider sub-batches going through the same ``parallel_io`` thread
-pool.  Data round trips per READ/WRITE are therefore O(providers touched),
-not O(pages) — the striping across providers the paper's WRITE algorithm
-stores "in parallel" (Algorithm 2, line 4).  The ``*_ex`` stats report
-``data_round_trips`` next to ``metadata_round_trips`` so both axes of the
-concurrency story are measurable.
-
-Version-manager I/O is *leased and group-committed* (see :mod:`repro.vm`):
-the blob record and the sizes of published snapshots are immutable facts
-served by the cluster's shared :class:`~repro.vm.LeaseCache`, GET_RECENT is
-answered from a publish-invalidated :class:`~repro.vm.VersionLease`, and a
-cold publication check costs ONE combined ``check_read`` RPC instead of the
-old ``is_published`` + ``get_size`` pair.  A warm repeated READ therefore
-issues ZERO version-manager round trips — ``ReadStats.vm_round_trips`` /
-``WriteResult.vm_round_trips`` make the last fixed per-operation cost
-measurable, and the cluster's ticket window batches what remains of the
-write-side traffic.
+API note: the ``*_ex`` methods (:meth:`write_ex`, :meth:`append_ex`,
+:meth:`read_ex`) are the *canonical* operations — they do the work and
+return the full result objects.  Bare :meth:`write` / :meth:`append` /
+:meth:`read` are thin convenience wrappers that discard the stats; they are
+not deprecated and behave identically to their ``*_ex`` counterparts.
 """
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-
-from ..cache import (
-    CacheStats,
-    CacheTally,
-    NodeCache,
-    PageCache,
-    complete_frontier,
-    split_frontier,
-)
-from ..errors import InvalidRangeError, UpdateAbortedError
-from ..metadata.build import BorderSpec, border_plan, border_targets, build_nodes
-from ..metadata.geometry import pages_for_size, span_for_pages
-from ..metadata.node import NodeKey, NodeRef, PageDescriptor, TreeNode
-from ..metadata.read_plan import (
-    ReadPlanResult,
-    drive_plan,
-    multi_range_read_plan,
-    read_plan,
-)
-from ..providers.provider_manager import FaultTally
-from ..util.ranges import covering_page_range, is_aligned
-from ..version.records import BlobRecord, UpdateTicket, resolve_owner
+from ..aio import SyncRuntime, run_sync
+from ..cache import CacheStats, CacheTally, NodeCache, PageCache
+from ..metadata.read_plan import ReadPlanResult
+from ..version.records import BlobRecord
 from ..vm import LeaseCache
+from .async_store import AsyncBlobStore, ReadStats, WriteResult
 from .cluster import Cluster
 
-
-@dataclass(frozen=True)
-class WriteResult:
-    """Detailed outcome of a WRITE/APPEND (``*_ex`` variants)."""
-
-    version: int
-    bytes_written: int
-    pages_written: int
-    metadata_nodes_written: int
-    #: Border nodes that actually travelled from the DHT during border
-    #: resolution; nodes served by the shared cache are counted in
-    #: ``metadata_cache_hits`` instead.
-    border_nodes_fetched: int
-    #: Batched metadata round trips: one per border-plan frontier that had
-    #: at least one cache miss, plus one for the batched publish of the new
-    #: tree nodes.  A fully cached border resolution costs just the publish.
-    metadata_round_trips: int = 0
-    #: Batched data round trips: one multi-page store per provider touched
-    #: (plus one multi-page fetch per provider supplying boundary bytes for
-    #: an unaligned write) — compare ``pages_written``, which counts
-    #: individual pages and is unchanged by batching.
-    data_round_trips: int = 0
-    #: Border-node lookups served by the shared metadata cache.
-    metadata_cache_hits: int = 0
-    #: Boundary page ranges served by the shared page cache (unaligned
-    #: writes fetch boundary bytes; aligned writes never fetch pages).
-    page_cache_hits: int = 0
-    #: This update's exact hit/miss counts plus an occupancy snapshot of
-    #: the (possibly shared) cache right after it; None when caching is
-    #: disabled.
-    cache: CacheStats | None = None
-    #: Version-manager round trips this update issued: ticket registration,
-    #: the completion notice, plus any record/recency/size lookups the
-    #: shared lease cache could not serve.  The registration and completion
-    #: trips additionally coalesce with concurrent writers' in the
-    #: cluster's ticket window / publish queue (see ``VMStats``).
-    vm_round_trips: int = 0
-
-
-@dataclass(frozen=True)
-class ReadStats:
-    """Detailed outcome of a READ (``read_ex``)."""
-
-    version: int
-    bytes_read: int
-    pages_fetched: int
-    #: Tree nodes that actually travelled from the DHT; lookups served by
-    #: the shared cache are counted in ``metadata_cache_hits`` instead, so
-    #: a warm repeated read reports ~0 here.
-    metadata_nodes_fetched: int
-    #: Batched metadata round trips of the tree traversal: one per frontier
-    #: with at least one cache miss, i.e. at most O(log pages) — and zero
-    #: for a fully cached traversal.  Compare ``metadata_nodes_fetched``,
-    #: which counts individual nodes and is unchanged by batching.
-    metadata_round_trips: int = 0
-    #: Batched data round trips: one multi-page fetch per provider touched,
-    #: i.e. O(providers), not O(pages) — compare ``pages_fetched``, which
-    #: counts individual pages and is unchanged by batching.
-    data_round_trips: int = 0
-    #: Tree-node lookups served by the shared metadata cache.
-    metadata_cache_hits: int = 0
-    #: Page ranges served by the shared page cache — a warm repeated read
-    #: reports every page here and ``data_round_trips == 0``.
-    page_cache_hits: int = 0
-    #: This read's exact hit/miss counts plus an occupancy snapshot of the
-    #: (possibly shared) cache right after it; None when caching is
-    #: disabled.
-    cache: CacheStats | None = None
-    #: The page cache's per-read deltas and occupancy snapshot; None when
-    #: page caching is disabled.
-    page_cache: CacheStats | None = None
-    #: Version-manager round trips this read issued: 0 when the blob record
-    #: and the snapshot's published size were served by the shared lease
-    #: cache (the warm repeated-read regime), up to 2 cold (record +
-    #: combined publication check) — the read path never blocks on the VM's
-    #: global order beyond these lookups.
-    vm_round_trips: int = 0
-    #: Page requests re-routed to another replica because a provider batch
-    #: failed (dead provider, missing page, short read) — the read-path
-    #: fault-tolerance counter (see :mod:`repro.fault` and DESIGN.md).
-    failovers: int = 0
-    #: Page requests ultimately served by a NON-primary replica.  A
-    #: non-zero value means the read ran *degraded*: correct bytes, reduced
-    #: redundancy behind them — callers can alert or trigger a repair pass.
-    degraded: int = 0
+__all__ = ["BlobStore", "ReadStats", "WriteResult"]
 
 
 class BlobStore:
-    """Client front-end to a BlobSeer :class:`Cluster`.
+    """Synchronous client front-end to a BlobSeer :class:`Cluster`.
+
+    A loop-free bridge over :class:`~repro.core.async_store.AsyncBlobStore`
+    — see the module docstring for the execution model.
 
     Parameters
     ----------
@@ -214,7 +91,9 @@ class BlobStore:
         When > 1, per-provider page batches and per-bucket metadata batches
         run on a thread pool of that many workers, mirroring the paper's
         parallel page transfers.  The default (sequential) is usually faster
-        in-process because of the GIL.
+        in-process because of the GIL.  (Event-loop concurrency without any
+        threads is what :class:`~repro.core.async_store.AsyncBlobStore`
+        provides instead.)
     strict_unaligned:
         When True, unaligned WRITEs register their version first and wait for
         the previous snapshot before filling boundary pages, giving exact
@@ -260,6 +139,10 @@ class BlobStore:
         Override the lease cache instance (a private
         :class:`~repro.vm.LeaseCache` isolates tests from the shared one).
         Ignored when ``lease_versions`` is False.
+
+    Use as a context manager (``with BlobStore(c) as s: ...``) or call
+    :meth:`close` explicitly (idempotent); a closed store raises
+    :class:`~repro.errors.StoreClosedError` on further operations.
     """
 
     def __init__(
@@ -274,168 +157,76 @@ class BlobStore:
         lease_versions: bool = True,
         version_leases: LeaseCache | None = None,
     ):
+        self._runtime = SyncRuntime(parallel_io=parallel_io)
+        self._engine = AsyncBlobStore(
+            cluster,
+            strict_unaligned=strict_unaligned,
+            cache_metadata=cache_metadata,
+            node_cache=node_cache,
+            cache_pages=cache_pages,
+            page_cache=page_cache,
+            lease_versions=lease_versions,
+            version_leases=version_leases,
+            runtime=self._runtime,
+        )
+        self._engine._display_name = type(self).__name__
+        # Component handles mirrored for introspection/debugging parity with
+        # the pre-bridge class; the engine owns the logic.
         self._cluster = cluster
-        self._vm = cluster.version_manager
-        self._pm = cluster.provider_manager
-        self._meta = cluster.metadata_provider
-        self._parallel_io = max(int(parallel_io), 0)
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
-        self._strict_unaligned = strict_unaligned
-        self._cache: NodeCache | None = (
-            (node_cache if node_cache is not None else cluster.node_cache)
-            if cache_metadata
-            else None
-        )
-        if self._cache is not None:
-            # GC invalidation must reach override caches too, not just the
-            # cluster's shared one.
-            cluster.register_node_cache(self._cache)
-        self._page_cache: PageCache | None = (
-            (page_cache if page_cache is not None else cluster.page_cache)
-            if cache_pages
-            else None
-        )
-        if self._page_cache is not None:
-            cluster.register_page_cache(self._page_cache)
-        self._lease: LeaseCache | None = (
-            (version_leases if version_leases is not None else cluster.version_leases)
-            if lease_versions
-            else None
-        )
+        self._vm = self._engine._vm
+        self._pm = self._engine._pm
+        self._meta = self._engine._meta
+        self._cache = self._engine._cache
+        self._page_cache = self._engine._page_cache
+        self._lease = self._engine._lease
 
     # ------------------------------------------------------------------ CREATE
     def create(self, page_size: int | None = None) -> str:
         """CREATE: make a new blob with an empty, published snapshot 0."""
-        return self._vm.create_blob(page_size).blob_id
+        return run_sync(self._engine.create(page_size))
 
     # ------------------------------------------------------------------- WRITE
     def write(self, blob_id: str, data: bytes, offset: int) -> int:
         """WRITE: replace ``len(data)`` bytes at ``offset``; return the new
-        snapshot version (which may not be published yet — use SYNC)."""
-        return self.write_ex(blob_id, data, offset).version
+        snapshot version (which may not be published yet — use SYNC).
+
+        Thin wrapper over the canonical :meth:`write_ex`.
+        """
+        return run_sync(self._engine.write(blob_id, data, offset))
 
     def write_ex(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
-        data = bytes(data)
-        if offset < 0:
-            raise InvalidRangeError(f"negative write offset: {offset}")
-        if not data:
-            raise InvalidRangeError("WRITE requires a non-empty buffer")
-        record, vm_trips = self._get_record(blob_id)
-        page_size = record.page_size
-
-        if is_aligned(offset, len(data), page_size) and not self._strict_unaligned:
-            return self._write_aligned(record, data, offset, vm_trips)
-        if self._strict_unaligned:
-            return self._write_strict(record, data, offset, vm_trips)
-        return self._write_unaligned(record, data, offset, vm_trips)
+        return run_sync(self._engine.write_ex(blob_id, data, offset))
 
     # ------------------------------------------------------------------ APPEND
     def append(self, blob_id: str, data: bytes) -> int:
         """APPEND: WRITE at the end of the previous snapshot; the offset is
-        chosen by the version manager."""
-        return self.append_ex(blob_id, data).version
+        chosen by the version manager.
+
+        Thin wrapper over the canonical :meth:`append_ex`.
+        """
+        return run_sync(self._engine.append(blob_id, data))
 
     def append_ex(self, blob_id: str, data: bytes) -> WriteResult:
-        data = bytes(data)
-        if not data:
-            raise InvalidRangeError("APPEND requires a non-empty buffer")
-        record, vm_trips = self._get_record(blob_id)
-        ticket = self._vm.register_update(record.blob_id, len(data), is_append=True)
-        vm_trips += 1  # the (group-committed) ticket registration
-        try:
-            reference_version: int | None = None
-            if ticket.byte_offset % record.page_size != 0 and ticket.version > 1:
-                # The append starts inside the tail page of the previous
-                # snapshot: wait for it so the boundary bytes are exact.
-                try:
-                    self._vm.sync(record.blob_id, ticket.version - 1)
-                    reference_version = ticket.version - 1
-                except UpdateAbortedError:
-                    # The predecessor became a hole: its size already fell
-                    # back to its own predecessor's, so the boundary bytes
-                    # come from the most recent *published* snapshot
-                    # (reference_version=None) instead of failing the append.
-                    reference_version = None
-                vm_trips += 1
-            page_tally = CacheTally()
-            payloads, boundary_trips, boundary_vm_trips = self._compose_page_payloads(
-                record, ticket, data, reference_version=reference_version,
-                page_tally=page_tally,
-            )
-            vm_trips += boundary_vm_trips
-            descriptors, store_trips = self._store_pages(record, ticket, payloads)
-            trips = boundary_trips + store_trips
-            return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips,
-                vm_round_trips=vm_trips, page_cache_hits=page_tally.hits,
-            )
-        except Exception:
-            self._vm.abort_update(record.blob_id, ticket.version, "append failed")
-            raise
+        return run_sync(self._engine.append_ex(blob_id, data))
 
     # -------------------------------------------------------------------- READ
     def read(self, blob_id: str, version: int, offset: int, size: int) -> bytes:
         """READ: return ``size`` bytes at ``offset`` from snapshot ``version``.
 
         Fails when the version is not published or the range exceeds the
-        snapshot size (paper, Section 2.1).
+        snapshot size (paper, Section 2.1).  Thin wrapper over the canonical
+        :meth:`read_ex`.
         """
-        data, _stats = self.read_ex(blob_id, version, offset, size)
-        return data
+        return run_sync(self._engine.read(blob_id, version, offset, size))
 
     def read_ex(
         self, blob_id: str, version: int, offset: int, size: int
     ) -> tuple[bytes, ReadStats]:
-        if offset < 0 or size < 0:
-            raise InvalidRangeError(f"negative read offset/size ({offset}, {size})")
-        record, vm_trips = self._get_record(blob_id)
-        snapshot_size, check_trips = self._published_size(blob_id, version)
-        vm_trips += check_trips
-        if offset + size > snapshot_size:
-            raise InvalidRangeError(
-                f"read range ({offset}, {size}) exceeds snapshot {version} "
-                f"size {snapshot_size}"
-            )
-        if size == 0:
-            return b"", ReadStats(version, 0, 0, 0, 0, vm_round_trips=vm_trips)
-
-        page_size = record.page_size
-        page_offset, page_count = covering_page_range(offset, size, page_size)
-        span = span_for_pages(pages_for_size(snapshot_size, page_size))
-        tally = CacheTally()
-        plan_result = self._run_read_plan(
-            record, version, span, page_offset, page_count, tally
-        )
-
-        buffer = bytearray(size)
-        descriptors = plan_result.sorted_descriptors()
-        page_tally = CacheTally()
-        fault_tally = FaultTally()
-        data_trips = self._fetch_pages_into(
-            record, descriptors, buffer, offset, size, page_tally, fault_tally
-        )
-        stats = ReadStats(
-            version=version,
-            bytes_read=size,
-            pages_fetched=len(descriptors),
-            metadata_nodes_fetched=tally.fetched,
-            metadata_round_trips=tally.trips,
-            data_round_trips=data_trips,
-            metadata_cache_hits=tally.hits,
-            page_cache_hits=page_tally.hits,
-            cache=self._operation_cache_stats(tally),
-            page_cache=self._operation_page_cache_stats(page_tally),
-            vm_round_trips=vm_trips,
-            failovers=fault_tally.failovers,
-            degraded=fault_tally.degraded,
-        )
-        return bytes(buffer), stats
+        return run_sync(self._engine.read_ex(blob_id, version, offset, size))
 
     def read_recent(self, blob_id: str, offset: int, size: int) -> tuple[int, bytes]:
         """Convenience: READ from the most recently published snapshot."""
-        version = self.get_recent(blob_id)
-        return version, self.read(blob_id, version, offset, size)
+        return run_sync(self._engine.read_recent(blob_id, offset, size))
 
     # ------------------------------------------------------- version primitives
     def get_recent(self, blob_id: str) -> int:
@@ -445,8 +236,7 @@ class BlobStore:
         notifications renew leases synchronously, so the answer equals what
         the version manager itself would return.
         """
-        version, _trips = self._recent(blob_id)
-        return version
+        return run_sync(self._engine.get_recent(blob_id))
 
     def get_size(self, blob_id: str, version: int) -> int:
         """GET_SIZE: size in bytes of a published snapshot.
@@ -454,507 +244,18 @@ class BlobStore:
         A published snapshot's size is immutable, so the answer is served
         from the lease cache's fact map once known.
         """
-        size, _trips = self._published_size(blob_id, version)
-        return size
+        return run_sync(self._engine.get_size(blob_id, version))
 
     def sync(self, blob_id: str, version: int, timeout: float | None = None) -> None:
         """SYNC: block until ``version`` is published ("read your writes")."""
-        self._vm.sync(blob_id, version, timeout)
+        return run_sync(self._engine.sync(blob_id, version, timeout))
 
     def branch(self, blob_id: str, version: int) -> str:
         """BRANCH: virtually duplicate the blob up to ``version``; return the
         new blob id."""
-        return self._vm.branch(blob_id, version).blob_id
+        return run_sync(self._engine.branch(blob_id, version))
 
-    # ------------------------------------------------------------ version leases
-    def _get_record(self, blob_id: str) -> tuple[BlobRecord, int]:
-        """The blob's immutable record, via the lease cache's fact map:
-        ``(record, vm_round_trips)``."""
-        if self._lease is not None:
-            return self._lease.record(blob_id)
-        return self._vm.get_record(blob_id), 1
-
-    def _published_size(self, blob_id: str, version: int) -> tuple[int, int]:
-        """Size of a published snapshot (raises
-        :class:`~repro.errors.VersionNotPublishedError` otherwise):
-        ``(size, vm_round_trips)``.  One combined ``check_read`` trip cold,
-        zero once the immutable fact is cached."""
-        if self._lease is not None:
-            return self._lease.published_size(blob_id, version)
-        return self._vm.check_read(blob_id, version), 1
-
-    def _recent(self, blob_id: str) -> tuple[int, int]:
-        """Leased GET_RECENT: ``(version, vm_round_trips)``."""
-        if self._lease is not None:
-            return self._lease.recent(blob_id)
-        return self._vm.get_recent(blob_id), 1
-
-    # ---------------------------------------------------------------- internals
-    def _write_aligned(
-        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
-    ) -> WriteResult:
-        """Fast path for page-aligned writes: pages are stored *before* the
-        version is assigned, exactly as in Algorithm 2."""
-        page_size = record.page_size
-        first_page = offset // page_size
-        payloads = [
-            (first_page + index, data[index * page_size:(index + 1) * page_size])
-            for index in range(len(data) // page_size)
-        ]
-        descriptors, store_trips = self._store_payloads(payloads)
-        try:
-            ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
-        except Exception:
-            self._discard_pages(descriptors)
-            raise
-        try:
-            return self._finish_update(
-                record, ticket, descriptors, data_round_trips=store_trips,
-                vm_round_trips=vm_trips + 1,
-            )
-        except Exception:
-            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
-            raise
-
-    def _write_unaligned(
-        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
-    ) -> WriteResult:
-        """Unaligned write: boundary pages are completed from the most
-        recently published snapshot, then the update proceeds as usual."""
-        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
-        vm_trips += 1
-        try:
-            page_tally = CacheTally()
-            payloads, boundary_trips, boundary_vm_trips = (
-                self._compose_page_payloads(record, ticket, data,
-                                            page_tally=page_tally)
-            )
-            descriptors, store_trips = self._store_pages(record, ticket, payloads)
-            trips = boundary_trips + store_trips
-            return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips,
-                vm_round_trips=vm_trips + boundary_vm_trips,
-                page_cache_hits=page_tally.hits,
-            )
-        except Exception:
-            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
-            raise
-
-    def _write_strict(
-        self, record: BlobRecord, data: bytes, offset: int, vm_trips: int = 0
-    ) -> WriteResult:
-        """Strict unaligned write: wait for the previous snapshot so boundary
-        bytes are taken from exactly version - 1."""
-        ticket = self._vm.register_update(record.blob_id, len(data), offset=offset)
-        vm_trips += 1
-        try:
-            if ticket.version > 1:
-                self._vm.sync(record.blob_id, ticket.version - 1)
-                vm_trips += 1
-            page_tally = CacheTally()
-            payloads, boundary_trips, boundary_vm_trips = (
-                self._compose_page_payloads(
-                    record, ticket, data, reference_version=ticket.version - 1,
-                    page_tally=page_tally,
-                )
-            )
-            descriptors, store_trips = self._store_pages(record, ticket, payloads)
-            trips = boundary_trips + store_trips
-            return self._finish_update(
-                record, ticket, descriptors, data_round_trips=trips,
-                vm_round_trips=vm_trips + boundary_vm_trips,
-                page_cache_hits=page_tally.hits,
-            )
-        except Exception:
-            self._vm.abort_update(record.blob_id, ticket.version, "write failed")
-            raise
-
-    def _compose_page_payloads(
-        self,
-        record: BlobRecord,
-        ticket: UpdateTicket,
-        data: bytes,
-        reference_version: int | None = None,
-        page_tally: CacheTally | None = None,
-    ) -> tuple[list[tuple[int, bytes]], int, int]:
-        """Split ``data`` into per-page payloads, merging boundary pages with
-        existing content where the update is not page-aligned.
-
-        Only the first page can need an old prefix and only the last page an
-        old suffix; both are resolved with ONE combined metadata traversal
-        (:func:`repro.metadata.read_plan.multi_range_read_plan`) instead of
-        one full READ — each a complete tree walk — per boundary page, and
-        the boundary bytes of both ranges come back in one provider-grouped
-        batch of page fetches.
-
-        Returns ``(page_index, payload)`` pairs covering the ticket's page
-        range exactly, plus the number of batched data round trips the
-        boundary fetches cost, plus the version-manager round trips the
-        reference-snapshot lookups cost (zero when the shared lease cache
-        served them).
-        """
-        page_size = record.page_size
-        offset = ticket.byte_offset
-        size = ticket.byte_size
-        first_page = ticket.page_offset
-        last_page = first_page + ticket.page_count - 1
-
-        # Content outside the written range but inside the previous snapshot
-        # must be preserved: figure out which reference snapshot supplies it.
-        vm_trips = 0
-        if reference_version is None:
-            reference_version, trips = self._recent(record.blob_id)
-            vm_trips += trips
-        if reference_version > 0:
-            reference_size, trips = self._published_size(
-                record.blob_id, reference_version
-            )
-            vm_trips += trips
-        else:
-            reference_size = 0
-
-        # Old bytes [first_page_start, offset) and [offset + size, last_page_end),
-        # both capped at the reference snapshot's size.
-        first_start = first_page * page_size
-        last_end = (last_page + 1) * page_size
-        write_end = offset + size
-        prefix_range: tuple[int, int] | None = None
-        if offset > first_start and min(offset, reference_size) > first_start:
-            prefix_range = (first_start, min(offset, reference_size) - first_start)
-        suffix_range: tuple[int, int] | None = None
-        if write_end < last_end and min(reference_size, last_end) > write_end:
-            suffix_range = (write_end, min(reference_size, last_end) - write_end)
-        wanted = [r for r in (prefix_range, suffix_range) if r is not None]
-        chunks, boundary_trips = self._read_byte_ranges(
-            record, reference_version, reference_size, wanted, page_tally
-        )
-        by_range = dict(zip(wanted, chunks))
-
-        payloads: list[tuple[int, bytes]] = []
-        for page_index in range(first_page, last_page + 1):
-            page_start = page_index * page_size
-            page_end = page_start + page_size
-            write_start = max(offset, page_start)
-            write_stop = min(write_end, page_end)
-            prefix = b""
-            suffix = b""
-            if write_start > page_start:
-                # Bytes [page_start, write_start) must come from old content.
-                if prefix_range is not None:
-                    prefix = by_range[prefix_range]
-                prefix = prefix.ljust(write_start - page_start, b"\x00")
-            if write_stop < page_end and suffix_range is not None:
-                # Preserve old bytes between the end of the write and the end
-                # of the previous snapshot (capped at the page boundary).
-                suffix = by_range[suffix_range]
-            payload = (
-                prefix
-                + data[write_start - offset:write_stop - offset]
-                + suffix
-            )
-            payloads.append((page_index, payload))
-        return payloads, boundary_trips, vm_trips
-
-    def _read_byte_ranges(
-        self,
-        record: BlobRecord,
-        version: int,
-        snapshot_size: int,
-        byte_ranges: list[tuple[int, int]],
-        page_tally: CacheTally | None = None,
-    ) -> tuple[list[bytes], int]:
-        """Read several small byte ranges of a published snapshot with one
-        combined metadata traversal and one provider-grouped batch of page
-        fetches covering ALL of the ranges; returns ``(chunks, data_trips)``.
-        Cached page ranges are served from the shared page cache and skip
-        the batch entirely (tallied into ``page_tally``).
-        """
-        if not byte_ranges:
-            return [], 0
-        page_size = record.page_size
-        page_ranges = [
-            covering_page_range(byte_offset, byte_size, page_size)
-            for byte_offset, byte_size in byte_ranges
-        ]
-        span = span_for_pages(pages_for_size(snapshot_size, page_size))
-        plan = multi_range_read_plan(version, span, page_ranges)
-        plan_result = drive_plan(
-            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs)
-        )
-        descriptors = plan_result.sorted_descriptors()
-        buffers = [bytearray(byte_size) for _byte_offset, byte_size in byte_ranges]
-        requests: list[tuple[str, str, int, memoryview]] = []
-        failover: list[tuple[str, ...]] = []
-        for index, (byte_offset, byte_size) in enumerate(byte_ranges):
-            view = memoryview(buffers[index])
-            for descriptor in descriptors:
-                request = self._page_request(
-                    descriptor, page_size, byte_offset, byte_size
-                )
-                if request is None:
-                    continue
-                destination, (provider_id, page_id, page_offset, length) = request
-                requests.append(
-                    (
-                        provider_id,
-                        page_id,
-                        page_offset,
-                        view[destination:destination + length],
-                    )
-                )
-                failover.append(descriptor.provider_ids)
-        data_trips = self._pm.multi_fetch_into(
-            requests,
-            run_batches=self._run_batches,
-            cache=self._page_cache,
-            cache_key=self._cluster.page_cache_key,
-            tally=page_tally,
-            failover=failover,
-        )
-        return [bytes(buffer) for buffer in buffers], data_trips
-
-    def _store_pages(
-        self,
-        record: BlobRecord,
-        ticket: UpdateTicket,
-        payloads: list[tuple[int, bytes]],
-    ) -> tuple[list[PageDescriptor], int]:
-        return self._store_payloads(payloads)
-
-    def _store_payloads(
-        self, payloads: list[tuple[int, bytes]]
-    ) -> tuple[list[PageDescriptor], int]:
-        """Store one payload per page on providers chosen by the provider
-        manager — ONE batched multi-store per provider touched — and return
-        the page descriptors (paper's ``PD`` set) plus the batch count.
-
-        With ``page_replication > 1`` each page fans out to that many
-        distinct providers; the descriptor records the replicas that
-        actually stored it (a dead replica degrades redundancy without
-        failing the write — the repair service tops it back up).  A page
-        landing on NO replica fails the whole store *after* the live
-        providers' batches completed, so the pages that did land are
-        garbage-collected here before the error propagates.
-        """
-        replication = self._cluster.config.page_replication
-        replica_sets = self._pm.allocate_replicas(len(payloads), replication)
-        descriptors: list[PageDescriptor] = []
-        items: list[tuple[tuple[str, ...], str, bytes]] = []
-        for (_page_index, payload), replicas in zip(payloads, replica_sets):
-            page_id = self._cluster._ids.next_page_id()
-            items.append((replicas, page_id, payload))
-        try:
-            landed, store_trips = self._pm.multi_store_replicated(
-                items, run_batches=self._run_batches
-            )
-        except Exception:
-            self._discard_pages(
-                [
-                    PageDescriptor(
-                        page_index=page_index,
-                        page_id=page_id,
-                        provider_id=replicas[0],
-                        length=len(payload),
-                        provider_ids=replicas,
-                    )
-                    for (page_index, payload), (replicas, page_id, _payload)
-                    in zip(payloads, items)
-                ]
-            )
-            raise
-        for (page_index, payload), (_replicas, page_id, _payload), stored in zip(
-            payloads, items, landed
-        ):
-            descriptors.append(
-                PageDescriptor(
-                    page_index=page_index,
-                    page_id=page_id,
-                    provider_id=stored[0],
-                    length=len(payload),
-                    provider_ids=stored,
-                )
-            )
-        return descriptors, store_trips
-
-    def _discard_pages(self, descriptors: list[PageDescriptor]) -> None:
-        """Best-effort garbage collection of pages of a failed update —
-        every replica of every page."""
-        for descriptor in descriptors:
-            for provider_id in descriptor.provider_ids:
-                try:
-                    self._pm.provider(provider_id).delete_page(
-                        descriptor.page_id
-                    )
-                except Exception:  # noqa: BLE001 - GC must never mask the real error
-                    continue
-
-    def _finish_update(
-        self,
-        record: BlobRecord,
-        ticket: UpdateTicket,
-        descriptors: list[PageDescriptor],
-        data_round_trips: int = 0,
-        vm_round_trips: int = 0,
-        page_cache_hits: int = 0,
-    ) -> WriteResult:
-        """Resolve border nodes, build and store the new metadata tree, then
-        notify the version manager (Algorithm 2, lines 10-13)."""
-        needed, dangling = border_targets(
-            ticket.page_offset, ticket.page_count, ticket.span, ticket.prev_num_pages
-        )
-        tally = CacheTally()
-        spec = self._resolve_borders(record, ticket, needed, dangling, tally)
-        build = build_nodes(
-            ticket.version,
-            ticket.page_offset,
-            ticket.page_count,
-            ticket.span,
-            descriptors,
-            spec,
-        )
-        items = [
-            (NodeKey(record.blob_id, ref.version, ref.offset, ref.size), node)
-            for ref, node in build.nodes
-        ]
-        self._meta.put_nodes(items, run_batches=self._run_batches)
-        # Write-through: published nodes are immutable from this moment on,
-        # so caching them at publish time makes the writer's own subsequent
-        # reads (and every other store on this cluster) warm.
-        self._cache_put_items(items)
-        self._vm.complete_update(record.blob_id, ticket.version)
-        return WriteResult(
-            version=ticket.version,
-            bytes_written=ticket.byte_size,
-            pages_written=len(descriptors),
-            metadata_nodes_written=len(items),
-            border_nodes_fetched=tally.fetched,
-            metadata_round_trips=tally.trips + 1,  # + the batched publish
-            data_round_trips=data_round_trips,
-            metadata_cache_hits=tally.hits,
-            page_cache_hits=page_cache_hits,
-            cache=self._operation_cache_stats(tally),
-            vm_round_trips=vm_round_trips + 1,  # + the completion notice
-        )
-
-    def _resolve_borders(
-        self,
-        record: BlobRecord,
-        ticket: UpdateTicket,
-        needed: list[tuple[int, int]],
-        dangling: list[tuple[int, int]],
-        tally: CacheTally | None = None,
-    ) -> BorderSpec:
-        plan = border_plan(
-            needed,
-            dangling,
-            ticket.published_version if ticket.published_version else None,
-            ticket.published_num_pages,
-            ticket.inflight_tuples(),
-        )
-        return drive_plan(
-            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs, tally)
-        )
-
-    def _run_read_plan(
-        self,
-        record: BlobRecord,
-        version: int,
-        span: int,
-        page_offset: int,
-        page_count: int,
-        tally: CacheTally | None = None,
-    ) -> ReadPlanResult:
-        plan = read_plan(version, span, page_offset, page_count)
-        return drive_plan(
-            plan, fetch_many=lambda refs: self._fetch_frontier(record, refs, tally)
-        )
-
-    def _fetch_frontier(
-        self,
-        record: BlobRecord,
-        refs: list[NodeRef],
-        tally: CacheTally | None = None,
-    ) -> list[TreeNode]:
-        """Resolve one frontier of node fetches, branch lineage included.
-
-        Cached keys are filtered out *before* the DHT multi-get: a hit is
-        served from the shared :class:`~repro.cache.NodeCache` and never
-        enters the batch (tree nodes are immutable, so a cached copy is
-        always valid), and a frontier of pure hits costs zero round trips.
-        The misses travel in one bucket-grouped multi-get and are inserted
-        into the cache on the way back.
-        """
-        keys = [
-            NodeKey(
-                resolve_owner(record, ref.version), ref.version, ref.offset, ref.size
-            )
-            for ref in refs
-        ]
-        cache_keys = [self._cluster.node_cache_key(key) for key in keys]
-        nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
-        if miss_indices:
-            fetched = self._meta.get_nodes(
-                [keys[index] for index in miss_indices],
-                run_batches=self._run_batches,
-            )
-            complete_frontier(
-                self._cache, cache_keys, miss_indices, fetched, nodes, tally
-            )
-        return nodes
-
-    # ----------------------------------------------------------- cache plumbing
-    def _cache_put_items(self, items: list[tuple[NodeKey, TreeNode]]) -> None:
-        if self._cache is not None:
-            self._cache.put_many(
-                [
-                    (self._cluster.node_cache_key(key), node)
-                    for key, node in items
-                ]
-            )
-
-    def _operation_cache_stats(self, tally: CacheTally) -> CacheStats | None:
-        """Per-operation :class:`CacheStats`: this operation's exact hit and
-        miss counts (from its tally — correct even when other threads share
-        the cache) plus one occupancy snapshot taken right after it."""
-        if self._cache is None:
-            return None
-        now = self._cache.stats()
-        return CacheStats(
-            hits=tally.hits,
-            misses=tally.fetched,
-            entries=now.entries,
-            bytes=now.bytes,
-            evictions=now.evictions,
-        )
-
-    def _operation_page_cache_stats(self, tally: CacheTally) -> CacheStats | None:
-        """Per-operation page-cache :class:`CacheStats` (same shape as the
-        metadata variant: exact per-op hit/miss deltas, shared-cache
-        occupancy snapshot)."""
-        if self._page_cache is None:
-            return None
-        now = self._page_cache.stats()
-        return CacheStats(
-            hits=tally.hits,
-            misses=tally.fetched,
-            entries=now.entries,
-            bytes=now.bytes,
-            evictions=now.evictions,
-        )
-
-    def _run_batches(self, jobs: list) -> list:
-        """Execute per-backend batch jobs — the DHT's per-bucket groups and
-        the provider manager's per-provider groups — concurrently when the
-        client has a thread pool.
-
-        Passed as ``run_batches`` to the metadata provider and the provider
-        manager so grouping stays inside the component that owns placement
-        while the client only supplies the execution strategy.
-        """
-        if self._parallel_io > 1 and len(jobs) > 1:
-            return list(self._executor().map(lambda job: job(), jobs))
-        return [job() for job in jobs]
-
+    # ------------------------------------------------------------- introspection
     def cache_stats(self) -> CacheStats:
         """Lifetime counters and occupancy of the metadata node cache.
 
@@ -964,7 +265,7 @@ class BlobStore:
         and per-write deltas live on ``ReadStats.cache`` /
         ``WriteResult.cache``.  An uncached store reports all zeros.
         """
-        return self._cache.stats() if self._cache is not None else CacheStats()
+        return self._engine.cache_stats()
 
     def page_cache_stats(self) -> CacheStats:
         """Lifetime counters and occupancy of the page payload cache.
@@ -973,113 +274,47 @@ class BlobStore:
         deltas live on ``ReadStats.page_cache``.  An uncached store reports
         all zeros.
         """
-        return (
-            self._page_cache.stats()
-            if self._page_cache is not None
-            else CacheStats()
-        )
+        return self._engine.page_cache_stats()
 
     def lease_stats(self):
         """Counters of the (possibly shared) version lease cache, or None
         when this store runs unleased — see
         :class:`~repro.vm.lease.LeaseStats`."""
-        return self._lease.stats() if self._lease is not None else None
+        return self._engine.lease_stats()
 
-    @staticmethod
-    def _page_request(
-        descriptor: PageDescriptor, page_size: int, offset: int, size: int
-    ) -> tuple[int, tuple[str, str, int, int]] | None:
-        """Provider fetch request for the part of a page inside the byte
-        window ``[offset, offset + size)``.
-
-        Returns ``(destination, (provider_id, page_id, page_offset, length))``
-        where ``destination`` is the chunk's position relative to ``offset``,
-        or None when the page lies outside the window.  ``length`` is always
-        a concrete byte count — the zero-copy callers slice their result
-        buffer with it.
-        """
-        page_start = descriptor.page_index * page_size
-        page_end = page_start + page_size
-        want_start = max(offset, page_start)
-        want_end = min(offset + size, page_end)
-        if want_end <= want_start:
-            return None
-        fetch = (
-            descriptor.provider_id,
-            descriptor.page_id,
-            want_start - page_start,
-            want_end - want_start,
-        )
-        return want_start - offset, fetch
-
-    def _fetch_pages_into(
+    # ------------------------------------------------------------- compat seams
+    def _run_read_plan(
         self,
         record: BlobRecord,
-        descriptors: list[PageDescriptor],
-        buffer: bytearray,
-        offset: int,
-        size: int,
-        page_tally: CacheTally | None = None,
-        fault_tally: FaultTally | None = None,
-    ) -> int:
-        """Fetch the needed byte range of every page into ``buffer`` with one
-        batched multi-fetch per provider; return the batch count.  Ranges
-        held by the shared page cache are deposited directly and never
-        enter a provider batch — a fully cached read costs zero batches.
-        Each request carries its page's replica tuple, so a failed provider
-        batch fails over to the next live replica (counted in
-        ``fault_tally``) instead of failing the read.
-
-        Zero-copy assembly: each request carries a writable ``memoryview``
-        slice of the (single) result buffer, so providers deposit page bytes
-        directly at their final destination instead of materializing
-        per-chunk ``bytes`` objects that get copied a second time.  The
-        slices are disjoint, so concurrent per-provider batches on the
-        ``parallel_io`` pool never overlap.
-        """
-        page_size = record.page_size
-        view = memoryview(buffer)
-        requests: list[tuple[str, str, int, memoryview]] = []
-        failover: list[tuple[str, ...]] = []
-        for descriptor in descriptors:
-            request = self._page_request(descriptor, page_size, offset, size)
-            if request is None:
-                continue
-            destination, (provider_id, page_id, page_offset, length) = request
-            requests.append(
-                (provider_id, page_id, page_offset,
-                 view[destination:destination + length])
+        version: int,
+        span: int,
+        page_offset: int,
+        page_count: int,
+        tally: CacheTally | None = None,
+    ) -> ReadPlanResult:
+        """Resolve a snapshot's read plan synchronously (test/tooling seam —
+        identical to the traversal :meth:`read_ex` performs)."""
+        return run_sync(
+            self._engine._run_read_plan(
+                record, version, span, page_offset, page_count, tally
             )
-            failover.append(descriptor.provider_ids)
-        return self._pm.multi_fetch_into(
-            requests,
-            run_batches=self._run_batches,
-            cache=self._page_cache,
-            cache_key=self._cluster.page_cache_key,
-            tally=page_tally,
-            failover=failover,
-            fault_tally=fault_tally,
         )
 
-    def _executor(self) -> ThreadPoolExecutor:
-        """The client's persistent thread pool, created on first use.
+    def _run_batches(self, jobs: list) -> list:
+        """Execute per-backend batch jobs with this store's strategy (the
+        legacy ``run_batches`` contract: zero-arg sync jobs)."""
+        return self._runtime.execute_sync_jobs(jobs)
 
-        One pool per :class:`BlobStore` — spinning a fresh pool per batch
-        would add thread create/join cycles to every metadata frontier and
-        page transfer, the exact hot path the batching optimizes.
-        """
-        if self._pool is None:
-            with self._pool_lock:
-                if self._pool is None:
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self._parallel_io,
-                        thread_name_prefix="blobstore-io",
-                    )
-        return self._pool
-
+    # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Release the thread pool (optional; also reclaimed at exit)."""
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+        """Release the store and its thread pool (idempotent); further
+        operations raise :class:`~repro.errors.StoreClosedError`.  The
+        shared caches and the cluster stay untouched."""
+        self._engine.close()
+
+    def __enter__(self) -> "BlobStore":
+        self._engine._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import MetadataNotFoundError, ProviderUnavailableError
 from .hashing import HashPlacement, make_placement
 from .storage import BucketStore
@@ -141,10 +142,6 @@ class DHT:
             raise unavailable
         raise MetadataNotFoundError(key)
 
-    @staticmethod
-    def _run_batches_serial(jobs: list) -> list:
-        return [job() for job in jobs]
-
     def multi_put(self, items: list[tuple[str, object]], run_batches=None) -> None:
         """Store a batch of key/value pairs, grouping keys by replica bucket.
 
@@ -158,41 +155,40 @@ class DHT:
         ``run_batches`` optionally executes the per-bucket jobs (zero-arg
         callables, one per touched bucket) concurrently; it must return
         their results in order.  Grouping stays in the DHT either way, so
-        callers never re-derive placement.
+        callers never re-derive placement.  This is the loop-free bridge
+        over :meth:`multi_put_async` — the async form is the ONLY
+        implementation (see :mod:`repro.aio`).
         """
+        run_sync(self.multi_put_async(items, ensure_runtime(run_batches)))
+
+    async def multi_put_async(
+        self, items: list[tuple[str, object]], runtime: IORuntime
+    ) -> None:
+        """Awaitable :meth:`multi_put`: the per-bucket jobs execute on
+        *runtime* (inline, pooled, or interleaved on the event loop)."""
         if not items:
             return
-        if run_batches is None:
-            run_batches = self._run_batches_serial
         by_bucket: dict[str, list[int]] = {}
         for index, (key, _value) in enumerate(items):
             for bucket_id in self.buckets_for(key):
                 by_bucket.setdefault(bucket_id, []).append(index)
 
-        def make_job(bucket_id: str, indices: list[int]):
+        def make_attempt(bucket_id: str, indices: list[int]):
             bucket = self._buckets[bucket_id]
-
-            def job():
-                try:
-                    self._bucket_call(
-                        lambda: bucket.multi_put(
-                            [items[index] for index in indices]
-                        )
-                    )
-                    return None
-                except ProviderUnavailableError as error:
-                    return error
-
-            return job
+            return lambda: bucket.multi_put([items[index] for index in indices])
 
         groups = list(by_bucket.items())
-        outcomes = run_batches(
-            [make_job(bucket_id, indices) for bucket_id, indices in groups]
+        outcomes = await dispatch_jobs(
+            runtime,
+            groups,
+            make_attempt,
+            retry=self._retry,
+            capture=(ProviderUnavailableError,),
         )
         replicas_stored = [0] * len(items)
         last_error: ProviderUnavailableError | None = None
         for (_bucket_id, indices), outcome in zip(groups, outcomes):
-            if outcome is not None:
+            if isinstance(outcome, ProviderUnavailableError):
                 last_error = outcome
                 continue
             for index in indices:
@@ -216,10 +212,15 @@ class DHT:
         every replica was probed live and lacked it.
 
         ``run_batches`` optionally executes the per-bucket lookup jobs of
-        one replica wave concurrently (see :meth:`multi_put`).
+        one replica wave concurrently (see :meth:`multi_put`).  Loop-free
+        bridge over :meth:`multi_get_async`.
         """
-        if run_batches is None:
-            run_batches = self._run_batches_serial
+        return run_sync(self.multi_get_async(keys, ensure_runtime(run_batches)))
+
+    async def multi_get_async(
+        self, keys: list[str], runtime: IORuntime
+    ) -> list[object]:
+        """Awaitable :meth:`multi_get` (see there for replica semantics)."""
         values: dict[str, object] = {}
         unavailable: dict[str, ProviderUnavailableError] = {}
         pending = list(dict.fromkeys(keys))
@@ -232,22 +233,17 @@ class DHT:
                 if attempt < len(replicas):
                     by_bucket.setdefault(replicas[attempt], []).append(key)
 
-            def make_job(bucket_id: str, bucket_keys: list[str]):
+            def make_attempt(bucket_id: str, bucket_keys: list[str]):
                 bucket = self._buckets[bucket_id]
-
-                def job():
-                    try:
-                        return self._bucket_call(
-                            lambda: bucket.multi_get(bucket_keys)
-                        )
-                    except ProviderUnavailableError as error:
-                        return error
-
-                return job
+                return lambda: bucket.multi_get(bucket_keys)
 
             groups = list(by_bucket.items())
-            outcomes = run_batches(
-                [make_job(bucket_id, bucket_keys) for bucket_id, bucket_keys in groups]
+            outcomes = await dispatch_jobs(
+                runtime,
+                groups,
+                make_attempt,
+                retry=self._retry,
+                capture=(ProviderUnavailableError,),
             )
             retry: list[str] = []
             for (_bucket_id, bucket_keys), outcome in zip(groups, outcomes):
@@ -274,6 +270,18 @@ class DHT:
                     raise unavailable[key]
                 raise MetadataNotFoundError(key)
         return [values[key] for key in keys]
+
+    def primary_groups(self, keys: list[str]) -> list[list[int]]:
+        """Group key positions by primary replica bucket, preserving order.
+
+        The pipelined metadata traversal uses this to fan one frontier out
+        as one independent fetch task per bucket, so a slow bucket no
+        longer gates the expansion of every other bucket's children.
+        """
+        by_bucket: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            by_bucket.setdefault(self.buckets_for(key)[0], []).append(index)
+        return list(by_bucket.values())
 
     def contains(self, key: str) -> bool:
         for bucket_id in self.buckets_for(key):

@@ -121,6 +121,18 @@ class NoProvidersError(BlobSeerError):
     """The provider manager has no registered providers to allocate from."""
 
 
+class StoreClosedError(BlobSeerError):
+    """An operation was issued against a closed client store.
+
+    ``BlobStore.close()`` / ``AsyncBlobStore.aclose()`` are idempotent, but
+    a closed store refuses further operations with this error instead of
+    failing obscurely deeper in the stack.
+    """
+
+    def __init__(self, what: str = "store"):
+        super().__init__(f"{what} is closed")
+
+
 class UpdateAbortedError(BlobSeerError):
     """An in-flight update was aborted (by the client or by a timeout)."""
 

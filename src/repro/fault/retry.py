@@ -15,6 +15,7 @@ timing) identical to a deployment without the fault-tolerance layer.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
 from collections.abc import Callable
@@ -124,4 +125,33 @@ class RetryPolicy:
                 if on_failure is not None:
                     on_failure(error, attempt)
                 self._sleep(self.delay(attempt))
+                attempt += 1
+
+    async def arun(
+        self,
+        call: Callable[[], T],
+        on_failure: Callable[[Exception, int], None] | None = None,
+        sleep: Callable[[float], "object"] | None = None,
+    ) -> T:
+        """Awaitable twin of :meth:`run` for event-loop callers.
+
+        Identical budget, transient-error and ``on_failure`` semantics; the
+        backoff awaits ``sleep`` (``asyncio.sleep`` by default) so a
+        retrying operation parks on the loop instead of blocking the thread
+        and every other in-flight operation with it.
+        """
+        attempt = 1
+        while True:
+            try:
+                return call()
+            except Exception as error:
+                if not is_retryable(error) or attempt >= self.attempts:
+                    raise
+                if on_failure is not None:
+                    on_failure(error, attempt)
+                delay = self.delay(attempt)
+                if sleep is not None:
+                    await sleep(delay)
+                else:
+                    await asyncio.sleep(delay)
                 attempt += 1

@@ -9,6 +9,7 @@ class is a thin, typed façade over :class:`repro.dht.DHT`: it serializes
 
 from __future__ import annotations
 
+from ..aio import IORuntime
 from ..dht.dht import DHT
 from ..errors import MetadataNotFoundError
 from .node import InnerNode, LeafNode, NodeKey, TreeNode
@@ -50,13 +51,26 @@ class MetadataProvider:
         :meth:`repro.dht.DHT.multi_put` to run the per-bucket sub-batches
         concurrently.
         """
+        self._dht.multi_put(self._encode_items(items), run_batches=run_batches)
+
+    async def put_nodes_async(
+        self, items: list[tuple[NodeKey, TreeNode]], runtime: IORuntime
+    ) -> None:
+        """Awaitable :meth:`put_nodes`: the per-bucket sub-batches execute
+        on *runtime* — the write path's event-loop mode starts this publish
+        while the page stores are still in flight."""
+        await self._dht.multi_put_async(self._encode_items(items), runtime)
+
+    def _encode_items(
+        self, items: list[tuple[NodeKey, TreeNode]]
+    ) -> list[tuple[str, object]]:
         encoded: list[tuple[str, object]] = []
         for key, node in items:
             if not isinstance(node, (InnerNode, LeafNode)):
                 raise TypeError(f"not a tree node: {node!r}")
             value = encode_node(node) if self._encode else node
             encoded.append((key.to_string(), value))
-        self._dht.multi_put(encoded, run_batches=run_batches)
+        return encoded
 
     def get_node(self, key: NodeKey) -> TreeNode:
         """Fetch one tree node; raises :class:`MetadataNotFoundError` if absent."""
@@ -77,6 +91,21 @@ class MetadataProvider:
             [key.to_string() for key in keys], run_batches=run_batches
         )
         return [self._as_node(key, value) for key, value in zip(keys, values)]
+
+    async def get_nodes_async(
+        self, keys: list[NodeKey], runtime: IORuntime
+    ) -> list[TreeNode]:
+        """Awaitable :meth:`get_nodes`; same alignment and error semantics."""
+        values = await self._dht.multi_get_async(
+            [key.to_string() for key in keys], runtime
+        )
+        return [self._as_node(key, value) for key, value in zip(keys, values)]
+
+    def bucket_groups(self, keys: list[NodeKey]) -> list[list[int]]:
+        """Key positions grouped by primary DHT bucket (placement stays in
+        the provider); the pipelined traversal fetches each group as its own
+        task so one slow bucket never gates the others' subtree descent."""
+        return self._dht.primary_groups([key.to_string() for key in keys])
 
     def _as_node(self, key: NodeKey, value: object) -> TreeNode:
         if isinstance(value, bytes):

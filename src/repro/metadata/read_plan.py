@@ -116,67 +116,124 @@ def multi_range_read_plan(
     return result
 
 
+class FrontierWalker:
+    """Incremental expansion core shared by the level-order generator and
+    the event-loop pipelined traversal.
+
+    Holds the pure decision logic of Algorithm 3 — which children of a
+    fetched node the requested ranges still want, leaf-descriptor
+    collection, traversal accounting — WITHOUT any notion of when fetches
+    happen.  The generator (:func:`_frontier_walk`) expands one whole level
+    at a time; the pipelined driver in
+    :class:`~repro.core.async_store.AsyncBlobStore` expands each
+    bucket-group of nodes the moment its fetch lands, while sibling groups
+    of the same level are still in flight.  Both observe the same node set,
+    because expansion depends only on the node's own content, never on the
+    order siblings resolve in.
+    """
+
+    def __init__(
+        self, root_version: int, span: int, ranges: Sequence[tuple[int, int]]
+    ):
+        self.result = ReadPlanResult()
+        self._root_version = root_version
+        self._span = span
+        self._ranges = [(o, c) for o, c in ranges if c > 0]
+
+    def root_refs(self) -> list[NodeRef]:
+        """The traversal's first frontier: the root, or nothing to do."""
+        if not self._ranges:
+            return []
+        return [NodeRef(self._root_version, 0, self._span)]
+
+    def _wanted(self, offset: int, size: int) -> bool:
+        return any(
+            intersects(offset, size, page_offset, page_count)
+            for page_offset, page_count in self._ranges
+        )
+
+    def note_fetched(self, count: int) -> None:
+        """Account *count* nodes that arrived from a resolved fetch."""
+        self.result.nodes_fetched += count
+
+    def expand(self, ref: NodeRef, node: TreeNode) -> list[NodeRef]:
+        """Consume one fetched node: collect its descriptor (leaf) or
+        return the wanted, validated child refs (inner node)."""
+        result = self.result
+        if is_leaf_range(ref.offset, ref.size):
+            if not isinstance(node, LeafNode):
+                raise MetadataNotFoundError(
+                    f"expected a leaf at ({ref.offset}, {ref.size}), "
+                    f"got {node!r}"
+                )
+            result.leaves_visited += 1
+            result.descriptors.append(
+                PageDescriptor(
+                    page_index=ref.offset,
+                    page_id=node.page_id,
+                    provider_id=node.provider_id,
+                    length=node.length,
+                    provider_ids=node.provider_ids,
+                )
+            )
+            return []
+        if not isinstance(node, InnerNode):
+            raise MetadataNotFoundError(
+                f"expected an inner node at ({ref.offset}, {ref.size}), "
+                f"got {node!r}"
+            )
+        result.inner_visited += 1
+        (left_offset, left_size), (right_offset, right_size) = children_of(
+            ref.offset, ref.size
+        )
+        children: list[NodeRef] = []
+        if node.left_version is not None and self._wanted(left_offset, left_size):
+            children.append(NodeRef(node.left_version, left_offset, left_size))
+        if node.right_version is not None and self._wanted(
+            right_offset, right_size
+        ):
+            children.append(NodeRef(node.right_version, right_offset, right_size))
+        return children
+
+
+def plan_walker(
+    root_version: int, span: int, ranges: Sequence[tuple[int, int]]
+) -> FrontierWalker:
+    """A validated :class:`FrontierWalker` for *ranges* — the entry point of
+    the pipelined traversal, enforcing exactly the range checks
+    :func:`multi_range_read_plan` applies before its first frontier."""
+    active = [(offset, count) for offset, count in ranges if count > 0]
+    if active:
+        if span <= 0:
+            raise InvalidRangeError("cannot read from an empty snapshot")
+        for page_offset, page_count in active:
+            if page_offset < 0 or page_offset + page_count > span:
+                raise InvalidRangeError(
+                    f"page range ({page_offset}, {page_count}) outside tree "
+                    f"span {span}"
+                )
+    return FrontierWalker(root_version, span, active)
+
+
 def _frontier_walk(
     root_version: int,
     span: int,
     ranges: list[tuple[int, int]],
 ) -> Generator[Frontier, Sequence[TreeNode], ReadPlanResult]:
     """Level-order traversal shared by the single- and multi-range plans."""
-    result = ReadPlanResult()
-    if not any(count > 0 for _, count in ranges):
-        return result
-
-    def wanted(offset: int, size: int) -> bool:
-        return any(
-            intersects(offset, size, page_offset, page_count)
-            for page_offset, page_count in ranges
-        )
-
-    frontier: list[NodeRef] = [NodeRef(root_version, 0, span)]
+    walker = FrontierWalker(root_version, span, ranges)
+    frontier = walker.root_refs()
     while frontier:
         for ref in frontier:
             validate_node_range(ref.offset, ref.size)
         nodes = yield Frontier(tuple(frontier))
-        result.round_trips += 1
-        result.nodes_fetched += len(frontier)
+        walker.result.round_trips += 1
+        walker.note_fetched(len(frontier))
         next_frontier: list[NodeRef] = []
         for ref, node in zip(frontier, nodes):
-            if is_leaf_range(ref.offset, ref.size):
-                if not isinstance(node, LeafNode):
-                    raise MetadataNotFoundError(
-                        f"expected a leaf at ({ref.offset}, {ref.size}), "
-                        f"got {node!r}"
-                    )
-                result.leaves_visited += 1
-                result.descriptors.append(
-                    PageDescriptor(
-                        page_index=ref.offset,
-                        page_id=node.page_id,
-                        provider_id=node.provider_id,
-                        length=node.length,
-                        provider_ids=node.provider_ids,
-                    )
-                )
-                continue
-            if not isinstance(node, InnerNode):
-                raise MetadataNotFoundError(
-                    f"expected an inner node at ({ref.offset}, {ref.size}), "
-                    f"got {node!r}"
-                )
-            result.inner_visited += 1
-            (left_offset, left_size), (right_offset, right_size) = children_of(
-                ref.offset, ref.size
-            )
-            if node.left_version is not None and wanted(left_offset, left_size):
-                next_frontier.append(
-                    NodeRef(node.left_version, left_offset, left_size)
-                )
-            if node.right_version is not None and wanted(right_offset, right_size):
-                next_frontier.append(
-                    NodeRef(node.right_version, right_offset, right_size)
-                )
+            next_frontier.extend(walker.expand(ref, node))
         frontier = next_frontier
-    return result
+    return walker.result
 
 
 def drive_plan(
@@ -217,6 +274,33 @@ def drive_plan(
                 value = fetch(request)
             else:
                 value = fetch_many([request])[0]
+            request = plan.send(value)
+    except StopIteration as stop:
+        return stop.value
+
+
+async def adrive_plan(plan: Generator, fetch_many):
+    """Awaitable :func:`drive_plan` over a batched async ``fetch_many``.
+
+    Resolves the plan strictly level by level (one awaited fetch per
+    frontier) — the traversal order, node set and round-trip accounting are
+    identical to the sync driver's, which is what the sync bridge relies on
+    for bit-identical trip counters.  The pipelined event-loop traversal
+    lives in the client (it needs placement grouping), not here.
+    """
+    try:
+        request = next(plan)
+        while True:
+            if isinstance(request, Frontier):
+                refs = list(request.refs)
+                value = list(await fetch_many(refs))
+                if len(value) != len(refs):
+                    raise MetadataNotFoundError(
+                        f"frontier fetch returned {len(value)} nodes "
+                        f"for {len(refs)} refs"
+                    )
+            else:
+                value = (await fetch_many([request]))[0]
             request = plan.send(value)
     except StopIteration as stop:
         return stop.value

@@ -6,6 +6,7 @@ import threading
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import NoProvidersError, ShortReadError
 from .allocation import AllocationStrategy, RoundRobinAllocation
 from .data_provider import DataProvider
@@ -183,10 +184,6 @@ class ProviderManager:
             return [self._providers[pid] for pid in ids]
 
     # -- batched data I/O ------------------------------------------------------
-    @staticmethod
-    def _run_batches_serial(jobs: list) -> list:
-        return [job() for job in jobs]
-
     def _dispatch_batches(
         self, groups: list[tuple[str, list]], call, run_batches
     ) -> list:
@@ -201,37 +198,29 @@ class ProviderManager:
         its provider call on transient errors before giving up; every job
         outcome (including each failed retry attempt) is recorded with the
         health registry.
+
+        Loop-free bridge over :meth:`_dispatch_batches_async` — the async
+        form is the only implementation (see :mod:`repro.aio`).
         """
-        if run_batches is None:
-            run_batches = self._run_batches_serial
+        return run_sync(
+            self._dispatch_batches_async(groups, call, ensure_runtime(run_batches))
+        )
 
-        def make_job(provider_id: str, batch: list):
+    async def _dispatch_batches_async(
+        self, groups: list[tuple[str, list]], call, runtime: IORuntime
+    ) -> list:
+        def make_attempt(provider_id: str, batch: list):
             provider = self.provider(provider_id)
+            return lambda: call(provider, batch)
 
-            def attempt():
-                return call(provider, batch)
-
-            def job():
-                try:
-                    if self._retry is not None and not self._retry.is_noop:
-                        result = self._retry.run(
-                            attempt,
-                            on_failure=lambda _error, _n: self._note_failure(
-                                provider_id
-                            ),
-                        )
-                    else:
-                        result = attempt()
-                except Exception as error:  # noqa: BLE001 - surfaced by caller
-                    self._note_failure(provider_id)
-                    return error
-                self._note_success(provider_id)
-                return result
-
-            return job
-
-        return run_batches(
-            [make_job(provider_id, batch) for provider_id, batch in groups]
+        return await dispatch_jobs(
+            runtime,
+            groups,
+            make_attempt,
+            retry=self._retry,
+            capture=(Exception,),
+            note_success=self._note_success,
+            note_failure=self._note_failure,
         )
 
     def multi_fetch(
@@ -332,7 +321,33 @@ class ProviderManager:
         many were ultimately served degraded (by a non-primary replica).
         Without ``failover`` — or with single-replica tuples — one failed
         batch fails the call, exactly the pre-replication behaviour.
+
+        Loop-free bridge over :meth:`multi_fetch_into_async`.
         """
+        return run_sync(
+            self.multi_fetch_into_async(
+                requests,
+                ensure_runtime(run_batches),
+                cache=cache,
+                cache_key=cache_key,
+                tally=tally,
+                failover=failover,
+                fault_tally=fault_tally,
+            )
+        )
+
+    async def multi_fetch_into_async(
+        self,
+        requests: Sequence[tuple[str, str, int, memoryview]],
+        runtime: IORuntime,
+        cache=None,
+        cache_key=None,
+        tally=None,
+        failover: Sequence[tuple[str, ...]] | None = None,
+        fault_tally: FaultTally | None = None,
+    ) -> int:
+        """Awaitable :meth:`multi_fetch_into` (see there for cache and
+        failover semantics); per-provider batches execute on *runtime*."""
         if not requests:
             return 0
         misses: Sequence[tuple[str, str, int, memoryview]] = requests
@@ -378,12 +393,12 @@ class ProviderManager:
             for entry in outstanding:
                 by_provider.setdefault(entry[3][entry[4]], []).append(entry)
             groups = list(by_provider.items())
-            outcomes = self._dispatch_batches(
+            outcomes = await self._dispatch_batches_async(
                 groups,
                 lambda provider, batch: provider.multi_fetch_into(
                     [(entry[0], entry[1], entry[2]) for entry in batch]
                 ),
-                run_batches,
+                runtime,
             )
             total_trips += len(groups)
             requeued: list[list] = []
@@ -468,7 +483,20 @@ class ProviderManager:
         page that landed nowhere raises, after all batches completed.  With
         single-replica tuples the failure semantics and the per-provider
         trip count match :meth:`multi_store` exactly.
+
+        Loop-free bridge over :meth:`multi_store_replicated_async`.
         """
+        return run_sync(
+            self.multi_store_replicated_async(items, ensure_runtime(run_batches))
+        )
+
+    async def multi_store_replicated_async(
+        self,
+        items: Sequence[tuple[tuple[str, ...], str, bytes]],
+        runtime: IORuntime,
+    ) -> tuple[list[tuple[str, ...]], int]:
+        """Awaitable :meth:`multi_store_replicated` (see there for the
+        degraded-redundancy semantics)."""
         if not items:
             return [], 0
         by_provider: dict[str, list[tuple[int, str, bytes]]] = {}
@@ -478,12 +506,12 @@ class ProviderManager:
                     (index, page_id, payload)
                 )
         groups = list(by_provider.items())
-        outcomes = self._dispatch_batches(
+        outcomes = await self._dispatch_batches_async(
             groups,
             lambda provider, batch: provider.multi_store(
                 [(page_id, payload) for _index, page_id, payload in batch]
             ),
-            run_batches,
+            runtime,
         )
         landed_on: list[set[str]] = [set() for _ in items]
         item_error: list[Exception | None] = [None] * len(items)

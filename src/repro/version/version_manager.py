@@ -111,6 +111,19 @@ class VersionManager:
         with self._lock:
             self._publish_listeners.append(listener)
 
+    def unsubscribe_publications(self, listener: PublishListener) -> None:
+        """Remove a previously subscribed publish listener (idempotent).
+
+        Event-loop SYNC waiters subscribe per call and must detach on the
+        way out, or every completed wait would leak a callback invoked on
+        all future publications.
+        """
+        with self._lock:
+            try:
+                self._publish_listeners.remove(listener)
+            except ValueError:
+                pass
+
     def _notify_publications(self, leases: list[RecencyLease]) -> None:
         if not leases:
             return
@@ -554,6 +567,26 @@ class VersionManager:
                         if version <= state.published:
                             return
                         raise VersionNotPublishedError(blob_id, version)
+
+    def poll_sync(self, blob_id: str, version: int) -> bool:
+        """Non-blocking SYNC probe: True when ``version`` is published,
+        False while it is still in flight.
+
+        Raises exactly what :meth:`sync` would raise on a settled failure —
+        :class:`UpdateAbortedError` for an aborted version,
+        :class:`VersionNotPublishedError` for one that was never assigned.
+        Event-loop clients pair this with publish notifications to wait
+        without parking a thread on the blob's condition variable.
+        """
+        state = self._state(blob_id)
+        with state.condition:
+            if version in state.aborted:
+                raise UpdateAbortedError(blob_id, version)
+            if version <= state.published:
+                return True
+            if version >= state.next_version:
+                raise VersionNotPublishedError(blob_id, version)
+            return False
 
     def inflight_count(self, blob_id: str) -> int:
         """Number of assigned-but-unpublished updates (introspection)."""

@@ -180,12 +180,22 @@ class VersionManagerService:
             self._sync_calls += 1
         self.core.sync(blob_id, version, timeout)
 
+    def poll_sync(self, blob_id: str, version: int) -> bool:
+        """Non-blocking SYNC probe (see
+        :meth:`repro.version.version_manager.VersionManager.poll_sync`);
+        event-loop clients poll between publish notifications instead of
+        parking a thread, so this does not count as a blocking sync call."""
+        return self.core.poll_sync(blob_id, version)
+
     def inflight_count(self, blob_id: str) -> int:
         return self.core.inflight_count(blob_id)
 
     # --------------------------------------------------------- notifications
     def subscribe_publications(self, listener: PublishListener) -> None:
         self.core.subscribe_publications(listener)
+
+    def unsubscribe_publications(self, listener: PublishListener) -> None:
+        self.core.unsubscribe_publications(listener)
 
     # ---------------------------------------------------------- introspection
     def ticket_window_stats(self) -> BatchStats:

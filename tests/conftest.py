@@ -49,7 +49,7 @@ def replicated_cluster() -> Cluster:
         page_size=TEST_PAGE_SIZE,
         num_data_providers=6,
         num_metadata_providers=6,
-        replication=3,
+        metadata_replication=3,
         verify_checksums=True,
     )
     return Cluster(config)

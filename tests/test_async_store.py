@@ -1,0 +1,462 @@
+"""Tests of the asyncio-native client core (:mod:`repro.core.async_store`)
+and the sync bridge over it.
+
+No pytest-asyncio in the toolchain: every async scenario runs through
+``asyncio.run`` inside an ordinary sync test function, which also proves the
+library never requires a particular test harness.
+
+The headline property: :class:`AsyncBlobStore` (event-loop runtime,
+pipelined reads, overlapped writes) and :class:`BlobStore` (loop-free sync
+bridge) produce byte-for-byte identical data AND field-for-field identical
+``ReadStats`` / ``WriteResult`` trip counters across random operation
+histories — one code path, two execution modes, same observable behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    AsyncBlobStore,
+    BlobStore,
+    Cluster,
+    InvalidRangeError,
+    StoreClosedError,
+    VersionNotPublishedError,
+)
+from repro.aio import AsyncRuntime, SyncRuntime, run_sync
+from repro.cache import NodeCache, PageCache
+
+from .conftest import TEST_PAGE_SIZE, make_payload
+
+
+def small_cluster() -> Cluster:
+    return Cluster.in_memory(
+        num_data_providers=4,
+        num_metadata_providers=4,
+        page_size=TEST_PAGE_SIZE,
+    )
+
+
+class TestAsyncSurface:
+    """Every paper primitive, awaited."""
+
+    def test_create_write_sync_read_roundtrip(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                payload = make_payload(5 * TEST_PAGE_SIZE + 17)
+                result = await store.write_ex(blob_id, payload, 0)
+                await store.sync(blob_id, result.version)
+                assert await store.get_size(blob_id, result.version) == len(payload)
+                data, stats = await store.read_ex(
+                    blob_id, result.version, 0, len(payload)
+                )
+                assert data == payload
+                assert stats.pages_fetched == 6
+                # The writer's publish write-through warmed the shared cache:
+                # its own read-back walks the tree entirely from memory.
+                assert stats.metadata_round_trips == 0
+                assert stats.metadata_cache_hits > 0
+                return result
+
+        result = asyncio.run(scenario())
+        assert result.version == 1
+        assert result.pages_written == 6
+
+    def test_append_read_recent_and_branch(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                first = make_payload(TEST_PAGE_SIZE + 5, seed=1)
+                second = make_payload(30, seed=2)
+                v1 = await store.append(blob_id, first)
+                await store.sync(blob_id, v1)
+                v2 = await store.append(blob_id, second)
+                await store.sync(blob_id, v2)
+                assert await store.get_recent(blob_id) == v2
+                version, tail = await store.read_recent(
+                    blob_id, len(first), len(second)
+                )
+                assert (version, tail) == (v2, second)
+                # BRANCH isolates the child from later parent writes.
+                child = await store.branch(blob_id, v1)
+                child_bytes = await store.read(child, v1, 0, len(first))
+                assert child_bytes == first
+
+        asyncio.run(scenario())
+
+    def test_unaligned_write_preserves_boundaries(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                base = make_payload(3 * TEST_PAGE_SIZE, seed=3)
+                v1 = await store.write(blob_id, base, 0)
+                await store.sync(blob_id, v1)
+                patch = make_payload(40, seed=4)
+                v2 = await store.write(blob_id, patch, 50)
+                await store.sync(blob_id, v2)
+                expected = base[:50] + patch + base[90:]
+                assert await store.read(blob_id, v2, 0, len(base)) == expected
+
+        asyncio.run(scenario())
+
+    def test_invalid_ranges_raise(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                with pytest.raises(InvalidRangeError):
+                    await store.write_ex(blob_id, b"", 0)
+                with pytest.raises(InvalidRangeError):
+                    await store.read(blob_id, 0, 0, 10)
+
+        asyncio.run(scenario())
+
+    def test_sync_waits_for_late_publication_and_times_out(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                vm = cluster.version_manager
+                ticket = vm.register_update(blob_id, TEST_PAGE_SIZE, offset=0)
+
+                async def publish_later():
+                    await asyncio.sleep(0.05)
+                    vm.complete_update(blob_id, ticket.version)
+
+                # The version is only published mid-wait: sync() must park on
+                # the loop until the publish notification arrives.
+                task = asyncio.ensure_future(publish_later())
+                await store.sync(blob_id, ticket.version, timeout=5.0)
+                await task
+                # And a version that never publishes trips the timeout.
+                with pytest.raises(VersionNotPublishedError):
+                    await store.sync(blob_id, ticket.version + 5, timeout=0.05)
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    """Context managers, idempotent close, use-after-close errors."""
+
+    def test_sync_store_context_manager_and_double_close(self):
+        cluster = small_cluster()
+        with BlobStore(cluster) as store:
+            blob_id = store.create()
+            store.append(blob_id, b"x")
+        store.close()  # second close (after __exit__): idempotent no-op
+        with pytest.raises(StoreClosedError, match="BlobStore is closed"):
+            store.create()
+        with pytest.raises(StoreClosedError):
+            store.read(blob_id, 1, 0, 1)
+        with pytest.raises(StoreClosedError):
+            with store:
+                pass  # re-entering a closed store is refused
+
+    def test_async_store_context_manager_and_double_close(self):
+        async def scenario():
+            cluster = small_cluster()
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                await store.append(blob_id, b"x")
+            await store.aclose()  # idempotent after __aexit__
+            store.close()  # and the sync spelling too
+            with pytest.raises(StoreClosedError, match="AsyncBlobStore is closed"):
+                await store.create()
+            with pytest.raises(StoreClosedError):
+                await store.read_ex(blob_id, 1, 0, 1)
+
+        asyncio.run(scenario())
+
+    def test_closing_one_store_leaves_cluster_usable(self):
+        cluster = small_cluster()
+        first = BlobStore(cluster)
+        blob_id = first.create()
+        first.append(blob_id, b"hello")
+        first.close()
+        second = BlobStore(cluster)
+        assert second.read(blob_id, 1, 0, 5) == b"hello"
+
+
+class _SyncAsAsync:
+    """Adapter running the equivalence driver against the sync bridge, so
+    one history executor covers both execution modes."""
+
+    def __init__(self, store: BlobStore):
+        self._store = store
+
+    async def create(self):
+        return self._store.create()
+
+    async def write_ex(self, blob_id, data, offset):
+        return self._store.write_ex(blob_id, data, offset)
+
+    async def append_ex(self, blob_id, data):
+        return self._store.append_ex(blob_id, data)
+
+    async def read_ex(self, blob_id, version, offset, size):
+        return self._store.read_ex(blob_id, version, offset, size)
+
+    async def sync(self, blob_id, version):
+        return self._store.sync(blob_id, version)
+
+    async def branch(self, blob_id, version):
+        return self._store.branch(blob_id, version)
+
+
+async def _drive_history(store, operations):
+    """Execute a random-but-deterministic history; return every observable
+    outcome (result dataclasses and read bytes) for comparison.
+
+    Op specs carry fractions rather than absolute values so the same spec
+    stays valid against whatever sizes the history produced so far; the
+    resolution is pure arithmetic, hence identical across stores.
+    """
+    outcomes = []
+    blobs: list[str] = [await store.create()]
+    # (blob_index, version, size) of every published snapshot
+    published: list[tuple[int, int, int]] = []
+    sizes: dict[int, int] = {0: 0}
+
+    def pick(items, frac):
+        return items[int(frac * (len(items) - 1))] if items else None
+
+    for op in operations:
+        kind = op[0]
+        if kind == "append":
+            _, blob_frac, length, seed = op
+            blob_index = pick(range(len(blobs)), blob_frac)
+            result = await store.append_ex(
+                blobs[blob_index], make_payload(length, seed)
+            )
+            await store.sync(blobs[blob_index], result.version)
+            sizes[blob_index] += length
+            published.append((blob_index, result.version, sizes[blob_index]))
+            outcomes.append(result)
+        elif kind == "write":
+            _, blob_frac, length, offset_frac, seed = op
+            blob_index = pick(range(len(blobs)), blob_frac)
+            offset = int(offset_frac * sizes[blob_index])
+            result = await store.write_ex(
+                blobs[blob_index], make_payload(length, seed), offset
+            )
+            await store.sync(blobs[blob_index], result.version)
+            sizes[blob_index] = max(sizes[blob_index], offset + length)
+            published.append((blob_index, result.version, sizes[blob_index]))
+            outcomes.append(result)
+        elif kind == "branch":
+            _, snap_frac = op
+            snap = pick(published, snap_frac)
+            if snap is None:
+                continue
+            blob_index, version, size = snap
+            child = await store.branch(blobs[blob_index], version)
+            blobs.append(child)
+            sizes[len(blobs) - 1] = size
+            published.append((len(blobs) - 1, version, size))
+        else:  # read
+            _, snap_frac, offset_frac, size_frac = op
+            snap = pick(published, snap_frac)
+            if snap is None:
+                continue
+            blob_index, version, size = snap
+            offset = int(offset_frac * size)
+            count = int(size_frac * (size - offset))
+            data, stats = await store.read_ex(
+                blobs[blob_index], version, offset, count
+            )
+            outcomes.append((data, stats))
+    return outcomes
+
+
+history_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("append"),
+            st.floats(0, 1),
+            st.integers(1, 3 * TEST_PAGE_SIZE),
+            st.integers(0, 255),
+        ),
+        st.tuples(
+            st.just("write"),
+            st.floats(0, 1),
+            st.integers(1, 2 * TEST_PAGE_SIZE),
+            st.floats(0, 1),
+            st.integers(0, 255),
+        ),
+        st.tuples(st.just("branch"), st.floats(0, 1)),
+        st.tuples(
+            st.just("read"), st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)
+        ),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestAsyncSyncEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(operations=history_strategy)
+    def test_same_bytes_and_same_trip_counters(self, operations):
+        """The tentpole property: one async code path, two execution modes,
+        identical bytes AND identical ReadStats/WriteResult counters.
+
+        Each store gets its own cluster and its own dedicated caches (the
+        process-shared defaults would leak occupancy between the twins);
+        in-cluster state is otherwise deterministic, so every counter —
+        trips, cache hits, occupancy snapshots — must match field for field.
+        """
+        sync_cluster = small_cluster()
+        sync_store = BlobStore(
+            sync_cluster, node_cache=NodeCache(), page_cache=PageCache()
+        )
+        sync_outcomes = asyncio.run(
+            _drive_history(_SyncAsAsync(sync_store), operations)
+        )
+
+        async_cluster = small_cluster()
+
+        async def run_async():
+            async with AsyncBlobStore(
+                async_cluster, node_cache=NodeCache(), page_cache=PageCache()
+            ) as store:
+                return await _drive_history(store, operations)
+
+        async_outcomes = asyncio.run(run_async())
+        assert async_outcomes == sync_outcomes
+
+    def test_cold_read_counters_match_exactly(self):
+        """Deterministic spot check (no hypothesis): a cold multi-level read
+        through the pipelined traversal reports the same nodes_fetched and
+        round-trip counts as the strict level-by-level sync walk."""
+        payload = make_payload(16 * TEST_PAGE_SIZE, seed=9)
+
+        def sync_stats():
+            store = BlobStore(
+                small_cluster(), cache_metadata=False, cache_pages=False
+            )
+            blob_id = store.create()
+            version = store.write(blob_id, payload, 0)
+            store.sync(blob_id, version)
+            return store.read_ex(blob_id, version, 0, len(payload))
+
+        async def async_stats():
+            store = AsyncBlobStore(
+                small_cluster(), cache_metadata=False, cache_pages=False
+            )
+            blob_id = await store.create()
+            version = await store.write(blob_id, payload, 0)
+            await store.sync(blob_id, version)
+            return await store.read_ex(blob_id, version, 0, len(payload))
+
+        sync_data, sync_read = sync_stats()
+        async_data, async_read = asyncio.run(async_stats())
+        assert async_data == sync_data == payload
+        assert async_read == sync_read
+        assert sync_read.metadata_round_trips >= 3  # genuinely multi-level
+
+
+class TestEventLoopConcurrency:
+    def test_ten_thousand_gathered_reads_no_per_op_threads(self):
+        """10k concurrent reads on ONE event loop: every operation goes
+        through the store concurrently and not a single thread is spawned
+        per operation (the old model needed a thread per blocked client)."""
+        cluster = small_cluster()
+        payload = make_payload(2 * TEST_PAGE_SIZE, seed=7)
+
+        async def scenario():
+            async with AsyncBlobStore(cluster) as store:
+                blob_id = await store.create()
+                version = await store.write(blob_id, payload, 0)
+                await store.sync(blob_id, version)
+
+                before = threading.active_count()
+                reads = [
+                    store.read_ex(
+                        blob_id, version, index % TEST_PAGE_SIZE, TEST_PAGE_SIZE
+                    )
+                    for index in range(10_000)
+                ]
+                results = await asyncio.gather(*reads)
+                after = threading.active_count()
+                return before, after, results
+
+        before, after, results = asyncio.run(scenario())
+        assert after == before  # zero threads per operation
+        assert len(results) == 10_000
+        for index, (data, stats) in enumerate(results):
+            offset = index % TEST_PAGE_SIZE
+            assert data == payload[offset:offset + TEST_PAGE_SIZE]
+            assert stats.bytes_read == TEST_PAGE_SIZE
+
+    def test_gathered_cold_reads_interleave_on_the_loop(self):
+        """Cold concurrent reads genuinely interleave: the runtime parks
+        every gathered read on the loop before the first backend batch runs
+        (AsyncRuntime.run_batches yields first), so peak in-flight equals
+        the gather width."""
+        cluster = small_cluster()
+        payload = make_payload(4 * TEST_PAGE_SIZE, seed=8)
+        in_flight = 0
+        peak = 0
+
+        async def tracked_read(store, blob_id, version):
+            nonlocal in_flight, peak
+            in_flight += 1
+            peak = max(peak, in_flight)
+            # Parking here lets every sibling read start before any backend
+            # work happens; without the loop this would serialize.
+            await asyncio.sleep(0)
+            data = await store.read(blob_id, version, 0, len(payload))
+            in_flight -= 1
+            return data
+
+        async def scenario():
+            async with AsyncBlobStore(
+                cluster, cache_metadata=False, cache_pages=False
+            ) as store:
+                blob_id = await store.create()
+                version = await store.write(blob_id, payload, 0)
+                await store.sync(blob_id, version)
+                return await asyncio.gather(
+                    *(tracked_read(store, blob_id, version) for _ in range(64))
+                )
+
+        results = asyncio.run(scenario())
+        assert all(data == payload for data in results)
+        assert peak == 64
+
+
+class TestRuntimeSeam:
+    def test_run_sync_rejects_suspending_coroutines(self):
+        class Suspends:
+            def __await__(self):
+                yield  # a genuine suspension point, no loop required
+
+        async def suspends():
+            await Suspends()
+
+        with pytest.raises(RuntimeError, match="suspended"):
+            run_sync(suspends())
+
+    def test_sync_bridge_uses_sync_runtime(self):
+        store = BlobStore(small_cluster())
+        assert isinstance(store._runtime, SyncRuntime)
+        assert not store._runtime.pipelined
+        assert isinstance(store._engine, AsyncBlobStore)
+
+    def test_async_store_defaults_to_event_loop_runtime(self):
+        store = AsyncBlobStore(small_cluster())
+        assert isinstance(store._runtime, AsyncRuntime)
+        assert store._runtime.pipelined

@@ -33,7 +33,7 @@ class TestBlobSeerConfig:
             BlobSeerConfig(page_size=1000)
 
     def test_replication_bounded_by_providers(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
             BlobSeerConfig(num_data_providers=2, replication=3)
 
     def test_unknown_allocation_strategy_rejected(self):

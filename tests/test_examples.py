@@ -23,6 +23,7 @@ def load_example(name: str):
     "name",
     [
         "quickstart",
+        "async_quickstart",
         "picture_analytics",
         "branching_pipelines",
         "simulated_grid_run",

@@ -224,20 +224,24 @@ class TestConfigReplicationKnobs:
         assert config.page_replication == 1
         assert config.replication == 1  # deprecated alias, resolved
 
-    def test_deprecated_alias_sets_metadata_replication(self):
-        config = BlobSeerConfig(
-            num_data_providers=6, num_metadata_providers=6, replication=3
-        )
+    def test_deprecated_alias_warns_and_sets_metadata_replication(self):
+        with pytest.warns(DeprecationWarning, match="metadata_replication"):
+            config = BlobSeerConfig(
+                num_data_providers=6, num_metadata_providers=6, replication=3
+            )
+        # Semantics unchanged by the deprecation: the alias still resolves
+        # into the split knobs exactly as before.
         assert config.metadata_replication == 3
         assert config.replication == 3
         assert config.page_replication == 1  # pages were never replicated
 
     def test_alias_conflict_is_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
             BlobSeerConfig(replication=2, metadata_replication=3)
 
     def test_alias_agreement_is_accepted(self):
-        config = BlobSeerConfig(replication=2, metadata_replication=2)
+        with pytest.warns(DeprecationWarning):
+            config = BlobSeerConfig(replication=2, metadata_replication=2)
         assert config.metadata_replication == 2
 
     def test_metadata_replication_bounded_by_metadata_providers(self):
@@ -251,12 +255,13 @@ class TestConfigReplicationKnobs:
     def test_legacy_alias_keeps_its_historical_envelope(self):
         # The old combined knob validated against the data-provider count
         # and the DHT clamped it to the bucket count; both stay true so old
-        # configs construct unchanged.
-        with pytest.raises(ConfigurationError):
+        # configs construct unchanged (modulo the deprecation warning).
+        with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
             BlobSeerConfig(num_data_providers=2, replication=3)
-        clamped = BlobSeerConfig(
-            num_data_providers=6, num_metadata_providers=2, replication=3
-        )
+        with pytest.warns(DeprecationWarning):
+            clamped = BlobSeerConfig(
+                num_data_providers=6, num_metadata_providers=2, replication=3
+            )
         assert clamped.metadata_replication == 2
 
     def test_retry_knobs_are_validated(self):
