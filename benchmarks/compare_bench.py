@@ -51,6 +51,8 @@ _HIGHER_IS_BETTER = (
     "warm_cache_hit_rate",
     "page_cache_hit_rate",
     "warm_page_cache_hit_rate",
+    "speculative_hit_rate",
+    "peer_cache_hit_rate",
 )
 
 #: Metrics where smaller is better (gate on growth): round-trip and
@@ -59,8 +61,12 @@ _HIGHER_IS_BETTER = (
 #: ``warm_vm_trips_per_read`` likewise (warm reads paying the version
 #: manager again is a lease regression), and ``warm_data_trips_per_read``
 #: must stay 0: warm reads paying the data providers again is a
-#: page-cache regression.
+#: page-cache regression.  ``cold_meta_latency`` (milliseconds) gates the
+#: cold metadata descent that speculative prefetch attacks, and
+#: ``speculative_wasted`` gates the prefetcher's over-fetch.
 _LOWER_IS_BETTER = (
+    "cold_meta_latency",
+    "speculative_wasted",
     "meta_nodes_per_read",
     "meta_trips_per_read",
     "data_trips_per_read",

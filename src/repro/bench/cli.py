@@ -6,18 +6,23 @@ Examples::
     blobseer-bench fig2b --scale paper   # full 173-provider Figure 2(b)
     blobseer-bench all --scale small     # every experiment, CI-sized
     python -m repro.bench fig2a          # equivalent module form
+    python -m repro.bench fig2b --baseline BENCH_pr5.json
+                                         # + delta table vs that snapshot
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from .ablations import (
     run_ablation_allocation,
     run_ablation_cache,
     run_ablation_churn,
+    run_ablation_coldpath,
     run_ablation_concurrent_writers,
     run_ablation_dht_placement,
     run_ablation_metadata,
@@ -36,6 +41,7 @@ _EXPERIMENTS = {
     "fig2b": run_fig2b,
     "ablation-cache": run_ablation_cache,
     "ablation-churn": run_ablation_churn,
+    "ablation-coldpath": run_ablation_coldpath,
     "ablation-metadata": run_ablation_metadata,
     "ablation-space": run_ablation_storage_space,
     "ablation-writers": run_ablation_concurrent_writers,
@@ -64,7 +70,71 @@ def build_parser() -> argparse.ArgumentParser:
         default="small",
         help="experiment scale: small (seconds), default, or paper (minutes)",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="BENCH_JSON",
+        help="a committed BENCH_prN.json snapshot; after each experiment "
+        "that the snapshot covers, print a per-row delta table (baseline "
+        "-> current, percent change) against its rows at --scale",
+    )
     return parser
+
+
+#: Keys identifying a row within one experiment's baseline rows.
+_BASELINE_MATCH_KEYS = {
+    "fig2a": ("series", "pages_total"),
+    "fig2b": ("readers",),
+}
+
+
+def _baseline_rows(path: Path, name: str, scale: str) -> list[dict] | None:
+    """Rows of a ``BENCH_prN.json`` snapshot for one experiment and scale.
+
+    Returns None (not an error) when the snapshot simply does not cover the
+    experiment or scale — the snapshots only record the figure tables.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read baseline {path}: {error}")
+    section = document.get("scales", {}).get(scale, {}).get(f"{name}_rows")
+    if section is None:
+        return None
+    if isinstance(section, dict):
+        # Snapshots keep a before/after pair; "after" is the state that PR
+        # shipped, i.e. the baseline every later run compares against.
+        return section.get("after", section.get("before", []))
+    return section
+
+
+def _print_deltas(name: str, rows: list[dict], baseline: list[dict]) -> None:
+    """Print the per-row, per-metric delta table against a baseline."""
+    match_keys = _BASELINE_MATCH_KEYS.get(name, ())
+    if not match_keys:
+        return
+    by_key = {
+        tuple(row.get(key) for key in match_keys): row for row in baseline
+    }
+    for row in rows:
+        key = tuple(row.get(k) for k in match_keys)
+        base = by_key.get(key)
+        if base is None:
+            continue
+        label = ", ".join(f"{k}={v}" for k, v in zip(match_keys, key))
+        print(f"  [{label}]")
+        for metric, value in row.items():
+            if metric in match_keys or not isinstance(value, (int, float)):
+                continue
+            then = base.get(metric)
+            if not isinstance(then, (int, float)):
+                continue
+            if then:
+                delta = f"{(float(value) / float(then) - 1.0) * 100:+.1f}%"
+            else:
+                delta = "new" if value else "+0.0%"
+            print(f"    {metric:<28} {then:>12.4f} -> {value:>12.4f}  {delta}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +146,16 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(result.format())
         print(f"(ran in {elapsed:.1f}s at scale={args.scale})")
+        if args.baseline is not None:
+            baseline = _baseline_rows(args.baseline, name, args.scale)
+            if baseline is None:
+                print(
+                    f"(baseline {args.baseline} has no {name} rows at "
+                    f"scale={args.scale} — no delta table)"
+                )
+            else:
+                print(f"deltas vs {args.baseline} ({args.scale}):")
+                _print_deltas(name, result.rows, baseline)
         print()
     return 0
 

@@ -1,0 +1,145 @@
+"""Cooperative peer caching: co-located clients probe each other's caches.
+
+BlobSeer's data and metadata are immutable once published, which makes
+cross-client cache sharing trivially safe: any cached copy of a tree node or
+page range is the *only* value that key can ever have, so a peer's cache can
+serve it with no invalidation protocol at all (DESIGN.md §9).  A
+:class:`PeerCacheGroup` models a set of clients on the same machine (or
+rack) whose caches are one cheap hop away — much closer than a data
+provider or DHT bucket round trip.
+
+Members :meth:`~PeerCacheGroup.join` with their own node/page caches and
+get back a :class:`PeerCacheMember` token.  A probe through the token
+consults every OTHER member's cache (never the prober's own — the read
+path has already checked it, and a deployment where every store shares one
+process-wide cache has nothing to gain from peers, so identical cache
+objects are skipped too).  A peer hit legitimately refreshes the serving
+cache's LRU recency and hit counters: the entry just served a request.
+
+Probing order is load-bearing for the client: **own cache → peers →
+network**.  Probing peers before the own cache would steal warm own-cache
+hits and silently change the warm-read counters the benchmarks pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PeerCacheStats:
+    """Lifetime probe counters of one :class:`PeerCacheGroup`.
+
+    ``node_probes``/``page_probes`` count lookups that went to the peers
+    (i.e. own-cache misses in a peer-enabled store); the ``*_hits`` twins
+    count how many a peer served.
+    """
+
+    node_probes: int = 0
+    node_hits: int = 0
+    page_probes: int = 0
+    page_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.node_probes + self.page_probes
+        hits = self.node_hits + self.page_hits
+        return hits / probes if probes else 0.0
+
+
+class PeerCacheMember:
+    """One member's handle into a :class:`PeerCacheGroup`.
+
+    Holds the member's own caches so probes can exclude them; all lookup
+    traffic goes through :meth:`probe_node` / :meth:`probe_page`.
+    """
+
+    __slots__ = ("_group", "node_cache", "page_cache")
+
+    def __init__(self, group: "PeerCacheGroup", node_cache, page_cache):
+        self._group = group
+        self.node_cache = node_cache
+        self.page_cache = page_cache
+
+    def probe_node(self, cache_key):
+        """A peer's cached tree node for ``cache_key``, or None."""
+        return self._group._probe(self, "node", cache_key)
+
+    def probe_page(self, cache_key):
+        """A peer's cached page-range bytes for ``cache_key``, or None."""
+        return self._group._probe(self, "page", cache_key)
+
+    def leave(self) -> None:
+        """Remove this member from the group (idempotent)."""
+        self._group._leave(self)
+
+
+class PeerCacheGroup:
+    """A set of co-located clients that serve each other's cache lookups.
+
+    Thread-safe: membership changes take the group lock; probes iterate a
+    snapshot, so a member joining or leaving mid-probe is simply included
+    or skipped, never an error.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._members: list[PeerCacheMember] = []
+        self._node_probes = 0
+        self._node_hits = 0
+        self._page_probes = 0
+        self._page_hits = 0
+
+    def join(self, node_cache=None, page_cache=None) -> PeerCacheMember:
+        """Add a member with its caches; returns its probe token.
+
+        Either cache may be None (a store with page caching disabled still
+        shares its node cache, and vice versa).
+        """
+        member = PeerCacheMember(self, node_cache, page_cache)
+        with self._lock:
+            self._members.append(member)
+        return member
+
+    def _leave(self, member: PeerCacheMember) -> None:
+        with self._lock:
+            if member in self._members:
+                self._members.remove(member)
+
+    def _probe(self, prober: PeerCacheMember, kind: str, cache_key):
+        with self._lock:
+            members = list(self._members)
+            if kind == "node":
+                self._node_probes += 1
+            else:
+                self._page_probes += 1
+        own = prober.node_cache if kind == "node" else prober.page_cache
+        for member in members:
+            if member is prober:
+                continue
+            cache = member.node_cache if kind == "node" else member.page_cache
+            if cache is None or cache is own:
+                continue
+            value = cache.get(cache_key)
+            if value is not None:
+                with self._lock:
+                    if kind == "node":
+                        self._node_hits += 1
+                    else:
+                        self._page_hits += 1
+                return value
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    def stats(self) -> PeerCacheStats:
+        with self._lock:
+            return PeerCacheStats(
+                node_probes=self._node_probes,
+                node_hits=self._node_hits,
+                page_probes=self._page_probes,
+                page_hits=self._page_hits,
+            )

@@ -150,6 +150,28 @@ class BlobSeerConfig:
         immutable-fact map (blob records, published snapshot sizes).
         ``vm_lease_ttl=None`` disables version leasing for the whole
         deployment (every read pays its version-manager round trips).
+    speculative_prefetch:
+        When True, the pipelined metadata descent predicts the child spans
+        of a missed frontier node from the requested byte range's geometry
+        and issues their DHT multi-get *before* the authoritative parent
+        returns (DESIGN.md §9).  Speculation never changes the bytes read
+        or the authoritative counters; over-fetch is reported via
+        ``ReadStats.speculative_wasted``.  Off by default — the sync
+        level-by-level walk ignores the knob, and async==sync counter
+        equality is only guaranteed with it off.
+    replica_routing:
+        When True (the default), replicated reads rank the replica set
+        before fetching instead of always starting at replica 0: locally
+        preferred replicas first, :class:`repro.fault.ProviderHealth`
+        suspects last (see :func:`repro.fault.rank_replicas`).  With no
+        locality signal and no suspects the ranking is a stable no-op, so
+        unreplicated deployments behave bit-identically.
+    peer_caching:
+        When True (the default), a store attached to a
+        :class:`repro.cache.PeerCacheGroup` probes co-located peers'
+        caches for immutable nodes and pages before paying a provider
+        round trip (``ReadStats.peer_cache_hits``).  Inert unless a peer
+        group is attached.
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
@@ -176,6 +198,9 @@ class BlobSeerConfig:
     page_cache_shards: int = DEFAULT_PAGE_CACHE_SHARDS
     vm_lease_ttl: float | None = DEFAULT_VM_LEASE_TTL
     vm_lease_entries: int = DEFAULT_VM_LEASE_ENTRIES
+    speculative_prefetch: bool = False
+    replica_routing: bool = True
+    peer_caching: bool = True
 
     def __post_init__(self) -> None:
         _require(is_power_of_two(self.page_size),
@@ -317,6 +342,16 @@ class SimConfig:
     #: a batch but cannot remove this per-page share of the work, which is
     #: what keeps larger pages faster (Figure 2(a)) even with batching.
     page_marshalling_time: float = 0.08e-3
+    #: Fixed framing overhead of one cooperative peer-cache batch probe
+    #: (DESIGN.md §9): a single short RPC to a co-located machine, far
+    #: below the data path's ``rpc_overhead`` because there is no
+    #: marshalling of payload descriptors, just cache keys.
+    peer_rpc_overhead: float = 0.02e-3
+    #: Per-item service time of a peer-cache hit at the serving peer (one
+    #: cache lookup + handing the immutable buffer to the NIC).  Payload
+    #: bytes still cross the network at ``nic_bandwidth``; this replaces
+    #: the provider's ``page_service_time + page_marshalling_time`` share.
+    peer_page_time: float = 0.01e-3
 
     def __post_init__(self) -> None:
         _require(self.nic_bandwidth > 0, "nic_bandwidth must be > 0")
@@ -334,6 +369,9 @@ class SimConfig:
         _require(self.page_service_time >= 0, "page_service_time must be >= 0")
         _require(self.page_marshalling_time >= 0,
                  "page_marshalling_time must be >= 0")
+        _require(self.peer_rpc_overhead >= 0,
+                 "peer_rpc_overhead must be >= 0")
+        _require(self.peer_page_time >= 0, "peer_page_time must be >= 0")
 
 
 #: Simulation profile matching the paper's measured testbed numbers.

@@ -43,7 +43,7 @@ components, same accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..aio import AsyncRuntime, Handle, IORuntime
 from ..cache import (
@@ -51,6 +51,8 @@ from ..cache import (
     CacheTally,
     NodeCache,
     PageCache,
+    PeerCacheGroup,
+    PeerCacheMember,
     complete_frontier,
     split_frontier,
 )
@@ -76,9 +78,13 @@ from .cluster import Cluster
 class WriteResult:
     """Detailed outcome of a WRITE/APPEND (``*_ex`` variants)."""
 
+    #: Snapshot version this update was assigned (published after SYNC).
     version: int
+    #: Payload bytes the caller handed in.
     bytes_written: int
+    #: Individual pages stored (each replicated ``page_replication`` ways).
     pages_written: int
+    #: New tree nodes published for this snapshot's metadata.
     metadata_nodes_written: int
     #: Border nodes that actually travelled from the DHT during border
     #: resolution; nodes served by the shared cache are counted in
@@ -116,8 +122,11 @@ class WriteResult:
 class ReadStats:
     """Detailed outcome of a READ (``read_ex``)."""
 
+    #: Snapshot version the bytes came from.
     version: int
+    #: Bytes returned (exactly the requested size).
     bytes_read: int
+    #: Individual page ranges the plan resolved to, however served.
     pages_fetched: int
     #: Tree nodes that actually travelled from the DHT; lookups served by
     #: the shared cache are counted in ``metadata_cache_hits`` instead, so
@@ -160,6 +169,29 @@ class ReadStats:
     #: non-zero value means the read ran *degraded*: correct bytes, reduced
     #: redundancy behind them — callers can alert or trigger a repair pass.
     degraded: int = 0
+    #: Speculatively prefetched metadata nodes this read actually consumed:
+    #: the pipelined descent predicted them as level-N+1 children of a
+    #: missed ref BEFORE the parent resolved, and the authoritative parent
+    #: then confirmed the prediction (DESIGN.md §9).  Consumed predictions
+    #: still count in ``metadata_nodes_fetched`` — they did travel from the
+    #: DHT — so speculation never changes that counter, only when the
+    #: fetch was issued.  Always 0 with ``speculative_prefetch`` off, under
+    #: the sync runtime, and on warm reads (no misses, nothing to predict).
+    speculative_hits: int = 0
+    #: Speculative predictions this read issued but never consumed — wrong
+    #: version guesses and predictions the authoritative parent pruned.
+    #: Wasted lookups cost idle DHT capacity, never correctness: they are
+    #: miss-tolerant, never enter the node cache, and are drained before
+    #: the read returns.  This is the ONLY counter speculation may change.
+    speculative_wasted: int = 0
+    #: Metadata nodes plus page ranges served by a co-located peer's cache
+    #: (see :class:`repro.cache.PeerCacheGroup`) — consulted after the own
+    #: caches miss and before any DHT/provider round.  Peer-served items do
+    #: NOT count in ``metadata_nodes_fetched``/``tally`` fetch counters
+    #: (they never travelled from the service side), so a read fully served
+    #: by peers reports zero round trips on that leg.  Always 0 without an
+    #: attached peer group or with ``peer_caching`` off.
+    peer_cache_hits: int = 0
 
 
 @dataclass
@@ -177,6 +209,30 @@ class _PendingStore:
     planned: list[PageDescriptor]
 
 
+@dataclass
+class _Speculation:
+    """Per-read state of the speculative frontier prefetch (DESIGN.md §9).
+
+    ``tasks`` maps each predicted :class:`NodeKey` to the in-flight
+    miss-tolerant multi-get that covers it (one handle serves a whole
+    prediction batch; ``slot`` is the key's position in it).  ``seen``
+    dedupes — a key is predicted at most once per read, bounding waste.
+    ``handles`` keeps every issued handle so leftovers can be drained
+    before the read returns (an abandoned task would leak a pending
+    coroutine into the loop).
+    """
+
+    hits: int = 0
+    predicted: int = 0
+    tasks: dict[NodeKey, tuple[Handle, int]] = field(default_factory=dict)
+    seen: set[NodeKey] = field(default_factory=set)
+    handles: list[Handle] = field(default_factory=list)
+
+    @property
+    def wasted(self) -> int:
+        return self.predicted - self.hits
+
+
 class AsyncBlobStore:
     """Awaitable client front-end to a BlobSeer :class:`Cluster`.
 
@@ -190,6 +246,13 @@ class AsyncBlobStore:
         I/O.  Defaults to :class:`~repro.aio.AsyncRuntime` (event-loop
         mode: pipelined reads, overlapped writes, loop-parked SYNC).  The
         sync bridge injects a :class:`~repro.aio.SyncRuntime` instead.
+    peer_group:
+        Optional :class:`~repro.cache.PeerCacheGroup` of co-located
+        clients.  When given (and ``config.peer_caching`` is on) the store
+        joins with its node and page caches and probes the peers on every
+        own-cache miss before paying a DHT/provider round trip; peer hits
+        are counted in ``ReadStats.peer_cache_hits``.  Without a group the
+        read path is byte-for-byte the non-peer path.
 
     Use as an async context manager (``async with AsyncBlobStore(c) as s:``)
     or call :meth:`aclose` explicitly; a closed store raises
@@ -207,6 +270,7 @@ class AsyncBlobStore:
         lease_versions: bool = True,
         version_leases: LeaseCache | None = None,
         runtime: IORuntime | None = None,
+        peer_group: PeerCacheGroup | None = None,
     ):
         self._cluster = cluster
         self._vm = cluster.version_manager
@@ -237,6 +301,14 @@ class AsyncBlobStore:
         self._lease: LeaseCache | None = (
             (version_leases if version_leases is not None else cluster.version_leases)
             if lease_versions
+            else None
+        )
+        # Cooperative peer caching: join the group with THIS store's caches
+        # so probes can exclude them (own cache is always consulted first).
+        # ``peer_caching=False`` makes an attached group inert.
+        self._peers: PeerCacheMember | None = (
+            peer_group.join(node_cache=self._cache, page_cache=self._page_cache)
+            if peer_group is not None and cluster.config.peer_caching
             else None
         )
 
@@ -378,8 +450,18 @@ class AsyncBlobStore:
         page_offset, page_count = covering_page_range(offset, size, page_size)
         span = span_for_pages(pages_for_size(snapshot_size, page_size))
         tally = CacheTally()
+        # Speculation needs the pipelined descent (there is nothing to
+        # overlap level-by-level) and is opt-in; peer probing needs an
+        # attached group.  Both gates leave the default read path intact.
+        spec = (
+            _Speculation()
+            if self._cluster.config.speculative_prefetch and self._runtime.pipelined
+            else None
+        )
+        peer_tally = CacheTally() if self._peers is not None else None
         plan_result = await self._run_read_plan(
-            record, version, span, page_offset, page_count, tally
+            record, version, span, page_offset, page_count, tally,
+            spec=spec, peer_tally=peer_tally,
         )
 
         buffer = bytearray(size)
@@ -387,7 +469,8 @@ class AsyncBlobStore:
         page_tally = CacheTally()
         fault_tally = FaultTally()
         data_trips = await self._fetch_pages_into(
-            record, descriptors, buffer, offset, size, page_tally, fault_tally
+            record, descriptors, buffer, offset, size, page_tally, fault_tally,
+            peer_tally=peer_tally,
         )
         stats = ReadStats(
             version=version,
@@ -403,6 +486,9 @@ class AsyncBlobStore:
             vm_round_trips=vm_trips,
             failovers=fault_tally.failovers,
             degraded=fault_tally.degraded,
+            speculative_hits=spec.hits if spec is not None else 0,
+            speculative_wasted=spec.wasted if spec is not None else 0,
+            peer_cache_hits=peer_tally.hits if peer_tally is not None else 0,
         )
         return bytes(buffer), stats
 
@@ -936,13 +1022,20 @@ class AsyncBlobStore:
         page_offset: int,
         page_count: int,
         tally: CacheTally | None = None,
+        spec: _Speculation | None = None,
+        peer_tally: CacheTally | None = None,
     ) -> ReadPlanResult:
         if self._runtime.pipelined:
             walker = plan_walker(version, span, [(page_offset, page_count)])
-            return await self._pipelined_walk(record, walker, tally)
+            return await self._pipelined_walk(
+                record, walker, tally, spec=spec, peer_tally=peer_tally
+            )
         plan = read_plan(version, span, page_offset, page_count)
         return await adrive_plan(
-            plan, lambda refs: self._fetch_frontier(record, refs, tally)
+            plan,
+            lambda refs: self._fetch_frontier(
+                record, refs, tally, peer_tally=peer_tally
+            ),
         )
 
     async def _resolve_ranges(
@@ -953,6 +1046,9 @@ class AsyncBlobStore:
         page_ranges: list[tuple[int, int]],
         tally: CacheTally | None = None,
     ) -> ReadPlanResult:
+        # Write-path border reads: no speculation, no peer probes — border
+        # resolution is tiny (two boundary paths) and must stay identical
+        # across runtimes and toggles.
         if self._runtime.pipelined:
             walker = plan_walker(version, span, page_ranges)
             return await self._pipelined_walk(record, walker, tally)
@@ -966,6 +1062,7 @@ class AsyncBlobStore:
         record: BlobRecord,
         refs: list[NodeRef],
         tally: CacheTally | None = None,
+        peer_tally: CacheTally | None = None,
     ) -> list[TreeNode]:
         """Resolve one frontier of node fetches, branch lineage included.
 
@@ -973,8 +1070,12 @@ class AsyncBlobStore:
         served from the shared :class:`~repro.cache.NodeCache` and never
         enters the batch (tree nodes are immutable, so a cached copy is
         always valid), and a frontier of pure hits costs zero round trips.
-        The misses travel in one bucket-grouped multi-get and are inserted
-        into the cache on the way back.
+        With a peer group attached, the remaining misses then probe the
+        co-located peers' caches (identically to the pipelined walk, so the
+        two runtimes keep identical counters); only what the peers miss too
+        travels in one bucket-grouped multi-get and is inserted into the
+        cache on the way back — a frontier fully served by peers costs
+        zero round trips as well.
         """
         keys = [
             NodeKey(
@@ -984,6 +1085,10 @@ class AsyncBlobStore:
         ]
         cache_keys = [self._cluster.node_cache_key(key) for key in keys]
         nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
+        if miss_indices and peer_tally is not None:
+            miss_indices = self._peer_fill_nodes(
+                cache_keys, miss_indices, nodes, peer_tally
+            )
         if miss_indices:
             fetched = await self._meta.get_nodes_async(
                 [keys[index] for index in miss_indices], self._runtime
@@ -993,11 +1098,44 @@ class AsyncBlobStore:
             )
         return nodes
 
+    def _peer_fill_nodes(
+        self,
+        cache_keys: list,
+        miss_indices: list[int],
+        nodes: list,
+        peer_tally: CacheTally,
+    ) -> list[int]:
+        """Probe the peer group for own-cache misses; fill ``nodes`` in
+        place and return the indices the peers missed too.
+
+        Peer hits are write-through-cached locally (the next read serves
+        them without even the peer hop) and counted ONLY in ``peer_tally``:
+        they never travelled from the DHT, so the fetch/trip tallies — and
+        ``metadata_nodes_fetched`` — exclude them by construction.
+        """
+        if self._peers is None:
+            return miss_indices
+        remaining: list[int] = []
+        served: list[tuple] = []
+        for index in miss_indices:
+            node = self._peers.probe_node(cache_keys[index])
+            if node is None:
+                remaining.append(index)
+                continue
+            nodes[index] = node
+            served.append((cache_keys[index], node))
+            peer_tally.hits += 1
+        if served and self._cache is not None:
+            self._cache.put_many(served)
+        return remaining
+
     async def _pipelined_walk(
         self,
         record: BlobRecord,
         walker,
         tally: CacheTally | None = None,
+        spec: _Speculation | None = None,
+        peer_tally: CacheTally | None = None,
     ) -> ReadPlanResult:
         """Event-loop metadata descent: level N+1 starts before level N ends.
 
@@ -1014,10 +1152,49 @@ class AsyncBlobStore:
         (the sync driver issues those same per-bucket sub-batches inside one
         ``multi_get``), and hit/fetched tallies are per-node sums that do
         not depend on resolution order.
+
+        With a ``spec`` state, the walk additionally runs the *speculative
+        frontier prefetch* (DESIGN.md §9): the moment a level's misses are
+        known — BEFORE their fetch resolves — their wanted level-N+1 child
+        spans are predicted from geometry alone at the parent ref's version
+        (:meth:`~repro.metadata.read_plan.FrontierWalker.predicted_children`)
+        and issued as one miss-tolerant background multi-get.  When the
+        authoritative parent later confirms a predicted child as a real
+        miss, the already-in-flight result is consumed instead of starting
+        a fresh fetch, collapsing two levels of descent into one round-trip
+        latency.  Mispredictions surface as ``None`` slots and fall back to
+        the normal fetch path; leftover predictions are drained before
+        returning and never enter the node cache.  The trip/fetch tallies
+        are computed exactly as without speculation — a consumed prediction
+        IS the level's fetch — so only ``speculative_*`` counters differ.
         """
         runtime = self._runtime
         levels: set[int] = set()
         miss_levels: set[int] = set()
+
+        def issue_predictions(missed_refs: list[NodeRef]) -> None:
+            predictions: list[NodeKey] = []
+            for ref in missed_refs:
+                for child in walker.predicted_children(ref):
+                    key = NodeKey(
+                        resolve_owner(record, child.version),
+                        child.version,
+                        child.offset,
+                        child.size,
+                    )
+                    if key in spec.seen:
+                        continue
+                    spec.seen.add(key)
+                    predictions.append(key)
+            if not predictions:
+                return
+            spec.predicted += len(predictions)
+            handle = runtime.start(
+                self._meta.try_get_nodes_async(predictions, runtime)
+            )
+            spec.handles.append(handle)
+            for slot, key in enumerate(predictions):
+                spec.tasks[key] = (handle, slot)
 
         async def resolve(refs: list[NodeRef], level: int) -> None:
             levels.add(level)
@@ -1034,7 +1211,15 @@ class AsyncBlobStore:
             ]
             cache_keys = [self._cluster.node_cache_key(key) for key in keys]
             nodes, miss_indices = split_frontier(self._cache, cache_keys, tally)
+            if miss_indices and peer_tally is not None:
+                miss_indices = self._peer_fill_nodes(
+                    cache_keys, miss_indices, nodes, peer_tally
+                )
             walker.note_fetched(len(refs))
+            if spec is not None and miss_indices:
+                # Predict the misses' children NOW, before any fetch of this
+                # level resolves — that head start is the entire win.
+                issue_predictions([refs[index] for index in miss_indices])
             children: list[NodeRef] = []
             for ref, node in zip(refs, nodes):
                 if node is not None:
@@ -1042,12 +1227,34 @@ class AsyncBlobStore:
             branches = []
             if miss_indices:
                 miss_levels.add(level)
-                for group in self._meta.bucket_groups(
-                    [keys[index] for index in miss_indices]
-                ):
-                    positions = [miss_indices[g] for g in group]
+                spec_positions: list[int] = []
+                spec_entries: list[tuple[Handle, int]] = []
+                normal: list[int] = []
+                for index in miss_indices:
+                    entry = (
+                        spec.tasks.pop(keys[index], None)
+                        if spec is not None
+                        else None
+                    )
+                    if entry is None:
+                        normal.append(index)
+                    else:
+                        spec_positions.append(index)
+                        spec_entries.append(entry)
+                if normal:
+                    for group in self._meta.bucket_groups(
+                        [keys[index] for index in normal]
+                    ):
+                        positions = [normal[g] for g in group]
+                        branches.append(
+                            fetch_group(refs, keys, cache_keys, positions, level)
+                        )
+                if spec_positions:
                     branches.append(
-                        fetch_group(refs, keys, cache_keys, positions, level)
+                        consume_spec(
+                            refs, keys, cache_keys,
+                            spec_positions, spec_entries, level,
+                        )
                     )
             if children:
                 branches.append(resolve(children, level + 1))
@@ -1079,9 +1286,69 @@ class AsyncBlobStore:
             if children:
                 await resolve(children, level + 1)
 
+        async def consume_spec(
+            refs: list[NodeRef],
+            keys: list[NodeKey],
+            cache_keys: list,
+            positions: list[int],
+            entries: list[tuple[Handle, int]],
+            level: int,
+        ) -> None:
+            """Reconcile confirmed misses against their in-flight
+            predictions: a landed prediction is this level's fetch (cached,
+            tallied, expanded exactly like ``fetch_group``'s results); a
+            ``None`` slot was a misprediction and re-fetches normally."""
+            landed_positions: list[int] = []
+            landed_nodes: list[TreeNode] = []
+            fallback: list[int] = []
+            for position, (handle, slot) in zip(positions, entries):
+                batch = await handle.result()
+                node = batch[slot]
+                if node is None:
+                    fallback.append(position)
+                else:
+                    landed_positions.append(position)
+                    landed_nodes.append(node)
+            if landed_positions:
+                spec.hits += len(landed_positions)
+                if self._cache is not None:
+                    self._cache.put_many(
+                        [
+                            (cache_keys[position], node)
+                            for position, node in zip(
+                                landed_positions, landed_nodes
+                            )
+                        ]
+                    )
+                if tally is not None:
+                    tally.fetched += len(landed_positions)
+            children: list[NodeRef] = []
+            for position, node in zip(landed_positions, landed_nodes):
+                children.extend(walker.expand(refs[position], node))
+            branches = []
+            if fallback:
+                for group in self._meta.bucket_groups(
+                    [keys[index] for index in fallback]
+                ):
+                    positions2 = [fallback[g] for g in group]
+                    branches.append(
+                        fetch_group(refs, keys, cache_keys, positions2, level)
+                    )
+            if children:
+                branches.append(resolve(children, level + 1))
+            if branches:
+                await runtime.gather(*branches)
+
         roots = walker.root_refs()
         if roots:
             await resolve(roots, 0)
+        if spec is not None:
+            # Drain leftover predictions: the last wave's unconsumed tasks
+            # must not outlive the read (they would warn as never-awaited
+            # work on the loop).  Their results are dropped on the floor —
+            # wasted speculation never touches the node cache.
+            for handle in spec.handles:
+                await handle.result()
         if tally is not None:
             tally.trips += len(miss_levels)
         walker.result.round_trips = len(levels)
@@ -1194,14 +1461,17 @@ class AsyncBlobStore:
         size: int,
         page_tally: CacheTally | None = None,
         fault_tally: FaultTally | None = None,
+        peer_tally: CacheTally | None = None,
     ) -> int:
         """Fetch the needed byte range of every page into ``buffer`` with one
         batched multi-fetch per provider; return the batch count.  Ranges
         held by the shared page cache are deposited directly and never
         enter a provider batch — a fully cached read costs zero batches.
-        Each request carries its page's replica tuple, so a failed provider
-        batch fails over to the next live replica (counted in
-        ``fault_tally``) instead of failing the read.
+        With a peer group attached (``peer_tally`` given), ranges the own
+        cache missed then probe the co-located peers' page caches before
+        any provider wave.  Each request carries its page's replica tuple,
+        so a failed provider batch fails over to the next live replica
+        (counted in ``fault_tally``) instead of failing the read.
 
         Zero-copy assembly: each request carries a writable ``memoryview``
         slice of the (single) result buffer, so providers deposit page bytes
@@ -1224,6 +1494,13 @@ class AsyncBlobStore:
                  view[destination:destination + length])
             )
             failover.append(descriptor.provider_ids)
+        peer_lookup = None
+        if (
+            peer_tally is not None
+            and self._peers is not None
+            and self._page_cache is not None
+        ):
+            peer_lookup = self._peers.probe_page
         return await self._pm.multi_fetch_into_async(
             requests,
             self._runtime,
@@ -1232,4 +1509,6 @@ class AsyncBlobStore:
             tally=page_tally,
             failover=failover,
             fault_tally=fault_tally,
+            peer_lookup=peer_lookup,
+            peer_tally=peer_tally,
         )

@@ -156,6 +156,7 @@ class BlobStore:
         page_cache: PageCache | None = None,
         lease_versions: bool = True,
         version_leases: LeaseCache | None = None,
+        peer_group=None,
     ):
         self._runtime = SyncRuntime(parallel_io=parallel_io)
         self._engine = AsyncBlobStore(
@@ -168,6 +169,7 @@ class BlobStore:
             lease_versions=lease_versions,
             version_leases=version_leases,
             runtime=self._runtime,
+            peer_group=peer_group,
         )
         self._engine._display_name = type(self).__name__
         # Component handles mirrored for introspection/debugging parity with

@@ -107,6 +107,7 @@ class Cluster:
             strategy,
             retry_policy=self.retry_policy,
             health=self.provider_health,
+            routing=self.config.replica_routing,
         )
         for index in range(self.config.num_data_providers):
             provider_id = f"data-{index:04d}"
@@ -122,6 +123,7 @@ class Cluster:
             strategy=self.config.dht_strategy,
             replication=self.config.metadata_replication,
             retry_policy=self.retry_policy,
+            routing=self.config.replica_routing,
         )
         self.metadata_provider = MetadataProvider(
             self.dht, encode_values=self.config.encode_metadata

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import MetadataNotFoundError, ProviderUnavailableError
+from ..fault.routing import rank_replicas
 from .hashing import HashPlacement, make_placement
 from .storage import BucketStore
 
@@ -54,6 +55,7 @@ class DHT:
         replication: int = 1,
         bucket_id_prefix: str = "meta",
         retry_policy=None,
+        routing: bool = False,
     ):
         if num_buckets < 1:
             raise ValueError("num_buckets must be >= 1")
@@ -69,6 +71,15 @@ class DHT:
         # bucket call (transient errors only); None / a no-op policy keeps
         # the pre-fault-tolerance behaviour and timing.
         self._retry = retry_policy
+        # Replica routing (DESIGN.md §9): when enabled, lookups rank each
+        # key's replica buckets with buckets recently observed unavailable
+        # last, instead of always starting at replica 0.  Suspicion is
+        # learned from the lookups themselves (an unavailable outcome marks
+        # the bucket, a served batch clears it), so no external health
+        # registry is needed.  With no suspects the ranking is a stable
+        # no-op and the wave order is bit-identical to routing off.
+        self._routing = routing
+        self._suspect_buckets: set[str] = set()
 
     def _bucket_call(self, fn):
         if self._retry is not None and not self._retry.is_noop:
@@ -130,17 +141,37 @@ class DHT:
         the dead replica, so "not found" would wrongly report durable loss.
         """
         unavailable: ProviderUnavailableError | None = None
-        for bucket_id in self.buckets_for(key):
+        for bucket_id in self._ranked_buckets_for(key):
             bucket = self._buckets[bucket_id]
             try:
-                return self._bucket_call(lambda: bucket.get(key))
+                value = self._bucket_call(lambda: bucket.get(key))
             except ProviderUnavailableError as error:
                 unavailable = error
-            except MetadataNotFoundError:
+                self._note_bucket_unavailable(bucket_id)
                 continue
+            except MetadataNotFoundError:
+                self._note_bucket_served(bucket_id)
+                continue
+            self._note_bucket_served(bucket_id)
+            return value
         if unavailable is not None:
             raise unavailable
         raise MetadataNotFoundError(key)
+
+    def _ranked_buckets_for(self, key: str) -> tuple[str, ...]:
+        """Replica buckets of *key* in routing order (suspects last)."""
+        replicas = self.buckets_for(key)
+        if not self._routing or not self._suspect_buckets:
+            return tuple(replicas)
+        return rank_replicas(replicas, suspects=frozenset(self._suspect_buckets))
+
+    def _note_bucket_unavailable(self, bucket_id: str) -> None:
+        if self._routing:
+            self._suspect_buckets.add(bucket_id)
+
+    def _note_bucket_served(self, bucket_id: str) -> None:
+        if self._routing:
+            self._suspect_buckets.discard(bucket_id)
 
     def multi_put(self, items: list[tuple[str, object]], run_batches=None) -> None:
         """Store a batch of key/value pairs, grouping keys by replica bucket.
@@ -221,15 +252,57 @@ class DHT:
         self, keys: list[str], runtime: IORuntime
     ) -> list[object]:
         """Awaitable :meth:`multi_get` (see there for replica semantics)."""
+        values, unavailable = await self._resolve_replica_waves(keys, runtime)
+        for key in keys:
+            if key not in values:
+                if key in unavailable:
+                    raise unavailable[key]
+                raise MetadataNotFoundError(key)
+        return [values[key] for key in keys]
+
+    def try_multi_get(
+        self, keys: list[str], run_batches=None
+    ) -> list[object | None]:
+        """Miss-tolerant :meth:`multi_get`: absent keys yield ``None``.
+
+        Used by speculative prefetch (DESIGN.md §9), where most looked-up
+        keys may legitimately not exist: a missing key — including one
+        whose replicas were all unavailable — produces a ``None`` slot
+        instead of an exception, so a misprediction costs nothing but the
+        wasted lookup.  Never raises for per-key outcomes.
+        """
+        return run_sync(
+            self.try_multi_get_async(keys, ensure_runtime(run_batches))
+        )
+
+    async def try_multi_get_async(
+        self, keys: list[str], runtime: IORuntime
+    ) -> list[object | None]:
+        """Awaitable :meth:`try_multi_get`."""
+        values, _unavailable = await self._resolve_replica_waves(keys, runtime)
+        return [values.get(key) for key in keys]
+
+    async def _resolve_replica_waves(
+        self, keys: list[str], runtime: IORuntime
+    ) -> tuple[dict[str, object], dict[str, ProviderUnavailableError]]:
+        """Resolve *keys* replica wave by replica wave.
+
+        Returns ``(values, unavailable)``: the served values and, for keys
+        no live replica served, the sticky unavailability observed on the
+        way (see :meth:`multi_get` for why a live miss does not erase it).
+        With replica routing enabled each key walks its replicas in ranked
+        order (suspect buckets last) instead of placement order.
+        """
         values: dict[str, object] = {}
         unavailable: dict[str, ProviderUnavailableError] = {}
         pending = list(dict.fromkeys(keys))
+        ranked = {key: self._ranked_buckets_for(key) for key in pending}
         for attempt in range(self._replication):
             if not pending:
                 break
             by_bucket: dict[str, list[str]] = {}
             for key in pending:
-                replicas = self.buckets_for(key)
+                replicas = ranked[key]
                 if attempt < len(replicas):
                     by_bucket.setdefault(replicas[attempt], []).append(key)
 
@@ -246,12 +319,14 @@ class DHT:
                 capture=(ProviderUnavailableError,),
             )
             retry: list[str] = []
-            for (_bucket_id, bucket_keys), outcome in zip(groups, outcomes):
+            for (bucket_id, bucket_keys), outcome in zip(groups, outcomes):
                 if isinstance(outcome, ProviderUnavailableError):
+                    self._note_bucket_unavailable(bucket_id)
                     for key in bucket_keys:
                         unavailable[key] = outcome
                     retry.extend(bucket_keys)
                     continue
+                self._note_bucket_served(bucket_id)
                 found, missing = outcome
                 values.update(found)
                 for key in found:
@@ -264,12 +339,7 @@ class DHT:
                 # "not found".
                 retry.extend(missing)
             pending = retry
-        for key in keys:
-            if key not in values:
-                if key in unavailable:
-                    raise unavailable[key]
-                raise MetadataNotFoundError(key)
-        return [values[key] for key in keys]
+        return values, unavailable
 
     def primary_groups(self, keys: list[str]) -> list[list[int]]:
         """Group key positions by primary replica bucket, preserving order.

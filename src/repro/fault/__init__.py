@@ -10,16 +10,20 @@ the fault-tolerance extensions the reproduction adds on the data leg
 * :class:`ProviderHealth` — a consecutive-failure suspicion registry that
   steers page allocation away from providers that keep failing;
 * :class:`RepairService` — a background scan that re-replicates pages that
-  lost copies to provider churn, reporting a :class:`RepairReport`.
+  lost copies to provider churn, reporting a :class:`RepairReport`;
+* :func:`rank_replicas` — the shared replica-routing score (locality
+  first, suspects last) used by the DHT and data read paths.
 """
 
 from .health import ProviderHealth
 from .repair import RepairReport, RepairService
 from .retry import RetryPolicy
+from .routing import rank_replicas
 
 __all__ = [
     "ProviderHealth",
     "RepairReport",
     "RepairService",
     "RetryPolicy",
+    "rank_replicas",
 ]

@@ -101,6 +101,44 @@ class MetadataProvider:
         )
         return [self._as_node(key, value) for key, value in zip(keys, values)]
 
+    def try_get_nodes(
+        self, keys: list[NodeKey], run_batches=None
+    ) -> list[TreeNode | None]:
+        """Miss-tolerant :meth:`get_nodes`: absent nodes yield ``None``.
+
+        The speculative-prefetch path (DESIGN.md §9) looks up *predicted*
+        node keys that may not exist; a misprediction must surface as a
+        ``None`` slot, never as an exception.  Unavailable replicas count
+        as missing too — speculation never fails a read.
+        """
+        values = self._dht.try_multi_get(
+            [key.to_string() for key in keys], run_batches=run_batches
+        )
+        return self._as_optional_nodes(keys, values)
+
+    async def try_get_nodes_async(
+        self, keys: list[NodeKey], runtime: IORuntime
+    ) -> list[TreeNode | None]:
+        """Awaitable :meth:`try_get_nodes`."""
+        values = await self._dht.try_multi_get_async(
+            [key.to_string() for key in keys], runtime
+        )
+        return self._as_optional_nodes(keys, values)
+
+    def _as_optional_nodes(
+        self, keys: list[NodeKey], values: list[object | None]
+    ) -> list[TreeNode | None]:
+        nodes: list[TreeNode | None] = []
+        for key, value in zip(keys, values):
+            if value is None:
+                nodes.append(None)
+                continue
+            try:
+                nodes.append(self._as_node(key, value))
+            except MetadataNotFoundError:
+                nodes.append(None)
+        return nodes
+
     def bucket_groups(self, keys: list[NodeKey]) -> list[list[int]]:
         """Key positions grouped by primary DHT bucket (placement stays in
         the provider); the pipelined traversal fetches each group as its own

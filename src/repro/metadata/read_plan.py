@@ -195,6 +195,32 @@ class FrontierWalker:
             children.append(NodeRef(node.right_version, right_offset, right_size))
         return children
 
+    def predicted_children(self, ref: NodeRef) -> list[NodeRef]:
+        """Guess the child refs of an *unresolved* inner ref (speculation).
+
+        The speculative-prefetch path (DESIGN.md §9) wants to fetch level
+        N+1 before level N has resolved, so it cannot consult the parent's
+        child-version pointers.  The geometry of the child spans is fully
+        determined by ``ref`` alone, and inside the subtree of a single
+        update every node carries the update's version — so predicting
+        ``child.version == ref.version`` is exact whenever the requested
+        window does not cross an update boundary at this level.  Wrong
+        guesses surface as DHT misses and are simply discarded; the
+        authoritative :meth:`expand` of the fetched parent always decides
+        the real frontier.
+        """
+        if is_leaf_range(ref.offset, ref.size):
+            return []
+        (left_offset, left_size), (right_offset, right_size) = children_of(
+            ref.offset, ref.size
+        )
+        children: list[NodeRef] = []
+        if self._wanted(left_offset, left_size):
+            children.append(NodeRef(ref.version, left_offset, left_size))
+        if self._wanted(right_offset, right_size):
+            children.append(NodeRef(ref.version, right_offset, right_size))
+        return children
+
 
 def plan_walker(
     root_version: int, span: int, ranges: Sequence[tuple[int, int]]

@@ -8,6 +8,7 @@ from collections.abc import Sequence
 
 from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import NoProvidersError, ShortReadError
+from ..fault.routing import rank_replicas
 from .allocation import AllocationStrategy, RoundRobinAllocation
 from .data_provider import DataProvider
 
@@ -46,6 +47,7 @@ class ProviderManager:
         strategy: AllocationStrategy | None = None,
         retry_policy=None,
         health=None,
+        routing: bool = False,
     ):
         self._strategy = strategy if strategy is not None else RoundRobinAllocation()
         self._providers: dict[str, DataProvider] = {}
@@ -53,6 +55,12 @@ class ProviderManager:
         self._lock = threading.Lock()
         self._retry = retry_policy
         self._health = health
+        # Replica routing (DESIGN.md §9): with ``routing=True`` replicated
+        # fetches walk each page's replica set in ranked order — health
+        # suspects last — instead of recorded order, and failover requeues
+        # re-rank the untried tail against the CURRENT suspect set.  With
+        # no suspects the ranking is a stable no-op.
+        self._routing = routing
 
     @property
     def health(self):
@@ -223,6 +231,42 @@ class ProviderManager:
             note_failure=self._note_failure,
         )
 
+    def _ranked(self, replicas: tuple[str, ...]) -> tuple[str, ...]:
+        """Replica tuple of one page in routing order (suspects last).
+
+        A no-op — returning the recorded order unchanged — when routing is
+        off, the page has a single home, no health registry is wired, or
+        nothing is suspect, so the default deployment's wave order (and the
+        perf-gate's pinned counters) cannot drift.
+        """
+        if not self._routing or len(replicas) <= 1 or self._health is None:
+            return replicas
+        suspects = self._health.suspects()
+        if not suspects:
+            return replicas
+        return rank_replicas(replicas, suspects=suspects)
+
+    def _rerank_requeued(self, entry: list) -> None:
+        """Re-rank a failed-over entry's UNTRIED replica tail.
+
+        The wave that just failed may have pushed the next-in-line replica
+        over the suspicion threshold; blindly walking the original order
+        would then hop straight onto a provider known to be failing.  Only
+        the untried tail is reordered — replicas already charged as tried
+        keep their positions so failover accounting stays stable.
+        """
+        if not self._routing or self._health is None:
+            return
+        untried = entry[3][entry[4] :]
+        if len(untried) <= 1:
+            return
+        suspects = self._health.suspects()
+        if not suspects:
+            return
+        entry[3] = entry[3][: entry[4]] + rank_replicas(
+            untried, suspects=suspects
+        )
+
     def multi_fetch(
         self,
         requests: Sequence[tuple[str, str, int, int | None]],
@@ -283,6 +327,8 @@ class ProviderManager:
         tally=None,
         failover: Sequence[tuple[str, ...]] | None = None,
         fault_tally: FaultTally | None = None,
+        peer_lookup=None,
+        peer_tally=None,
     ) -> int:
         """Zero-copy variant of :meth:`multi_fetch`: each
         ``(provider_id, page_id, offset, out)`` request carries a writable
@@ -322,6 +368,14 @@ class ProviderManager:
         Without ``failover`` — or with single-replica tuples — one failed
         batch fails the call, exactly the pre-replication behaviour.
 
+        ``peer_lookup`` (``peer_lookup(cache_key) -> bytes | None``, see
+        :class:`repro.cache.PeerCacheGroup`) is consulted for each request
+        the OWN cache missed, *before* any provider wave: a peer hit is
+        deposited into the destination view, write-through-cached locally
+        and counted in ``peer_tally`` — it never travels from a provider
+        and never counts in ``tally.fetched``.  Requires the cache path
+        (``cache`` + ``cache_key``) so the probe keys exist.
+
         Loop-free bridge over :meth:`multi_fetch_into_async`.
         """
         return run_sync(
@@ -333,6 +387,8 @@ class ProviderManager:
                 tally=tally,
                 failover=failover,
                 fault_tally=fault_tally,
+                peer_lookup=peer_lookup,
+                peer_tally=peer_tally,
             )
         )
 
@@ -345,9 +401,12 @@ class ProviderManager:
         tally=None,
         failover: Sequence[tuple[str, ...]] | None = None,
         fault_tally: FaultTally | None = None,
+        peer_lookup=None,
+        peer_tally=None,
     ) -> int:
-        """Awaitable :meth:`multi_fetch_into` (see there for cache and
-        failover semantics); per-provider batches execute on *runtime*."""
+        """Awaitable :meth:`multi_fetch_into` (see there for cache, peer
+        and failover semantics); per-provider batches execute on
+        *runtime*."""
         if not requests:
             return 0
         misses: Sequence[tuple[str, str, int, memoryview]] = requests
@@ -377,15 +436,46 @@ class ProviderManager:
                 tally.hits += len(requests) - len(misses)
             if not misses:
                 return 0
+            if peer_lookup is not None:
+                # Cooperative peer caching (DESIGN.md §9): a co-located
+                # client's cache is one cheap hop away — probe it for each
+                # own-cache miss before paying a provider round.  Peer hits
+                # are deposited directly, cached locally, and never enter a
+                # provider wave (so they count in ``peer_tally``, not in
+                # ``tally.fetched``).
+                kept_misses, kept_keys, kept_failover = [], [], []
+                for index, (request, key) in enumerate(zip(misses, miss_keys)):
+                    value = peer_lookup(key)
+                    if value is None:
+                        kept_misses.append(request)
+                        kept_keys.append(key)
+                        if miss_failover is not None:
+                            kept_failover.append(miss_failover[index])
+                        continue
+                    out = request[3]
+                    out[:] = value
+                    cache.put(key, bytes(value))
+                    if peer_tally is not None:
+                        peer_tally.hits += 1
+                misses, miss_keys = kept_misses, kept_keys
+                if miss_failover is not None:
+                    miss_failover = kept_failover
+                if not misses:
+                    return 0
         # One entry per outstanding miss: [page_id, offset, out, replicas,
-        # next-replica index].  Requests whose batch fails re-enter the next
-        # wave pointed at their next replica.
+        # next-replica index, recorded primary].  Requests whose batch fails
+        # re-enter the next wave pointed at their next replica.  The replica
+        # order is ranked (suspects last) when routing is enabled; the
+        # recorded primary is kept so ``degraded`` still means "served by a
+        # non-primary replica" whatever order the replicas were tried in.
         outstanding: list[list] = []
         for index, (provider_id, page_id, offset, out) in enumerate(misses):
             replicas: tuple[str, ...] = (provider_id,)
             if miss_failover is not None and miss_failover[index]:
                 replicas = tuple(miss_failover[index])
-            outstanding.append([page_id, offset, out, replicas, 0])
+            outstanding.append(
+                [page_id, offset, out, self._ranked(replicas), 0, replicas[0]]
+            )
         total_trips = 0
         first_error: Exception | None = None
         while outstanding:
@@ -417,7 +507,7 @@ class ProviderManager:
                 if error is None:
                     if fault_tally is not None:
                         fault_tally.degraded += sum(
-                            1 for entry in batch if entry[4] > 0
+                            1 for entry in batch if provider_id != entry[5]
                         )
                     continue
                 for entry in batch:
@@ -425,6 +515,7 @@ class ProviderManager:
                     if entry[4] < len(entry[3]):
                         if fault_tally is not None:
                             fault_tally.failovers += 1
+                        self._rerank_requeued(entry)
                         requeued.append(entry)
                     elif first_error is None:
                         first_error = error

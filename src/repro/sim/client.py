@@ -18,7 +18,7 @@ from ..errors import InvalidRangeError
 from ..metadata.build import border_plan, border_targets, build_nodes
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import Frontier, NodeKey, PageDescriptor
-from ..metadata.read_plan import read_plan
+from ..metadata.read_plan import plan_walker, read_plan
 from ..util.ranges import covering_page_range
 from ..version.records import CompletionNotice, RegisterRequest, resolve_owner
 from .deployment import SimDeployment
@@ -79,6 +79,28 @@ class ReadOutcome:
     #: skip the provider NIC pipes entirely, so a fully cached read reports
     #: ``data_round_trips == 0``.
     page_cache_hits: int = 0
+    #: Tree nodes whose DHT fetch was issued SPECULATIVELY — predicted from
+    #: the requested range's geometry one level before the authoritative
+    #: parent resolved (DESIGN.md §9) — and then consumed by the traversal.
+    #: These nodes still count in ``metadata_nodes_fetched`` and their
+    #: frontiers in ``metadata_round_trips``; speculation changes when the
+    #: fetch *starts*, never what is fetched.  Always 0 with
+    #: ``speculative_prefetch`` off.
+    speculative_hits: int = 0
+    #: Speculative fetches the traversal never consumed (the guessed child
+    #: span or version was wrong, or the node was cached after all).  Pure
+    #: over-fetch: the wasted nodes burn NIC time but are NOT counted in
+    #: ``metadata_nodes_fetched`` and never enter the metadata cache.
+    speculative_wasted: int = 0
+    #: Page ranges served by a co-located PEER machine's page cache
+    #: (cooperative peer caching, DESIGN.md §9) — one cheap peer hop
+    #: instead of a provider round.  Disjoint from ``page_cache_hits``
+    #: (own machine) and not counted in ``data_round_trips``.
+    peer_cache_hits: int = 0
+    #: Simulated seconds the read spent in its metadata descent — the
+    #: cold-path latency that speculative prefetch attacks; ~0 on a warm
+    #: (fully cached) traversal.
+    meta_latency: float = 0.0
     #: Version-manager round trips: 1 when the publication check travelled
     #: to the VM node, 0 when the machine's version lease served it — the
     #: warm repeated-read regime skips the VM entirely.  Note the sim has
@@ -104,6 +126,21 @@ class ReadOutcome:
         """Page-cache hits over all page ranges this read needed."""
         return (
             self.page_cache_hits / self.pages_fetched
+            if self.pages_fetched
+            else 0.0
+        )
+
+    @property
+    def speculative_hit_rate(self) -> float:
+        """Consumed speculative fetches over all speculative fetches."""
+        predicted = self.speculative_hits + self.speculative_wasted
+        return self.speculative_hits / predicted if predicted else 0.0
+
+    @property
+    def peer_cache_hit_rate(self) -> float:
+        """Peer-served page ranges over all page ranges this read needed."""
+        return (
+            self.peer_cache_hits / self.pages_fetched
             if self.pages_fetched
             else 0.0
         )
@@ -155,14 +192,19 @@ class SimClient:
         # Phase 1: store the pages on providers chosen by the provider
         # manager — one allocation request, then ONE batched multi-page push
         # per provider, all providers in parallel (Algorithm 2, line 4).
+        # With page_replication > 1 every replica gets its own push, so the
+        # writer honestly pays the replication bandwidth.
         yield from net.small_rpc(
             self.node, dep.pmgr_node, cfg.version_manager_service_time
         )
-        provider_ids = dep.provider_manager.allocate(page_count)
-        page_ids = [dep.cluster._ids.next_page_id() for _ in provider_ids]
+        replica_sets = dep.provider_manager.allocate_replicas(
+            page_count, dep.config.page_replication
+        )
+        page_ids = [dep.cluster._ids.next_page_id() for _ in replica_sets]
         by_provider: dict[str, list[str]] = {}
-        for page_id, provider_id in zip(page_ids, provider_ids):
-            by_provider.setdefault(provider_id, []).append(page_id)
+        for page_id, replicas in zip(page_ids, replica_sets):
+            for provider_id in replicas:
+                by_provider.setdefault(provider_id, []).append(page_id)
         transfers = [
             sim.process(
                 net.multi_push(
@@ -179,7 +221,8 @@ class SimClient:
         data_round_trips = dep.provider_manager.multi_store_virtual(
             [
                 (provider_id, page_id, page_size)
-                for page_id, provider_id in zip(page_ids, provider_ids)
+                for page_id, replicas in zip(page_ids, replica_sets)
+                for provider_id in replicas
             ]
         )
 
@@ -196,10 +239,11 @@ class SimClient:
             PageDescriptor(
                 page_index=ticket.page_offset + index,
                 page_id=page_id,
-                provider_id=provider_id,
+                provider_id=replicas[0],
                 length=page_size,
+                provider_ids=replicas,
             )
-            for index, (page_id, provider_id) in enumerate(zip(page_ids, provider_ids))
+            for index, (page_id, replicas) in enumerate(zip(page_ids, replica_sets))
         ]
 
         # Phase 3: resolve border nodes by descending the published tree.
@@ -313,15 +357,22 @@ class SimClient:
 
         page_offset, page_count = covering_page_range(offset, size, page_size)
         span = span_for_pages(pages_for_size(snapshot_size, page_size))
-        plan = read_plan(version, span, page_offset, page_count)
-        plan_result, tally = yield from self._drive_plan_timed(record, plan)
+        meta_start = sim.now
+        plan_result, tally, spec_hits, spec_wasted = (
+            yield from self._timed_read_descent(
+                record, version, span, page_offset, page_count
+            )
+        )
+        meta_latency = sim.now - meta_start
 
         # Consult the machine's page cache BEFORE building provider
         # batches: a cached range is served locally in zero simulated time
         # (pages are immutable, so the copy can never be stale) and never
-        # enters a batch.  The misses travel with ONE batched multi-page
-        # request per provider, all providers in parallel — the data-path
-        # counterpart of the batched metadata frontiers above — and are
+        # enters a batch.  Own-cache misses then probe co-located PEER
+        # machines' page caches (one cheap hop, DESIGN.md §9) before the
+        # remainder travels with ONE batched multi-page request per chosen
+        # replica provider, all providers in parallel — the data-path
+        # counterpart of the batched metadata frontiers above — and is
         # write-through-cached on the way back, so the repeated-read
         # regime skips the providers entirely.
         requests = [
@@ -347,12 +398,36 @@ class SimClient:
             # by memory_bandwidth instead of the NIC — orders of magnitude
             # faster, not infinitely fast.
             yield sim.timeout(hit_bytes / cfg.memory_bandwidth)
+        peer_cache_hits = 0
+        by_peer: dict = {}  # serving peer SimNode -> [lengths]
+        local_lengths: list[int] = []  # replica on this machine: no NIC
         by_provider: dict[str, list[int]] = {}
-        for (descriptor, _key), value in zip(requests, cached):
-            if value is None:
-                by_provider.setdefault(descriptor.provider_id, []).append(
-                    min(descriptor.length, page_size)
-                )
+        route = dep.config.replica_routing
+        probe_peers = dep.has_peer_caches(self.node)
+        for (descriptor, key), value in zip(requests, cached):
+            if value is not None:
+                continue
+            length = min(descriptor.length, page_size)
+            if probe_peers:
+                peer = dep.peer_page_source(key, self.node)
+                if peer is not None:
+                    by_peer.setdefault(peer, []).append(length)
+                    peer_cache_hits += 1
+                    continue
+            replicas = descriptor.provider_ids
+            if route and len(replicas) > 1:
+                # Cache-aware replica routing (DESIGN.md §9): a replica on
+                # this very machine is served over the memory bus instead
+                # of the NIC; otherwise readers deterministically spread
+                # across the replica set instead of hammering replica 0.
+                nodes = [dep.node_for_provider(pid) for pid in replicas]
+                if self.node in nodes:
+                    local_lengths.append(length)
+                    continue
+                chosen = replicas[self.index % len(replicas)]
+            else:
+                chosen = descriptor.provider_id
+            by_provider.setdefault(chosen, []).append(length)
         fetches = [
             sim.process(
                 net.multi_fetch(
@@ -365,6 +440,22 @@ class SimClient:
             )
             for provider_id, lengths in by_provider.items()
         ]
+        fetches.extend(
+            sim.process(
+                net.peer_fetch(self.node, peer, sum(lengths), len(lengths))
+            )
+            for peer, lengths in by_peer.items()
+        )
+        if local_lengths:
+            fetches.append(
+                sim.process(
+                    net.local_fetch(
+                        sum(local_lengths),
+                        len(local_lengths),
+                        item_service_time=cfg.page_service_time,
+                    )
+                )
+            )
         yield sim.all_of([process.event for process in fetches])
         if self._page_cache is not None:
             self._page_cache.put_many(
@@ -386,6 +477,10 @@ class SimClient:
             metadata_cache_hits=tally.hits,
             page_cache_hits=page_cache_hits,
             vm_round_trips=vm_trips,
+            speculative_hits=spec_hits,
+            speculative_wasted=spec_wasted,
+            peer_cache_hits=peer_cache_hits,
+            meta_latency=meta_latency,
         )
 
     # --------------------------------------------------------------- internals
@@ -471,3 +566,171 @@ class SimClient:
                 request = plan.send(nodes if batched else nodes[0])
         except StopIteration as stop:
             return stop.value, tally
+
+    def _meta_server_for_key(self, key: NodeKey):
+        """The machine a READ fetches ``key`` from, with cache-aware
+        replica routing (DESIGN.md §9).
+
+        With ``replica_routing`` on and a replicated metadata DHT, a bucket
+        replica hosted on THIS machine wins (the node is served over the
+        memory bus); otherwise clients deterministically spread across the
+        replica set by their index instead of all hammering the primary.
+        Unreplicated deployments (and routing off) keep the primary —
+        bit-identical to the pre-routing model.
+        """
+        dep = self._dep
+        if not (
+            dep.config.replica_routing and dep.config.metadata_replication > 1
+        ):
+            return dep.metadata_node_for_key(key)
+        buckets = dep.cluster.dht.buckets_for(key.to_string())
+        nodes = [dep.node_for_bucket(bucket) for bucket in buckets]
+        for node in nodes:
+            if node is self.node:
+                return node
+        return nodes[self.index % len(nodes)]
+
+    def _spawn_meta_fetches(self, keys):
+        """Spawn one timed batched node fetch per chosen serving machine.
+
+        Returns ``[(process, keys_of_batch), ...]``; when cache-aware
+        replica routing is active (replicated DHT, ``replica_routing`` on),
+        a batch served by THIS machine's co-located metadata provider
+        travels over the memory bus
+        (:meth:`~repro.sim.network.Network.local_fetch`) instead of the
+        NIC.  Unreplicated deployments always pay the NIC — bit-identical
+        to the pre-routing model even when a bucket's primary happens to
+        live on the client's machine.
+        """
+        dep = self._dep
+        sim = dep.simulator
+        net = dep.network
+        cfg = dep.sim_config
+        routed = dep.config.replica_routing and dep.config.metadata_replication > 1
+        by_node: dict = {}
+        for key in keys:
+            by_node.setdefault(self._meta_server_for_key(key), []).append(key)
+        spawned = []
+        for server, group in by_node.items():
+            count = len(group)
+            if routed and server is self.node:
+                exchange = net.local_fetch(
+                    cfg.metadata_node_size * count,
+                    count,
+                    item_service_time=cfg.metadata_service_time,
+                )
+            else:
+                exchange = net.fetch(
+                    self.node,
+                    server,
+                    cfg.metadata_node_size * count,
+                    service_time=cfg.metadata_service_time * count,
+                )
+            spawned.append((sim.process(exchange), group))
+        return spawned
+
+    def _timed_read_descent(self, record, version, span, page_offset, page_count):
+        """The READ traversal of Algorithm 3 with the cold-path treatment
+        of DESIGN.md §9: cache-aware replica routing for every node fetch
+        and (when ``speculative_prefetch`` is on) speculative frontier
+        prefetch.
+
+        Speculation predicts the wanted children of every missed frontier
+        ref from the requested range's geometry
+        (:meth:`~repro.metadata.read_plan.FrontierWalker.predicted_children`)
+        and spawns their fetches BEFORE waiting on the parents' frontier.
+        When the next frontier arrives, misses whose fetch is already in
+        flight just join the running process — typically finished, because
+        it departed one round trip earlier — so the descent covers two
+        tree levels per round-trip latency instead of one.  Wrong guesses
+        keep burning their NIC time in the background but are never waited
+        on, never cached and never counted in the traversal tally: the
+        authoritative plan decides what is fetched, speculation only moves
+        the start time.  Returns ``(plan_result, tally, hits, wasted)``.
+        """
+        dep = self._dep
+        sim = dep.simulator
+        meta = dep.metadata_provider
+        cache = self._node_cache
+        cluster = dep.cluster
+        tally = CacheTally()
+        predictor = (
+            plan_walker(version, span, [(page_offset, page_count)])
+            if dep.config.speculative_prefetch and page_count > 0
+            else None
+        )
+        inflight: dict = {}  # NodeKey -> running speculative fetch process
+        seen: set = set()  # every key ever predicted (dedupe)
+        spec_hits = 0
+        spec_predicted = 0
+        plan = read_plan(version, span, page_offset, page_count)
+        try:
+            request = next(plan)
+            while True:
+                batched = isinstance(request, Frontier)
+                refs = list(request.refs) if batched else [request]
+                keys = [
+                    NodeKey(
+                        resolve_owner(record, ref.version),
+                        ref.version,
+                        ref.offset,
+                        ref.size,
+                    )
+                    for ref in refs
+                ]
+                cache_keys = [cluster.node_cache_key(key) for key in keys]
+                nodes, miss_indices = split_frontier(cache, cache_keys, tally)
+                if miss_indices:
+                    miss_keys = [keys[index] for index in miss_indices]
+                    if predictor is not None:
+                        # Predict the misses' children NOW, before this
+                        # frontier's own fetch departs — that head start is
+                        # the entire win.
+                        predictions = []
+                        for index in miss_indices:
+                            for child in predictor.predicted_children(
+                                refs[index]
+                            ):
+                                child_key = NodeKey(
+                                    resolve_owner(record, child.version),
+                                    child.version,
+                                    child.offset,
+                                    child.size,
+                                )
+                                if child_key in seen:
+                                    continue
+                                seen.add(child_key)
+                                predictions.append(child_key)
+                        spec_predicted += len(predictions)
+                        for process, group in self._spawn_meta_fetches(
+                            predictions
+                        ):
+                            for child_key in group:
+                                inflight[child_key] = process
+                    waits = []
+                    normal_keys = []
+                    for key in miss_keys:
+                        process = inflight.pop(key, None)
+                        if process is None:
+                            normal_keys.append(key)
+                        else:
+                            spec_hits += 1
+                            if process not in waits:
+                                waits.append(process)
+                    waits.extend(
+                        process
+                        for process, _group in self._spawn_meta_fetches(
+                            normal_keys
+                        )
+                    )
+                    yield sim.all_of([process.event for process in waits])
+                    fetched = meta.get_nodes(miss_keys)
+                    complete_frontier(
+                        cache, cache_keys, miss_indices, fetched, nodes, tally
+                    )
+                request = plan.send(nodes if batched else nodes[0])
+        except StopIteration as stop:
+            # Wasted speculative fetches (wrong version guess, or the node
+            # was cached after all) keep running in the background — their
+            # NIC cost is honest over-fetch — but nobody waits on them.
+            return stop.value, tally, spec_hits, spec_predicted - spec_hits

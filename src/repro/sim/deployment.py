@@ -134,6 +134,11 @@ class SimDeployment:
         num_metadata_providers: int | None = None,
         allocation_strategy: str = "round_robin",
         co_locate_clients: bool = False,
+        page_replication: int = 1,
+        metadata_replication: int | None = None,
+        speculative_prefetch: bool = False,
+        replica_routing: bool = True,
+        peer_caching: bool = True,
     ):
         self.sim_config = sim_config if sim_config is not None else SimConfig()
         self.co_deploy_metadata = co_deploy_metadata
@@ -147,6 +152,11 @@ class SimDeployment:
             num_data_providers=num_provider_nodes,
             num_metadata_providers=num_metadata_providers,
             allocation_strategy=allocation_strategy,
+            page_replication=page_replication,
+            metadata_replication=metadata_replication,
+            speculative_prefetch=speculative_prefetch,
+            replica_routing=replica_routing,
+            peer_caching=peer_caching,
         )
         self.cluster = Cluster(
             self.config, page_store_factory=lambda _pid: NullPageStore()
@@ -204,6 +214,18 @@ class SimDeployment:
                 for index in range(self.config.num_metadata_providers)
             ]
         self._client_nodes = {}
+        # Name -> node map for the current simulator epoch: machine caches
+        # are keyed by node NAME and outlive reset_timing, so the peer-cache
+        # probe needs a way back from a cache's machine name to the epoch's
+        # live SimNode.
+        self._nodes_by_name = {
+            node.name: node
+            for node in (
+                [self.vm_node, self.pmgr_node]
+                + self._provider_nodes
+                + self._metadata_nodes
+            )
+        }
         # The VM-side group-commit offices are bound to the simulator, so
         # they are rebuilt with it; their batches flow through the service's
         # multi-ops, so VMStats accumulate across timing resets.
@@ -223,7 +245,47 @@ class SimDeployment:
             else:
                 node = SimNode(self.simulator, f"client-{index:04d}")
             self._client_nodes[index] = node
+            self._nodes_by_name[node.name] = node
         return node
+
+    def peer_page_source(self, cache_key, own_node: SimNode) -> SimNode | None:
+        """Machine whose page cache holds ``cache_key`` — the simulated
+        cooperative peer-cache probe (DESIGN.md §9).
+
+        Consults every OTHER machine's page cache (never ``own_node``'s —
+        the read path has already checked it), returning the serving
+        machine so the caller can charge a timed :meth:`Network.peer_fetch`
+        against its NIC.  When several machines hold the range, the
+        requester picks one deterministically by its own machine name, so
+        a popular range's load diffuses over the holder set instead of
+        hammering whichever machine cached it first.  Returns None when no
+        peer holds the range or the deployment config disables
+        ``peer_caching``.  Like the real
+        :class:`~repro.cache.PeerCacheGroup`, a hit legitimately refreshes
+        the serving caches' LRU recency and hit counters.
+        """
+        if not self.config.peer_caching:
+            return None
+        own = self._page_caches.get(own_node.name)
+        holders = []
+        for name, cache in self._page_caches.items():
+            if name == own_node.name or cache is own:
+                continue
+            if cache.get(cache_key) is not None:
+                node = self._nodes_by_name.get(name)
+                if node is not None:
+                    holders.append(node)
+        if not holders:
+            return None
+        # A stable per-requester choice (hash() is salted per process and
+        # would make runs irreproducible).
+        return holders[sum(own_node.name.encode()) % len(holders)]
+
+    def has_peer_caches(self, own_node: SimNode) -> bool:
+        """True when some OTHER machine has a page cache worth probing."""
+        if not self.config.peer_caching:
+            return False
+        return any(name != own_node.name for name in self._page_caches)
 
     def node_cache_for(self, node: SimNode) -> NodeCache:
         """The metadata node cache of the machine hosting ``node``.
@@ -393,23 +455,27 @@ class SimDeployment:
                 "untimed appends must be a positive multiple of the page size"
             )
         page_count = nbytes // page_size
-        provider_ids = self.provider_manager.allocate(page_count)
+        replica_sets = self.provider_manager.allocate_replicas(
+            page_count, self.config.page_replication
+        )
         ticket = vm.register_update(blob_id, nbytes, is_append=True)
         descriptors = []
-        for index, provider_id in enumerate(provider_ids):
+        for index, replicas in enumerate(replica_sets):
             page_id = self.cluster._ids.next_page_id()
             descriptors.append(
                 PageDescriptor(
                     page_index=ticket.page_offset + index,
                     page_id=page_id,
-                    provider_id=provider_id,
+                    provider_id=replicas[0],
                     length=page_size,
+                    provider_ids=replicas,
                 )
             )
         self.provider_manager.multi_store_virtual(
             [
-                (descriptor.provider_id, descriptor.page_id, page_size)
+                (provider_id, descriptor.page_id, page_size)
                 for descriptor in descriptors
+                for provider_id in descriptor.provider_ids
             ]
         )
         needed, dangling = border_targets(

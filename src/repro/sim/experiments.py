@@ -71,6 +71,25 @@ class ReadConcurrencySample:
     avg_cache_hit_rate: float = 0.0
     #: Page cache hit rate of the cold pass (~0 on a cold start).
     avg_page_cache_hit_rate: float = 0.0
+    #: Simulated seconds the cold pass spent in its metadata descent,
+    #: averaged over the readers — the serialized cold-path latency that
+    #: speculative frontier prefetch attacks (DESIGN.md §9).
+    avg_meta_latency: float = 0.0
+    #: Speculatively fetched tree nodes the cold traversals consumed /
+    #: never consumed, averaged per read (0 with ``speculative_prefetch``
+    #: off).  Hits still count in ``avg_metadata_nodes_fetched``; wasted
+    #: nodes are pure over-fetch and count nowhere else.
+    avg_speculative_hits: float = 0.0
+    avg_speculative_wasted: float = 0.0
+    #: Consumed speculative fetches over ALL speculative fetches of the
+    #: cold pass (aggregated over the readers, not a mean of ratios).
+    speculative_hit_rate: float = 0.0
+    #: Page ranges served by a co-located peer machine's cache during the
+    #: cold pass, averaged per read, and their share of all page ranges
+    #: (aggregated over the readers).  ~0 for disjoint-chunk readers; the
+    #: ABL-coldpath popular-chunk scenario is where peers shine.
+    avg_peer_cache_hits: float = 0.0
+    peer_cache_hit_rate: float = 0.0
     #: Warm repeated-read pass (zeros unless ``measure_warm=True``).
     warm_avg_bandwidth_mbps: float = 0.0
     warm_avg_metadata_nodes_fetched: float = 0.0
@@ -152,6 +171,11 @@ def run_read_concurrency_experiment(
     co_locate_clients: bool = True,
     populate_append_bytes: int | None = None,
     measure_warm: bool = False,
+    page_replication: int = 1,
+    metadata_replication: int | None = None,
+    speculative_prefetch: bool = False,
+    replica_routing: bool = True,
+    peer_caching: bool = True,
 ) -> list[ReadConcurrencySample]:
     """Concurrent-reader throughput on disjoint chunks (Figure 2(b)).
 
@@ -166,6 +190,12 @@ def run_read_concurrency_experiment(
     readers immediately re-read the same ranges on fresh NICs but warm
     caches, filling the sample's ``warm_*`` fields — the repeated-read
     regime where metadata traversals skip the DHT entirely.
+
+    The replication and cold-path knobs (``page_replication``,
+    ``metadata_replication``, ``speculative_prefetch``,
+    ``replica_routing``, ``peer_caching``) pass straight through to the
+    :class:`SimDeployment`'s :class:`~repro.config.BlobSeerConfig`; the
+    defaults reproduce the single-home, non-speculative model exactly.
     """
     if max(reader_counts) * chunk_bytes > blob_bytes:
         raise ValueError(
@@ -176,6 +206,11 @@ def run_read_concurrency_experiment(
         page_size=page_size,
         sim_config=sim_config,
         co_locate_clients=co_locate_clients,
+        page_replication=page_replication,
+        metadata_replication=metadata_replication,
+        speculative_prefetch=speculative_prefetch,
+        replica_routing=replica_routing,
+        peer_caching=peer_caching,
     )
     blob_id = deployment.create_blob()
     version = deployment.populate_blob(
@@ -204,6 +239,9 @@ def run_read_concurrency_experiment(
     def mean(values) -> float:
         values = list(values)
         return sum(values) / len(values)
+
+    def _ratio(numerator: float, denominator: float) -> float:
+        return numerator / denominator if denominator else 0.0
 
     samples: list[ReadConcurrencySample] = []
     for readers in reader_counts:
@@ -239,6 +277,29 @@ def run_read_concurrency_experiment(
                 ),
                 avg_page_cache_hit_rate=mean(
                     outcome.page_cache_hit_rate for outcome in outcomes
+                ),
+                avg_meta_latency=mean(
+                    outcome.meta_latency for outcome in outcomes
+                ),
+                avg_speculative_hits=mean(
+                    outcome.speculative_hits for outcome in outcomes
+                ),
+                avg_speculative_wasted=mean(
+                    outcome.speculative_wasted for outcome in outcomes
+                ),
+                speculative_hit_rate=_ratio(
+                    sum(outcome.speculative_hits for outcome in outcomes),
+                    sum(
+                        outcome.speculative_hits + outcome.speculative_wasted
+                        for outcome in outcomes
+                    ),
+                ),
+                avg_peer_cache_hits=mean(
+                    outcome.peer_cache_hits for outcome in outcomes
+                ),
+                peer_cache_hit_rate=_ratio(
+                    sum(outcome.peer_cache_hits for outcome in outcomes),
+                    sum(outcome.pages_fetched for outcome in outcomes),
                 ),
                 warm_avg_bandwidth_mbps=(
                     mean(outcome.bandwidth / MiB for outcome in warm)

@@ -181,6 +181,62 @@ class Network:
         yield self._sim.timeout(self._config.latency)
         yield pipe.use(duration)
 
+    def local_fetch(
+        self,
+        nbytes: int,
+        count: int,
+        item_service_time: float = 0.0,
+    ) -> Generator[Event, object, None]:
+        """Serve ``count`` items totalling ``nbytes`` from a provider (or
+        DHT bucket) hosted on the REQUESTER'S OWN machine.
+
+        The cache-aware replica routing of DESIGN.md §9 prefers a
+        co-located replica: the payload never touches a NIC — it crosses
+        the machine's memory bus at ``memory_bandwidth``, exactly like a
+        page-cache hit — and only the serving process's per-item service
+        time remains.  No NIC pipe is occupied, so local serving neither
+        queues behind nor delays remote flows.
+        """
+        if count <= 0:
+            return
+        config = self._config
+        yield self._sim.timeout(
+            item_service_time * count + nbytes / config.memory_bandwidth
+        )
+
+    def peer_fetch(
+        self,
+        requester: SimNode,
+        server: SimNode,
+        nbytes: int,
+        count: int,
+    ) -> Generator[Event, object, None]:
+        """Fetch ``count`` immutable cached items totalling ``nbytes`` from
+        a co-located PEER's cache (cooperative peer caching, DESIGN.md §9).
+
+        Shaped like :meth:`multi_fetch` but with the peer-protocol costs:
+        one ``peer_rpc_overhead`` framing instead of the metadata RPC
+        framing, and ``peer_page_time`` per item — a cache lookup plus a
+        buffer handoff — instead of the provider's service and marshalling
+        share.  Payload bytes still cross both NICs at ``nic_bandwidth``;
+        the win over a provider round is purely the software path, plus
+        whatever queueing the (busy) providers would have added.
+        """
+        if count <= 0:
+            return
+        config = self._config
+        item_serialization = nbytes / count / config.nic_bandwidth
+        self.bytes_moved += nbytes
+        yield requester.tx.use(config.peer_rpc_overhead)
+        yield self._sim.timeout(config.latency)
+        deliveries = []
+        for index in range(count):
+            yield server.tx.use(config.peer_page_time + item_serialization)
+            deliveries.append(
+                self._sim.process(self._deliver(requester.rx, item_serialization))
+            )
+        yield self._sim.all_of([process.event for process in deliveries])
+
     def small_rpc(
         self,
         src: SimNode,

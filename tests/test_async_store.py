@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from dataclasses import replace
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -336,6 +337,63 @@ class TestAsyncSyncEquivalence:
 
         async_outcomes = asyncio.run(run_async())
         assert async_outcomes == sync_outcomes
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(operations=history_strategy)
+    def test_equivalence_extends_to_cold_path_counters(self, operations):
+        """The same property under the cold-path config (DESIGN.md §9):
+        with ``speculative_prefetch`` on, the sync bridge cannot pipeline
+        (its speculation gate stays closed) while the async store
+        speculates — yet every outcome still matches field for field once
+        the async side's ``speculative_*`` pair, its ONLY permitted
+        divergence, is zeroed.  The other new counters (``failovers``,
+        ``degraded``, ``peer_cache_hits``) must agree at exactly zero on a
+        healthy, peer-less run."""
+
+        def cold_cluster():
+            return Cluster.in_memory(
+                num_data_providers=4,
+                num_metadata_providers=4,
+                page_size=TEST_PAGE_SIZE,
+                speculative_prefetch=True,
+            )
+
+        sync_store = BlobStore(
+            cold_cluster(), node_cache=NodeCache(), page_cache=PageCache()
+        )
+        sync_outcomes = asyncio.run(
+            _drive_history(_SyncAsAsync(sync_store), operations)
+        )
+
+        async def run_async():
+            async with AsyncBlobStore(
+                cold_cluster(), node_cache=NodeCache(), page_cache=PageCache()
+            ) as store:
+                return await _drive_history(store, operations)
+
+        async_outcomes = asyncio.run(run_async())
+        assert len(async_outcomes) == len(sync_outcomes)
+        for async_outcome, sync_outcome in zip(async_outcomes, sync_outcomes):
+            if not isinstance(async_outcome, tuple):  # WriteResult
+                assert async_outcome == sync_outcome
+                continue
+            (async_data, async_stats) = async_outcome
+            (sync_data, sync_stats) = sync_outcome
+            assert async_data == sync_data
+            assert sync_stats.speculative_hits == 0
+            assert sync_stats.speculative_wasted == 0
+            normalized = replace(
+                async_stats, speculative_hits=0, speculative_wasted=0
+            )
+            assert normalized == sync_stats
+            for stats in (async_stats, sync_stats):
+                assert stats.failovers == 0
+                assert stats.degraded == 0
+                assert stats.peer_cache_hits == 0
 
     def test_cold_read_counters_match_exactly(self):
         """Deterministic spot check (no hypothesis): a cold multi-level read

@@ -4,9 +4,12 @@ The heavy experiment content itself is covered by the ``benchmarks/`` suite;
 here we verify the harness plumbing with the smallest presets.
 """
 
+import json
+
 import pytest
 
-from repro.bench.cli import build_parser, main
+from repro.bench.ablations import run_ablation_coldpath
+from repro.bench.cli import _baseline_rows, _print_deltas, build_parser, main
 from repro.bench.fig2a import run_fig2a, shape_checks as fig2a_checks
 from repro.bench.fig2b import run_fig2b, shape_checks as fig2b_checks
 from repro.bench.runner import ExperimentResult, check_scale, format_table
@@ -46,10 +49,64 @@ class TestFigureHarnesses:
         result = run_fig2b("small")
         checks = fig2b_checks(result)
         assert all(checks.values()), checks
+        # The cold-path columns (DESIGN.md §9) must be present and sane:
+        # speculation's over-fetch bound is also a named shape check.
+        assert {
+            "speculation_overfetch_bounded",
+            "speculation_mostly_useful",
+        } <= checks.keys()
+        for row in result.rows:
+            assert row["cold_meta_latency"] > 0.0
+            assert 0.0 <= row["speculative_hit_rate"] <= 1.0
+            assert row["peer_cache_hit_rate"] == 0.0  # disjoint chunks
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
             run_fig2a("galactic")
+
+
+class TestColdPathAblation:
+    """ABL-coldpath pins the acceptance claims of the cold-path PR: each
+    piece individually non-regressing, the peer probe free when useless,
+    and the hot-page flash crowd genuinely served by peers."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        result = run_ablation_coldpath("small")
+        return {
+            (row["workload"], row["regime"]): row for row in result.rows
+        }
+
+    def test_each_piece_is_individually_non_regressing(self, rows):
+        base = rows[("disjoint-chunks", "baseline")]
+        for regime in ("+prefetch", "+routing", "+peer", "all-on"):
+            row = rows[("disjoint-chunks", regime)]
+            assert row["avg_bandwidth_mbps"] >= base["avg_bandwidth_mbps"]
+
+    def test_prefetch_cuts_cold_metadata_latency(self, rows):
+        base = rows[("disjoint-chunks", "baseline")]
+        spec = rows[("disjoint-chunks", "+prefetch")]
+        assert spec["cold_meta_latency"] < base["cold_meta_latency"]
+        assert spec["speculative_hit_rate"] >= 0.9
+
+    def test_routing_cuts_provider_trips(self, rows):
+        base = rows[("disjoint-chunks", "baseline")]
+        routed = rows[("disjoint-chunks", "+routing")]
+        assert routed["data_trips_per_read"] < base["data_trips_per_read"]
+
+    def test_useless_peer_probing_is_free(self, rows):
+        # Disjoint readers never share pages: +peer must be BIT-identical
+        # to the baseline, proving the probe itself costs nothing.
+        base = rows[("disjoint-chunks", "baseline")]
+        peer = rows[("disjoint-chunks", "+peer")]
+        assert peer == {**base, "regime": "+peer"}
+
+    def test_hot_page_flash_crowd_is_served_by_peers(self, rows):
+        off = rows[("hot-page", "peer-off")]
+        on = rows[("hot-page", "peer-on")]
+        assert on["peer_cache_hit_rate"] == 1.0
+        assert on["data_trips_per_read"] == 0.0
+        assert on["avg_bandwidth_mbps"] > off["avg_bandwidth_mbps"]
 
 
 class TestCli:
@@ -67,3 +124,54 @@ class TestCli:
         output = capsys.readouterr().out
         assert "ABL-space" in output
         assert "fullcopy_bytes" in output
+
+
+class TestBaselineDeltas:
+    """The ``--baseline BENCH_prN.json`` delta table of the CLI."""
+
+    @staticmethod
+    def snapshot(tmp_path, rows):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(
+            json.dumps(
+                {"scales": {"small": {"fig2b_rows": {"after": rows}}}}
+            )
+        )
+        return path
+
+    def test_baseline_rows_prefers_the_after_side(self, tmp_path):
+        path = self.snapshot(tmp_path, [{"readers": 1, "x": 2.0}])
+        assert _baseline_rows(path, "fig2b", "small") == [
+            {"readers": 1, "x": 2.0}
+        ]
+        # An uncovered experiment/scale is a None, not an error.
+        assert _baseline_rows(path, "fig2a", "small") is None
+        assert _baseline_rows(path, "fig2b", "paper") is None
+
+    def test_unreadable_baseline_is_a_clean_exit(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot read baseline"):
+            _baseline_rows(bad, "fig2b", "small")
+
+    def test_print_deltas_matches_rows_and_formats_percentages(self, capsys):
+        baseline = [{"readers": 1, "avg_bandwidth_mbps": 100.0}]
+        current = [
+            {"readers": 1, "avg_bandwidth_mbps": 125.0},
+            {"readers": 99, "avg_bandwidth_mbps": 1.0},  # unmatched: skipped
+        ]
+        _print_deltas("fig2b", current, baseline)
+        output = capsys.readouterr().out
+        assert "[readers=1]" in output
+        assert "+25.0%" in output
+        assert "readers=99" not in output
+
+    def test_main_reports_a_baseline_without_rows(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path, [{"readers": 1}])
+        assert (
+            main(
+                ["ablation-space", "--scale", "small", "--baseline", str(path)]
+            )
+            == 0
+        )
+        assert "no ablation-space rows" in capsys.readouterr().out
