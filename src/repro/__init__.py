@@ -77,7 +77,16 @@ Package layout:
   used for the paper's throughput experiments.
 * :mod:`repro.baselines` — centralized-metadata and full-copy baselines.
 * :mod:`repro.bench` — harnesses regenerating the paper's figures.
+* :mod:`repro.obs` — observability: span tracing, the process-wide metrics
+  registry and its exporters (``python -m repro.obs dump``); opt-in via
+  ``BlobSeerConfig(tracing=True)``, bit-identical no-op when off.
+
+Logging: every module logs under the ``repro.*`` hierarchy; the package
+root carries a :class:`logging.NullHandler`, so nothing is printed unless
+the application configures handlers (e.g. ``logging.basicConfig``).
 """
+
+import logging as _logging
 
 from .cache import (
     CacheStats,
@@ -88,7 +97,14 @@ from .cache import (
 )
 from .config import BlobSeerConfig, SimConfig, GRID5000_PROFILE, KiB, MiB, GiB
 from .core import AsyncBlobStore, Blob, BlobStore, Cluster
-from .fault import ProviderHealth, RepairReport, RepairService, RetryPolicy
+from .fault import (
+    HealthStats,
+    ProviderHealth,
+    RepairReport,
+    RepairService,
+    RepairStats,
+    RetryPolicy,
+)
 from .vm import LeaseCache, VersionManagerService, VMStats
 from .errors import (
     BlobSeerError,
@@ -102,6 +118,11 @@ from .errors import (
 
 __version__ = "1.0.0"
 
+# The library never configures logging for the application: modules log
+# under ``repro.*`` and the root of the hierarchy swallows records until
+# the application attaches its own handlers.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 __all__ = [
     "AsyncBlobStore",
     "Blob",
@@ -113,9 +134,11 @@ __all__ = [
     "shared_node_cache",
     "shared_page_cache",
     "BlobSeerConfig",
+    "HealthStats",
     "ProviderHealth",
     "RepairReport",
     "RepairService",
+    "RepairStats",
     "RetryPolicy",
     "LeaseCache",
     "VersionManagerService",

@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         "that the snapshot covers, print a per-row delta table (baseline "
         "-> current, percent change) against its rows at --scale",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="after the experiments, run a traced single-reader pass "
+        "(tracing=True) and print a per-leg latency breakdown for a cold "
+        "and a warm read — wall clock against an in-memory cluster, then "
+        "virtual clock against the simulated testbed",
+    )
     return parser
 
 
@@ -109,6 +117,18 @@ def _baseline_rows(path: Path, name: str, scale: str) -> list[dict] | None:
     return section
 
 
+def format_delta(then: float, value: float) -> str:
+    """Percent change of ``then -> value``, safe at a zero baseline.
+
+    A zero baseline cannot anchor a percentage: those cells read ``new``
+    when the metric appeared and ``+0.0%`` when both sides are zero —
+    never ``inf``, ``nan`` or a ZeroDivisionError.
+    """
+    if then:
+        return f"{(float(value) / float(then) - 1.0) * 100:+.1f}%"
+    return "new" if value else "+0.0%"
+
+
 def _print_deltas(name: str, rows: list[dict], baseline: list[dict]) -> None:
     """Print the per-row, per-metric delta table against a baseline."""
     match_keys = _BASELINE_MATCH_KEYS.get(name, ())
@@ -130,11 +150,99 @@ def _print_deltas(name: str, rows: list[dict], baseline: list[dict]) -> None:
             then = base.get(metric)
             if not isinstance(then, (int, float)):
                 continue
-            if then:
-                delta = f"{(float(value) / float(then) - 1.0) * 100:+.1f}%"
-            else:
-                delta = "new" if value else "+0.0%"
+            delta = format_delta(then, value)
             print(f"    {metric:<28} {then:>12.4f} -> {value:>12.4f}  {delta}")
+
+
+#: Blob size (in pages) for the traced single-reader pass, by scale.
+_TRACE_PAGES = {"small": 8, "default": 32, "paper": 128}
+
+
+def _leg_table(rows: list[tuple[str, dict[str, float], dict[str, int]]]) -> str:
+    """Format cold/warm rows of per-leg durations (already in ms)."""
+    legs = sorted({leg for _label, durations, _counts in rows for leg in durations})
+    header = "  row  " + "".join(f"{leg + '_ms':>16}" for leg in legs)
+    lines = [header]
+    for label, durations, counts in rows:
+        cells = "".join(f"{durations.get(leg, 0.0):>16.3f}" for leg in legs)
+        spans = ", ".join(
+            f"{name} x{count}" for name, count in sorted(counts.items())
+        )
+        lines.append(f"  {label:<5}{cells}    [{spans}]")
+    return "\n".join(lines)
+
+
+def _trace_legs(tracer, unit_scale: float) -> tuple[dict[str, float], dict[str, int]]:
+    """Per-leg durations and span counts of the LAST trace in the buffer.
+
+    Direct children of the root span are the legs; their durations are
+    summed per name (a read with several metadata levels has several
+    ``meta.fetch`` spans) and the root's own duration appears as
+    ``total``.  ``unit_scale`` converts the tracer's clock units to ms.
+    """
+    roots = [item for item in tracer.spans() if item.parent_id is None]
+    root = roots[-1]
+    members = [item for item in tracer.spans() if item.trace_id == root.trace_id]
+    durations = {"total": root.duration * unit_scale}
+    counts: dict[str, int] = {}
+    for item in members:
+        if item.parent_id == root.span_id:
+            key = item.name.rsplit(".", 1)[1] if "." in item.name else item.name
+            durations[key] = durations.get(key, 0.0) + item.duration * unit_scale
+        if item is not root:
+            counts[item.name] = counts.get(item.name, 0) + 1
+    return durations, counts
+
+
+def _print_trace_breakdown(scale: str) -> None:
+    """Run one traced reader cold and warm and print the leg breakdown.
+
+    Two passes: wall clock against a real in-memory cluster (the spans
+    the async core emits through the ``contextvars`` helper), then
+    virtual clock against the simulated testbed (the retroactive spans
+    the sim client records from ``simulator.now``).
+    """
+    from ..config import KiB
+    from ..core.blob_store import BlobStore
+    from ..core.cluster import Cluster
+    from ..obs import Tracer
+    from ..sim.client import SimClient
+    from ..sim.deployment import SimDeployment
+
+    pages = _TRACE_PAGES.get(scale, _TRACE_PAGES["small"])
+    page_size = 4 * KiB
+    nbytes = pages * page_size
+
+    cluster = Cluster.in_memory(
+        num_data_providers=8,
+        num_metadata_providers=8,
+        page_size=page_size,
+        tracing=True,
+    )
+    rows = []
+    with BlobStore(cluster) as store:
+        blob_id = store.create()
+        version = store.append(blob_id, b"\xa5" * nbytes)
+        for label in ("cold", "warm"):
+            cluster.tracer.clear()
+            store.read(blob_id, version, 0, nbytes)
+            rows.append((label, *_trace_legs(cluster.tracer, 1000.0)))
+    print(f"traced read breakdown, wall clock ({pages} pages, in-memory):")
+    print(_leg_table(rows))
+
+    deployment = SimDeployment(num_provider_nodes=8, page_size=page_size)
+    deployment.tracer = Tracer(clock=lambda: deployment.simulator.now)
+    blob_id = deployment.create_blob()
+    sim_version = deployment.populate_blob(blob_id, nbytes)
+    rows = []
+    for label in ("cold", "warm"):
+        deployment.tracer.clear()
+        deployment.simulator.run_process(
+            SimClient(deployment, 0).read_process(blob_id, sim_version, 0, nbytes)
+        )
+        rows.append((label, *_trace_legs(deployment.tracer, 1000.0)))
+    print(f"traced read breakdown, sim virtual clock ({pages} pages):")
+    print(_leg_table(rows))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,6 +264,9 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(f"deltas vs {args.baseline} ({args.scale}):")
                 _print_deltas(name, result.rows, baseline)
+        print()
+    if args.trace:
+        _print_trace_breakdown(args.scale)
         print()
     return 0
 

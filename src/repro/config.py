@@ -172,6 +172,14 @@ class BlobSeerConfig:
         caches for immutable nodes and pages before paying a provider
         round trip (``ReadStats.peer_cache_hits``).  Inert unless a peer
         group is attached.
+    tracing:
+        When True, the cluster creates a :class:`repro.obs.Tracer` and
+        registers its components as pull sources of the process-wide
+        :class:`repro.obs.MetricsRegistry`; every store operation then
+        opens a root span whose children cover the version-manager,
+        metadata and data legs (DESIGN.md §11).  Off by default — the
+        disabled path records nothing, registers nothing, and leaves
+        every counter and timing bit-identical.
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
@@ -201,6 +209,7 @@ class BlobSeerConfig:
     speculative_prefetch: bool = False
     replica_routing: bool = True
     peer_caching: bool = True
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         _require(is_power_of_two(self.page_size),

@@ -43,6 +43,7 @@ components, same accounting.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..aio import AsyncRuntime, Handle, IORuntime
@@ -67,6 +68,7 @@ from ..metadata.read_plan import (
     plan_walker,
     read_plan,
 )
+from ..obs.trace import span
 from ..providers.provider_manager import FaultTally
 from ..util.ranges import covering_page_range, is_aligned
 from ..version.records import BlobRecord, UpdateTicket, resolve_owner
@@ -311,6 +313,36 @@ class AsyncBlobStore:
             if peer_group is not None and cluster.config.peer_caching
             else None
         )
+        # Observability (DESIGN.md §11): on a traced cluster, operations
+        # open root spans and publish their result structs as metrics; an
+        # attached peer group additionally becomes a registry pull source.
+        if cluster.metrics is not None and peer_group is not None:
+            cluster.metrics.register_source(
+                "repro.cache.peer",
+                peer_group,
+                lambda group: group.stats(),
+                {"cluster": cluster.cache_namespace},
+            )
+
+    # ----------------------------------------------------------- observability
+    def _trace_root(self, name: str, **attrs):
+        """A root-span context on a traced cluster, ``nullcontext`` (yielding
+        None) otherwise — the only per-operation cost of disabled tracing."""
+        tracer = self._cluster.tracer
+        if tracer is None:
+            return nullcontext()
+        return tracer.trace(name, **attrs)
+
+    def _publish_op_metrics(self, op: str, stats, root) -> None:
+        """Feed one operation's result struct into the metrics registry."""
+        metrics = self._cluster.metrics
+        if metrics is None:
+            return
+        labels = {"cluster": self._cluster.cache_namespace}
+        prefix = f"repro.{op}"
+        metrics.inc(f"{prefix}.ops", 1, labels)
+        metrics.count_fields(prefix, stats, labels, skip=("version",))
+        metrics.observe(f"{prefix}.latency_seconds", root.duration, labels)
 
     # --------------------------------------------------------------- lifecycle
     def _ensure_open(self) -> None:
@@ -352,13 +384,25 @@ class AsyncBlobStore:
         return (await self.write_ex(blob_id, data, offset)).version
 
     async def write_ex(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
+        with self._trace_root(
+            "write", blob_id=blob_id, offset=offset, nbytes=len(data)
+        ) as root:
+            result = await self._write_ex_impl(blob_id, data, offset)
+        if root is not None:
+            self._publish_op_metrics("write", result, root)
+        return result
+
+    async def _write_ex_impl(
+        self, blob_id: str, data: bytes, offset: int
+    ) -> WriteResult:
         self._ensure_open()
         data = bytes(data)
         if offset < 0:
             raise InvalidRangeError(f"negative write offset: {offset}")
         if not data:
             raise InvalidRangeError("WRITE requires a non-empty buffer")
-        record, vm_trips = self._get_record(blob_id)
+        with span("write.vm"):
+            record, vm_trips = self._get_record(blob_id)
         page_size = record.page_size
 
         if is_aligned(offset, len(data), page_size) and not self._strict_unaligned:
@@ -377,12 +421,22 @@ class AsyncBlobStore:
         return (await self.append_ex(blob_id, data)).version
 
     async def append_ex(self, blob_id: str, data: bytes) -> WriteResult:
+        with self._trace_root("append", blob_id=blob_id, nbytes=len(data)) as root:
+            result = await self._append_ex_impl(blob_id, data)
+        if root is not None:
+            self._publish_op_metrics("write", result, root)
+        return result
+
+    async def _append_ex_impl(self, blob_id: str, data: bytes) -> WriteResult:
         self._ensure_open()
         data = bytes(data)
         if not data:
             raise InvalidRangeError("APPEND requires a non-empty buffer")
-        record, vm_trips = self._get_record(blob_id)
-        ticket = self._vm.register_update(record.blob_id, len(data), is_append=True)
+        with span("write.vm"):
+            record, vm_trips = self._get_record(blob_id)
+            ticket = self._vm.register_update(
+                record.blob_id, len(data), is_append=True
+            )
         vm_trips += 1  # the (group-committed) ticket registration
         try:
             reference_version: int | None = None
@@ -390,9 +444,10 @@ class AsyncBlobStore:
                 # The append starts inside the tail page of the previous
                 # snapshot: wait for it so the boundary bytes are exact.
                 try:
-                    await self._runtime.vm_sync(
-                        self._vm, record.blob_id, ticket.version - 1
-                    )
+                    with span("write.vm.sync", version=ticket.version - 1):
+                        await self._runtime.vm_sync(
+                            self._vm, record.blob_id, ticket.version - 1
+                        )
                     reference_version = ticket.version - 1
                 except UpdateAbortedError:
                     # The predecessor became a hole: its size already fell
@@ -432,11 +487,23 @@ class AsyncBlobStore:
     async def read_ex(
         self, blob_id: str, version: int, offset: int, size: int
     ) -> tuple[bytes, ReadStats]:
+        with self._trace_root(
+            "read", blob_id=blob_id, version=version, offset=offset, size=size
+        ) as root:
+            data, stats = await self._read_ex_impl(blob_id, version, offset, size)
+        if root is not None:
+            self._publish_op_metrics("read", stats, root)
+        return data, stats
+
+    async def _read_ex_impl(
+        self, blob_id: str, version: int, offset: int, size: int
+    ) -> tuple[bytes, ReadStats]:
         self._ensure_open()
         if offset < 0 or size < 0:
             raise InvalidRangeError(f"negative read offset/size ({offset}, {size})")
-        record, vm_trips = self._get_record(blob_id)
-        snapshot_size, check_trips = self._published_size(blob_id, version)
+        with span("read.vm"):
+            record, vm_trips = self._get_record(blob_id)
+            snapshot_size, check_trips = self._published_size(blob_id, version)
         vm_trips += check_trips
         if offset + size > snapshot_size:
             raise InvalidRangeError(
@@ -448,7 +515,7 @@ class AsyncBlobStore:
 
         page_size = record.page_size
         page_offset, page_count = covering_page_range(offset, size, page_size)
-        span = span_for_pages(pages_for_size(snapshot_size, page_size))
+        tree_span = span_for_pages(pages_for_size(snapshot_size, page_size))
         tally = CacheTally()
         # Speculation needs the pipelined descent (there is nothing to
         # overlap level-by-level) and is opt-in; peer probing needs an
@@ -459,19 +526,21 @@ class AsyncBlobStore:
             else None
         )
         peer_tally = CacheTally() if self._peers is not None else None
-        plan_result = await self._run_read_plan(
-            record, version, span, page_offset, page_count, tally,
-            spec=spec, peer_tally=peer_tally,
-        )
+        with span("read.meta"):
+            plan_result = await self._run_read_plan(
+                record, version, tree_span, page_offset, page_count, tally,
+                spec=spec, peer_tally=peer_tally,
+            )
 
         buffer = bytearray(size)
         descriptors = plan_result.sorted_descriptors()
         page_tally = CacheTally()
         fault_tally = FaultTally()
-        data_trips = await self._fetch_pages_into(
-            record, descriptors, buffer, offset, size, page_tally, fault_tally,
-            peer_tally=peer_tally,
-        )
+        with span("read.data", pages=len(descriptors)):
+            data_trips = await self._fetch_pages_into(
+                record, descriptors, buffer, offset, size, page_tally,
+                fault_tally, peer_tally=peer_tally,
+            )
         stats = ReadStats(
             version=version,
             bytes_read=size,
@@ -828,9 +897,10 @@ class AsyncBlobStore:
         planned: list[PageDescriptor],
     ) -> tuple[list[PageDescriptor], int]:
         try:
-            landed, store_trips = await self._pm.multi_store_replicated_async(
-                items, self._runtime
-            )
+            with span("write.store", pages=len(items)):
+                landed, store_trips = await self._pm.multi_store_replicated_async(
+                    items, self._runtime
+                )
         except Exception:
             self._discard_pages(planned)
             raise
@@ -897,7 +967,10 @@ class AsyncBlobStore:
         )
         tally = CacheTally()
         try:
-            spec = await self._resolve_borders(record, ticket, needed, dangling, tally)
+            with span("write.borders"):
+                spec = await self._resolve_borders(
+                    record, ticket, needed, dangling, tally
+                )
         except Exception:
             await self._reap(pending.handle)
             raise
@@ -922,12 +995,19 @@ class AsyncBlobStore:
         if pending.handle.done():
             descriptors, store_trips = await pending.handle.result()
             items = build_items(descriptors)
-            await self._meta.put_nodes_async(items, self._runtime)
+            with span("write.publish", nodes=len(items)):
+                await self._meta.put_nodes_async(items, self._runtime)
         else:
             items = build_items(pending.planned)
-            publish = self._runtime.start(
-                self._meta.put_nodes_async(items, self._runtime)
-            )
+
+            async def overlapped_publish(
+                publish_items: list[tuple[NodeKey, TreeNode]],
+            ) -> None:
+                with span("write.publish", nodes=len(publish_items),
+                          overlapped=True):
+                    await self._meta.put_nodes_async(publish_items, self._runtime)
+
+            publish = self._runtime.start(overlapped_publish(items))
             try:
                 descriptors, store_trips = await pending.handle.result()
             except Exception:
@@ -936,9 +1016,11 @@ class AsyncBlobStore:
             await publish.result()
             fixups = self._degraded_fixups(items, pending.planned, descriptors)
             if fixups:
-                await self._meta.put_nodes_async(
-                    [(key, node) for _index, key, node in fixups], self._runtime
-                )
+                with span("write.publish.fixup", nodes=len(fixups)):
+                    await self._meta.put_nodes_async(
+                        [(key, node) for _index, key, node in fixups],
+                        self._runtime,
+                    )
                 publish_trips += 1
                 for index, key, node in fixups:
                     items[index] = (key, node)
@@ -1090,9 +1172,10 @@ class AsyncBlobStore:
                 cache_keys, miss_indices, nodes, peer_tally
             )
         if miss_indices:
-            fetched = await self._meta.get_nodes_async(
-                [keys[index] for index in miss_indices], self._runtime
-            )
+            with span("meta.fetch", nodes=len(miss_indices)):
+                fetched = await self._meta.get_nodes_async(
+                    [keys[index] for index in miss_indices], self._runtime
+                )
             complete_frontier(
                 self._cache, cache_keys, miss_indices, fetched, nodes, tally
             )
@@ -1189,9 +1272,12 @@ class AsyncBlobStore:
             if not predictions:
                 return
             spec.predicted += len(predictions)
-            handle = runtime.start(
-                self._meta.try_get_nodes_async(predictions, runtime)
-            )
+
+            async def speculative_fetch(keys: list[NodeKey]):
+                with span("meta.speculate", nodes=len(keys)):
+                    return await self._meta.try_get_nodes_async(keys, runtime)
+
+            handle = runtime.start(speculative_fetch(predictions))
             spec.handles.append(handle)
             for slot, key in enumerate(predictions):
                 spec.tasks[key] = (handle, slot)
@@ -1268,9 +1354,10 @@ class AsyncBlobStore:
             positions: list[int],
             level: int,
         ) -> None:
-            fetched = await self._meta.get_nodes_async(
-                [keys[position] for position in positions], runtime
-            )
+            with span("meta.fetch", level=level, nodes=len(positions)):
+                fetched = await self._meta.get_nodes_async(
+                    [keys[position] for position in positions], runtime
+                )
             if self._cache is not None:
                 self._cache.put_many(
                     [
@@ -1301,14 +1388,15 @@ class AsyncBlobStore:
             landed_positions: list[int] = []
             landed_nodes: list[TreeNode] = []
             fallback: list[int] = []
-            for position, (handle, slot) in zip(positions, entries):
-                batch = await handle.result()
-                node = batch[slot]
-                if node is None:
-                    fallback.append(position)
-                else:
-                    landed_positions.append(position)
-                    landed_nodes.append(node)
+            with span("meta.consume_spec", level=level, nodes=len(positions)):
+                for position, (handle, slot) in zip(positions, entries):
+                    batch = await handle.result()
+                    node = batch[slot]
+                    if node is None:
+                        fallback.append(position)
+                    else:
+                        landed_positions.append(position)
+                        landed_nodes.append(node)
             if landed_positions:
                 spec.hits += len(landed_positions)
                 if self._cache is not None:

@@ -25,6 +25,7 @@ from ..config import BlobSeerConfig
 from ..dht.dht import DHT
 from ..fault import ProviderHealth, RetryPolicy
 from ..metadata.metadata_provider import MetadataProvider
+from ..obs import Tracer, get_registry
 from ..providers.allocation import make_allocation_strategy
 from ..providers.data_provider import DataProvider
 from ..providers.page_store import InMemoryPageStore, PageStore
@@ -150,6 +151,44 @@ class Cluster:
             )
             if self.config.vm_lease_ttl is not None
             else None
+        )
+
+        # Observability (DESIGN.md §11): one tracer per traced cluster, and
+        # the cluster's components registered as pull sources of the
+        # process-wide metrics registry.  With ``tracing=False`` (default)
+        # both stay None and NOTHING here touches the registry — the no-op
+        # discipline every other knob follows.
+        self.tracer: Tracer | None = None
+        self.metrics = None
+        if self.config.tracing:
+            self.tracer = Tracer()
+            self.metrics = get_registry()
+            self._register_metric_sources()
+
+    def _register_metric_sources(self) -> None:
+        """Publish this cluster's snapshot sources under stable dotted
+        names, labelled by the cluster's cache namespace.
+
+        Sources hold the cluster weakly, so traced clusters built by tests
+        and benchmarks vanish from the registry with their last reference.
+        """
+        registry = self.metrics
+        labels = {"cluster": self.cache_namespace}
+        registry.register_source(
+            "repro.vm", self, lambda c: c.version_manager.vm_stats(), labels
+        )
+        registry.register_source(
+            "repro.dht", self, lambda c: c.dht.stats(), labels
+        )
+        registry.register_source(
+            "repro.cache.node", self, lambda c: c.node_cache.stats(), labels
+        )
+        if self.page_cache is not None:
+            registry.register_source(
+                "repro.cache.page", self, lambda c: c.page_cache.stats(), labels
+            )
+        registry.register_source(
+            "repro.health", self, lambda c: c.provider_health.stats(), labels
         )
 
     # -- convenience constructors -------------------------------------------

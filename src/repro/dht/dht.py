@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import MetadataNotFoundError, ProviderUnavailableError
 from ..fault.routing import rank_replicas
+from ..obs.trace import span
 from .hashing import HashPlacement, make_placement
 from .storage import BucketStore
 
@@ -311,13 +312,14 @@ class DHT:
                 return lambda: bucket.multi_get(bucket_keys)
 
             groups = list(by_bucket.items())
-            outcomes = await dispatch_jobs(
-                runtime,
-                groups,
-                make_attempt,
-                retry=self._retry,
-                capture=(ProviderUnavailableError,),
-            )
+            with span("dht.wave", attempt=attempt, buckets=len(groups)):
+                outcomes = await dispatch_jobs(
+                    runtime,
+                    groups,
+                    make_attempt,
+                    retry=self._retry,
+                    capture=(ProviderUnavailableError,),
+                )
             retry: list[str] = []
             for (bucket_id, bucket_keys), outcome in zip(groups, outcomes):
                 if isinstance(outcome, ProviderUnavailableError):

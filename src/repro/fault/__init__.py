@@ -15,15 +15,17 @@ the fault-tolerance extensions the reproduction adds on the data leg
   first, suspects last) used by the DHT and data read paths.
 """
 
-from .health import ProviderHealth
-from .repair import RepairReport, RepairService
+from .health import HealthStats, ProviderHealth
+from .repair import RepairReport, RepairService, RepairStats
 from .retry import RetryPolicy
 from .routing import rank_replicas
 
 __all__ = [
+    "HealthStats",
     "ProviderHealth",
     "RepairReport",
     "RepairService",
+    "RepairStats",
     "RetryPolicy",
     "rank_replicas",
 ]

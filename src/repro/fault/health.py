@@ -17,6 +17,29 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HealthStats:
+    """Frozen snapshot of a :class:`ProviderHealth` registry.
+
+    ``failures_recorded``/``successes_recorded`` are lifetime counters;
+    ``suspected`` counts every *transition* into suspicion (a provider
+    flapping in and out is counted each time it crosses the threshold).
+    ``tracked``/``suspects`` describe the registry right now.
+    """
+
+    #: Lifetime failed calls recorded against any provider.
+    failures_recorded: int = 0
+    #: Lifetime successful calls recorded for any provider.
+    successes_recorded: int = 0
+    #: Lifetime transitions of some provider INTO suspect state.
+    suspected: int = 0
+    #: Providers currently carrying at least one consecutive failure.
+    tracked: int = 0
+    #: Providers currently at or past the suspicion threshold.
+    suspects: int = 0
 
 
 class ProviderHealth:
@@ -28,6 +51,9 @@ class ProviderHealth:
         self.suspect_after = suspect_after
         self._failures: dict[str, int] = {}
         self._lock = threading.Lock()
+        self._failures_recorded = 0
+        self._successes_recorded = 0
+        self._suspected = 0
 
     def record_failure(self, provider_id: str) -> bool:
         """Record one failed call; return True when the provider is now
@@ -35,11 +61,15 @@ class ProviderHealth:
         with self._lock:
             count = self._failures.get(provider_id, 0) + 1
             self._failures[provider_id] = count
+            self._failures_recorded += 1
+            if count == self.suspect_after:
+                self._suspected += 1
             return count >= self.suspect_after
 
     def record_success(self, provider_id: str) -> None:
         """Record one successful call, clearing any suspicion."""
         with self._lock:
+            self._successes_recorded += 1
             self._failures.pop(provider_id, None)
 
     def consecutive_failures(self, provider_id: str) -> int:
@@ -56,6 +86,21 @@ class ProviderHealth:
                 pid
                 for pid, count in self._failures.items()
                 if count >= self.suspect_after
+            )
+
+    def stats(self) -> HealthStats:
+        """Frozen :class:`HealthStats` snapshot (lifetime + current)."""
+        with self._lock:
+            return HealthStats(
+                failures_recorded=self._failures_recorded,
+                successes_recorded=self._successes_recorded,
+                suspected=self._suspected,
+                tracked=len(self._failures),
+                suspects=sum(
+                    1
+                    for count in self._failures.values()
+                    if count >= self.suspect_after
+                ),
             )
 
     def prefer_healthy(self, provider_ids: Sequence[str]) -> list[str]:

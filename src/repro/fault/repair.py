@@ -31,6 +31,7 @@ yields more copies than ``page_replication``, which is harmless.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -43,6 +44,35 @@ if TYPE_CHECKING:
     from ..core.cluster import Cluster
 
     from .health import ProviderHealth
+
+logger = logging.getLogger("repro.fault.repair")
+
+
+@dataclass(frozen=True)
+class RepairStats:
+    """Frozen lifetime counters of one :class:`RepairService`.
+
+    Accumulated across every :meth:`RepairService.repair` pass; each
+    field is the running sum of the corresponding
+    :class:`RepairReport` field, plus the number of passes run.
+    """
+
+    #: Repair passes completed.
+    passes: int = 0
+    #: Unique pages scanned, summed over all passes.
+    pages_scanned: int = 0
+    #: Pages found already at target, summed over all passes.
+    pages_healthy: int = 0
+    #: Pages topped back up to target, summed over all passes.
+    pages_re_replicated: int = 0
+    #: New page copies written, summed over all passes.
+    copies_created: int = 0
+    #: Pages found with no live copy, summed over all passes.
+    pages_unrecoverable: int = 0
+    #: Pages left short of target, summed over all passes.
+    pages_still_under_replicated: int = 0
+    #: DHT leaves rewritten, summed over all passes.
+    leaves_rewritten: int = 0
 
 
 @dataclass(frozen=True)
@@ -92,6 +122,21 @@ class RepairService:
             if health is not None
             else getattr(cluster, "provider_health", None)
         )
+        self._stats = RepairStats()
+        # A traced cluster surfaces this service's lifetime counters in
+        # the process-wide metrics registry (DESIGN.md §11).
+        metrics = getattr(cluster, "metrics", None)
+        if metrics is not None:
+            metrics.register_source(
+                "repro.repair",
+                self,
+                lambda service: service.stats(),
+                {"cluster": cluster.cache_namespace},
+            )
+
+    def stats(self) -> RepairStats:
+        """Frozen lifetime counters accumulated over every repair pass."""
+        return self._stats
 
     def repair(self, target: int | None = None) -> RepairReport:
         """Run one scan-and-repair pass; return what it did.
@@ -104,6 +149,11 @@ class RepairService:
         if target is None:
             target = cluster.config.page_replication
         leaves = self._collect_leaves()
+        logger.debug(
+            "repair pass: %d unique leaves reachable, target=%d",
+            len(leaves),
+            target,
+        )
 
         pm = cluster.provider_manager
         meta = cluster.metadata_provider
@@ -148,6 +198,12 @@ class RepairService:
             # Readers caching the stale leaf stay correct (see module
             # docstring); dropping it just routes them to the new copies.
             cluster.discard_cached_node(key)
+            logger.debug(
+                "re-replicated page %s onto %s (now %d live copies)",
+                leaf.page_id,
+                stored,
+                len(live_holders) + len(stored),
+            )
             copies_created += len(stored)
             leaves_rewritten += 1
             if len(stored) >= needed:
@@ -155,7 +211,7 @@ class RepairService:
             else:
                 still_under += 1
 
-        return RepairReport(
+        report = RepairReport(
             pages_scanned=len(leaves),
             pages_healthy=healthy,
             pages_re_replicated=re_replicated,
@@ -164,6 +220,33 @@ class RepairService:
             pages_still_under_replicated=still_under,
             leaves_rewritten=leaves_rewritten,
         )
+        previous = self._stats
+        self._stats = RepairStats(
+            passes=previous.passes + 1,
+            pages_scanned=previous.pages_scanned + report.pages_scanned,
+            pages_healthy=previous.pages_healthy + report.pages_healthy,
+            pages_re_replicated=(
+                previous.pages_re_replicated + report.pages_re_replicated
+            ),
+            copies_created=previous.copies_created + report.copies_created,
+            pages_unrecoverable=(
+                previous.pages_unrecoverable + report.pages_unrecoverable
+            ),
+            pages_still_under_replicated=(
+                previous.pages_still_under_replicated
+                + report.pages_still_under_replicated
+            ),
+            leaves_rewritten=previous.leaves_rewritten + report.leaves_rewritten,
+        )
+        logger.debug(
+            "repair pass done: %d healthy, %d re-replicated, %d copies "
+            "created, backlog %d",
+            healthy,
+            re_replicated,
+            copies_created,
+            report.backlog,
+        )
+        return report
 
     def under_replicated(self, target: int | None = None) -> int:
         """Count pages short of the replication target (read-only scan).

@@ -22,6 +22,7 @@ from collections.abc import Callable
 from typing import TypeVar
 
 from ..errors import ConfigurationError, is_retryable
+from ..obs.trace import span
 
 T = TypeVar("T")
 
@@ -124,7 +125,9 @@ class RetryPolicy:
                     raise
                 if on_failure is not None:
                     on_failure(error, attempt)
-                self._sleep(self.delay(attempt))
+                delay = self.delay(attempt)
+                with span("retry.sleep", attempt=attempt, delay=delay):
+                    self._sleep(delay)
                 attempt += 1
 
     async def arun(
@@ -150,8 +153,9 @@ class RetryPolicy:
                 if on_failure is not None:
                     on_failure(error, attempt)
                 delay = self.delay(attempt)
-                if sleep is not None:
-                    await sleep(delay)
-                else:
-                    await asyncio.sleep(delay)
+                with span("retry.sleep", attempt=attempt, delay=delay):
+                    if sleep is not None:
+                        await sleep(delay)
+                    else:
+                        await asyncio.sleep(delay)
                 attempt += 1

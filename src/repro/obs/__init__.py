@@ -1,0 +1,42 @@
+"""Unified observability layer: tracing, metrics, exporters.
+
+See DESIGN.md §11.  Everything here is opt-in: a cluster only creates a
+:class:`Tracer` and registers metric sources when its
+``BlobSeerConfig.tracing`` knob is on, and the module-level :func:`span`
+helper is a strict no-op outside a traced operation — with tracing off
+(the default) every counter, timing and byte of client behavior is
+bit-identical to a build without this package.
+
+Quick tour::
+
+    from repro import BlobStore, Cluster
+    from repro.obs import get_registry, human_text
+
+    cluster = Cluster.in_memory(tracing=True)
+    store = BlobStore(cluster)
+    # ... do work ...
+    print(human_text(get_registry()))      # metrics
+    for span in cluster.tracer.spans():    # spans
+        print(span.name, span.duration)
+
+``python -m repro.obs dump`` runs a small demo workload and prints the
+registry in ``--format human|prometheus|json``.
+"""
+
+from .export import human_text, json_snapshot, parse_prometheus, prometheus_text
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, get_registry
+from .trace import Span, Tracer, current_span, span
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "current_span",
+    "get_registry",
+    "human_text",
+    "json_snapshot",
+    "parse_prometheus",
+    "prometheus_text",
+    "span",
+]

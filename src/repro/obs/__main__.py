@@ -1,0 +1,69 @@
+"""``python -m repro.obs dump`` — run a tiny traced workload, print metrics.
+
+A fresh process starts with an empty registry, so the dump drives a
+small in-memory deployment (one write, one cold read, one warm read)
+with ``tracing=True`` before exporting, exactly the workload the
+quickstart example uses.  ``--format`` selects the exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo_workload():
+    from ..config import KiB
+    from ..core.blob_store import BlobStore
+    from ..core.cluster import Cluster
+
+    cluster = Cluster.in_memory(
+        tracing=True,
+        num_data_providers=4,
+        num_metadata_providers=4,
+        page_size=4 * KiB,
+    )
+    with BlobStore(cluster) as store:
+        blob_id = store.create()
+        payload = bytes(range(256)) * 64  # 16 KiB -> 4 pages
+        version = store.append(blob_id, payload)
+        store.sync(blob_id, version)
+        store.read(blob_id, version, 0, len(payload))  # cold
+        store.read(blob_id, version, 0, len(payload))  # warm
+    # The registry holds its pull sources weakly; the caller must keep the
+    # cluster alive until after the export or its gauges vanish.
+    return cluster
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling for the BlobSeer reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    dump = commands.add_parser(
+        "dump", help="run a small traced demo workload and print the registry"
+    )
+    dump.add_argument(
+        "--format",
+        choices=("human", "prometheus", "json"),
+        default="human",
+        help="exporter to render the registry with (default: human)",
+    )
+    options = parser.parse_args(argv)
+
+    from . import get_registry, human_text, json_snapshot, prometheus_text
+
+    cluster = _demo_workload()  # noqa: F841 - keeps the weak sources alive
+    registry = get_registry()
+    if options.format == "prometheus":
+        sys.stdout.write(prometheus_text(registry))
+    elif options.format == "json":
+        sys.stdout.write(json_snapshot(registry) + "\n")
+    else:
+        sys.stdout.write(human_text(registry))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""Exporters for the metrics registry: Prometheus text, JSON, human.
+
+All three render the same :meth:`MetricsRegistry.snapshot`.  The
+Prometheus exposition follows the text format version 0.0.4 (``# TYPE``
+comments, ``_bucket{le=…}``/``_sum``/``_count`` series with *cumulative*
+bucket counts); :func:`parse_prometheus` is the matching linter the CI
+perf-gate runs over the export — it validates metric-name and label
+syntax line by line and returns the parsed samples.
+
+Dotted registry names map to Prometheus names by replacing every
+character outside ``[a-zA-Z0-9_:]`` with ``_`` (``repro.read.ops`` →
+``repro_read_ops``).  Label values must stay free of ``=``, ``,`` and
+``}`` — they are cluster namespaces and provider ids in practice.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "human_text",
+    "json_snapshot",
+    "parse_prometheus",
+    "prometheus_text",
+]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+_PROM_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _split_rendered(rendered: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a snapshot key (``name`` or ``name{k=v,…}``) back apart."""
+    if not rendered.endswith("}"):
+        return rendered, []
+    name, _brace, body = rendered.partition("{")
+    pairs = []
+    for item in body[:-1].split(","):
+        key, _eq, value = item.partition("=")
+        pairs.append((key, value))
+    return name, pairs
+
+
+def _prom_name(dotted: str) -> str:
+    return _PROM_NAME.sub("_", dotted)
+
+
+def _prom_labels(pairs: list[tuple[str, str]], extra: str | None = None) -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in pairs]
+    if extra is not None:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    snapshot = (registry or get_registry()).snapshot()
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for rendered, value in snapshot["counters"].items():
+        dotted, pairs = _split_rendered(rendered)
+        name = _prom_name(dotted)
+        emit_type(name, "counter")
+        lines.append(f"{name}{_prom_labels(pairs)} {_format_value(value)}")
+    for rendered, value in snapshot["gauges"].items():
+        dotted, pairs = _split_rendered(rendered)
+        name = _prom_name(dotted)
+        emit_type(name, "gauge")
+        lines.append(f"{name}{_prom_labels(pairs)} {_format_value(value)}")
+    for rendered, data in snapshot["histograms"].items():
+        dotted, pairs = _split_rendered(rendered)
+        name = _prom_name(dotted)
+        emit_type(name, "histogram")
+        cumulative = 0
+        for bound, count in data["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound == "+Inf" else repr(float(bound))
+            le_label = 'le="' + le + '"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(pairs, extra=le_label)} {cumulative}"
+            )
+        lines.append(
+            f"{name}_sum{_prom_labels(pairs)} {repr(float(data['sum']))}"
+        )
+        lines.append(f"{name}_count{_prom_labels(pairs)} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Validate a Prometheus text exposition; return its samples.
+
+    Raises :class:`ValueError` naming the first offending line.  Used by
+    tests and the CI perf-gate's export-lint step; it checks name and
+    label syntax, numeric values, and ``# TYPE`` comment shape — not the
+    full openmetrics grammar.
+    """
+    samples: dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE") and not _PROM_TYPE.match(line):
+                raise ValueError(f"line {number}: malformed TYPE comment: {line!r}")
+            continue
+        match = _PROM_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for item in _split_label_body(labels):
+                if not _PROM_LABEL.match(item):
+                    raise ValueError(
+                        f"line {number}: malformed label {item!r} in {line!r}"
+                    )
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {number}: non-numeric value {raw!r} in {line!r}"
+            ) from None
+        key = match.group("name")
+        if labels:
+            key = f"{key}{{{labels}}}"
+        samples[key] = value
+    if not samples:
+        raise ValueError("no samples found in exposition")
+    return samples
+
+
+def _split_label_body(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    for char in body:
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def json_snapshot(registry: MetricsRegistry | None = None) -> str:
+    """The registry snapshot as a deterministic JSON document."""
+    return json.dumps(
+        (registry or get_registry()).snapshot(), indent=2, sort_keys=True
+    )
+
+
+def human_text(registry: MetricsRegistry | None = None) -> str:
+    """An aligned, sectioned dump for terminals (``repro.obs dump``)."""
+    snapshot = (registry or get_registry()).snapshot()
+    lines: list[str] = []
+
+    def section(title: str, rows: list[tuple[str, str]]) -> None:
+        if not rows:
+            return
+        lines.append(title)
+        width = max(len(name) for name, _value in rows)
+        for name, value in rows:
+            lines.append(f"  {name:<{width}}  {value}")
+        lines.append("")
+
+    section(
+        "counters",
+        [
+            (name, _format_value(value))
+            for name, value in snapshot["counters"].items()
+        ],
+    )
+    section(
+        "gauges",
+        [
+            (name, _format_value(value))
+            for name, value in snapshot["gauges"].items()
+        ],
+    )
+    section(
+        "histograms",
+        [
+            (
+                name,
+                "count={} sum={:.6f} mean={:.6f}".format(
+                    data["count"],
+                    data["sum"],
+                    data["sum"] / data["count"] if data["count"] else 0.0,
+                ),
+            )
+            for name, data in snapshot["histograms"].items()
+        ],
+    )
+    if not lines:
+        return "(registry is empty)\n"
+    return "\n".join(lines).rstrip("\n") + "\n"

@@ -1,0 +1,310 @@
+"""Process-wide metrics registry (DESIGN.md §11).
+
+Three instrument kinds under stable dotted names:
+
+* **counters** — monotonically increasing totals (``repro.read.ops``);
+* **gauges** — last-write-wins levels (``repro.cache.node.entries``);
+* **histograms** — fixed-bucket latency distributions
+  (``repro.read.latency_seconds``), cumulative like Prometheus buckets.
+
+Instruments are striped over independently locked shards exactly like
+:class:`~repro.cache.ShardedLRUCache` (``hash(key) % shards``), so
+hot-path increments from concurrent operations do not contend on one
+lock.  Keys are ``(name, labels)`` pairs; labels are plain dicts frozen
+into sorted tuples.
+
+Besides push-style instruments the registry accepts *pull sources*:
+snapshot callables (``CacheStats``/``VMStats``/``DHTStats``/
+``HealthStats``/… providers) registered under a dotted prefix.  Sources
+hold their owner only weakly, so short-lived traced clusters (tests,
+benchmarks) vanish from the registry with their owner instead of
+accumulating forever.  At :meth:`MetricsRegistry.snapshot` time each live
+source's numeric dataclass fields are flattened into gauges named
+``prefix.field``.
+
+The process-wide instance lives behind :func:`get_registry`; nothing is
+registered into it unless a cluster is created with
+``BlobSeerConfig.tracing=True``, so the default configuration leaves the
+registry empty and the hot paths untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import weakref
+from bisect import bisect_left
+from collections.abc import Callable
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Fixed latency buckets (seconds): 100 µs .. 5 s, then +Inf.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, str] | None) -> MetricKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class _Histogram:
+    """Cumulative fixed-bucket histogram (one shard's view)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+class _Shard:
+    """One independently locked stripe of the registry."""
+
+    __slots__ = ("lock", "counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.counters: dict[MetricKey, float] = {}
+        self.gauges: dict[MetricKey, float] = {}
+        self.histograms: dict[MetricKey, _Histogram] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Source:
+    """A registered pull source: ``read(owner())`` at snapshot time."""
+
+    prefix: str
+    labels: tuple[tuple[str, str], ...]
+    owner: weakref.ref
+    read: Callable
+
+
+class MetricsRegistry:
+    """Sharded counters/gauges/histograms plus weakly held pull sources."""
+
+    def __init__(self, shards: int = 8):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._shards = tuple(_Shard() for _ in range(shards))
+        self._sources_lock = threading.Lock()
+        self._sources: list[_Source] = []
+
+    def _shard_for(self, key: MetricKey) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    # -- push instruments --------------------------------------------------
+    def inc(
+        self, name: str, amount: float = 1, labels: dict[str, str] | None = None
+    ) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        key = _key(name, labels)
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.counters[key] = shard.counters.get(key, 0) + amount
+
+    def set_gauge(
+        self, name: str, value: float, labels: dict[str, str] | None = None
+    ) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        key = _key(name, labels)
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.gauges[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``."""
+        key = _key(name, labels)
+        shard = self._shard_for(key)
+        with shard.lock:
+            histogram = shard.histograms.get(key)
+            if histogram is None:
+                histogram = shard.histograms[key] = _Histogram(buckets)
+            histogram.observe(value)
+
+    def count_fields(
+        self,
+        prefix: str,
+        stats: object,
+        labels: dict[str, str] | None = None,
+        skip: tuple[str, ...] = (),
+    ) -> None:
+        """Add every numeric field of a stats dataclass as counters.
+
+        Per-operation result structs (``ReadStats``, ``WriteResult``) are
+        deltas, so their fields accumulate naturally under
+        ``prefix.field`` counters; non-numeric and nested fields are
+        skipped (nested snapshots are better served as pull sources), as
+        are the field names listed in ``skip`` (identifiers like
+        ``version`` that are not additive).
+        """
+        for field, value in _numeric_fields(stats):
+            if field in skip:
+                continue
+            self.inc(f"{prefix}.{field}", value, labels)
+
+    # -- pull sources ------------------------------------------------------
+    def register_source(
+        self,
+        prefix: str,
+        owner: object,
+        read: Callable,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Register ``read(owner)`` to be flattened under ``prefix.*``.
+
+        ``owner`` is held weakly; once it is collected the source is
+        pruned at the next snapshot.
+        """
+        source = _Source(
+            prefix=prefix,
+            labels=_key("", labels)[1],
+            owner=weakref.ref(owner),
+            read=read,
+        )
+        with self._sources_lock:
+            self._sources.append(source)
+
+    def _pull_gauges(self) -> dict[MetricKey, float]:
+        gauges: dict[MetricKey, float] = {}
+        with self._sources_lock:
+            live = []
+            for source in self._sources:
+                owner = source.owner()
+                if owner is None:
+                    continue
+                live.append((source, owner))
+            self._sources = [source for source, _owner in live]
+        for source, owner in live:
+            stats = source.read(owner)
+            for field, value in _numeric_fields(stats):
+                gauges[(f"{source.prefix}.{field}", source.labels)] = value
+        return gauges
+
+    # -- snapshot ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One consistent-enough view of every instrument and source.
+
+        Returns ``{"counters": …, "gauges": …, "histograms": …}`` keyed by
+        rendered metric names (``name{k=v,…}`` when labelled).  Pull
+        sources appear among the gauges.
+        """
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for shard in self._shards:
+            with shard.lock:
+                shard_counters = dict(shard.counters)
+                shard_gauges = dict(shard.gauges)
+                shard_histograms = {
+                    key: (
+                        histogram.buckets,
+                        list(histogram.counts),
+                        histogram.total,
+                        histogram.count,
+                    )
+                    for key, histogram in shard.histograms.items()
+                }
+            for key, value in shard_counters.items():
+                counters[render_key(key)] = value
+            for key, value in shard_gauges.items():
+                gauges[render_key(key)] = value
+            for key, (buckets, counts, total, count) in shard_histograms.items():
+                histograms[render_key(key)] = {
+                    "buckets": [
+                        [bound, counted]
+                        for bound, counted in zip(buckets, counts)
+                    ]
+                    + [["+Inf", counts[-1]]],
+                    "sum": total,
+                    "count": count,
+                }
+        for key, value in self._pull_gauges().items():
+            gauges[render_key(key)] = value
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument and source (tests and demo tooling)."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.counters.clear()
+                shard.gauges.clear()
+                shard.histograms.clear()
+        with self._sources_lock:
+            self._sources.clear()
+
+
+def render_key(key: MetricKey) -> str:
+    """Human/JSON rendering: ``name`` or ``name{k=v,…}``."""
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _numeric_fields(stats: object):
+    """Yield ``(field_name, float)`` for a stats dataclass (or mapping)."""
+    if isinstance(stats, dict):
+        items = stats.items()
+    elif dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+        items = (
+            (field.name, getattr(stats, field.name))
+            for field in dataclasses.fields(stats)
+        )
+    else:
+        raise TypeError(
+            f"expected a stats dataclass or mapping, got {type(stats)!r}"
+        )
+    for name, value in items:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        yield name, value
+
+
+#: The process-wide registry; empty until a traced cluster registers into it.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY

@@ -9,6 +9,7 @@ from collections.abc import Sequence
 from ..aio import IORuntime, dispatch_jobs, ensure_runtime, run_sync
 from ..errors import NoProvidersError, ShortReadError
 from ..fault.routing import rank_replicas
+from ..obs.trace import span
 from .allocation import AllocationStrategy, RoundRobinAllocation
 from .data_provider import DataProvider
 
@@ -444,19 +445,24 @@ class ProviderManager:
                 # provider wave (so they count in ``peer_tally``, not in
                 # ``tally.fetched``).
                 kept_misses, kept_keys, kept_failover = [], [], []
-                for index, (request, key) in enumerate(zip(misses, miss_keys)):
-                    value = peer_lookup(key)
-                    if value is None:
-                        kept_misses.append(request)
-                        kept_keys.append(key)
-                        if miss_failover is not None:
-                            kept_failover.append(miss_failover[index])
-                        continue
-                    out = request[3]
-                    out[:] = value
-                    cache.put(key, bytes(value))
-                    if peer_tally is not None:
-                        peer_tally.hits += 1
+                with span("data.peer_probe", probes=len(misses)) as probe_span:
+                    for index, (request, key) in enumerate(
+                        zip(misses, miss_keys)
+                    ):
+                        value = peer_lookup(key)
+                        if value is None:
+                            kept_misses.append(request)
+                            kept_keys.append(key)
+                            if miss_failover is not None:
+                                kept_failover.append(miss_failover[index])
+                            continue
+                        out = request[3]
+                        out[:] = value
+                        cache.put(key, bytes(value))
+                        if peer_tally is not None:
+                            peer_tally.hits += 1
+                    if probe_span is not None:
+                        probe_span.set(hits=len(misses) - len(kept_misses))
                 misses, miss_keys = kept_misses, kept_keys
                 if miss_failover is not None:
                     miss_failover = kept_failover
@@ -477,19 +483,27 @@ class ProviderManager:
                 [page_id, offset, out, self._ranked(replicas), 0, replicas[0]]
             )
         total_trips = 0
+        wave = 0
         first_error: Exception | None = None
         while outstanding:
             by_provider: dict[str, list[list]] = {}
             for entry in outstanding:
                 by_provider.setdefault(entry[3][entry[4]], []).append(entry)
             groups = list(by_provider.items())
-            outcomes = await self._dispatch_batches_async(
-                groups,
-                lambda provider, batch: provider.multi_fetch_into(
-                    [(entry[0], entry[1], entry[2]) for entry in batch]
-                ),
-                runtime,
-            )
+            with span(
+                "data.wave",
+                wave=wave,
+                providers=len(groups),
+                requests=len(outstanding),
+            ) as wave_span:
+                outcomes = await self._dispatch_batches_async(
+                    groups,
+                    lambda provider, batch: provider.multi_fetch_into(
+                        [(entry[0], entry[1], entry[2]) for entry in batch]
+                    ),
+                    runtime,
+                )
+            wave += 1
             total_trips += len(groups)
             requeued: list[list] = []
             for (provider_id, batch), outcome in zip(groups, outcomes):
@@ -519,6 +533,8 @@ class ProviderManager:
                         requeued.append(entry)
                     elif first_error is None:
                         first_error = error
+            if wave_span is not None:
+                wave_span.set(requeued=len(requeued))
             if first_error is not None:
                 raise first_error
             outstanding = requeued

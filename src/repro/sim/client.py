@@ -350,6 +350,7 @@ class SimClient:
             yield from net.small_rpc(
                 self.node, dep.vm_node, cfg.version_manager_service_time
             )
+        vm_end = sim.now
         if offset + size > snapshot_size:
             raise InvalidRangeError(
                 f"read range ({offset}, {size}) exceeds snapshot size {snapshot_size}"
@@ -375,6 +376,7 @@ class SimClient:
         # counterpart of the batched metadata frontiers above — and is
         # write-through-cached on the way back, so the repeated-read
         # regime skips the providers entirely.
+        data_start = sim.now
         requests = [
             (
                 descriptor,
@@ -464,6 +466,45 @@ class SimClient:
                     for (_desc, key), value in zip(requests, cached)
                     if value is None
                 ]
+            )
+
+        # Generator processes interleave outside any contextvars context,
+        # so the legs are recorded retroactively from the virtual-clock
+        # timestamps captured above (see SimDeployment.tracer).
+        tracer = dep.tracer
+        if tracer is not None:
+            root = tracer.record(
+                "sim.read",
+                start,
+                sim.now,
+                blob_id=blob_id,
+                version=version,
+                offset=offset,
+                size=size,
+                client=self.index,
+            )
+            if vm_trips:
+                tracer.record(
+                    "sim.read.vm", start, vm_end, parent=root, trips=vm_trips
+                )
+            tracer.record(
+                "sim.read.meta",
+                meta_start,
+                meta_start + meta_latency,
+                parent=root,
+                nodes=tally.fetched,
+                trips=tally.trips,
+                cache_hits=tally.hits,
+            )
+            tracer.record(
+                "sim.read.data",
+                data_start,
+                sim.now,
+                parent=root,
+                pages=len(plan_result.descriptors),
+                providers=len(by_provider),
+                page_cache_hits=page_cache_hits,
+                peer_cache_hits=peer_cache_hits,
             )
 
         return ReadOutcome(

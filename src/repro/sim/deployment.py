@@ -189,6 +189,15 @@ class SimDeployment:
         #: reads skip the version-manager RPC entirely.  None per machine
         #: when the config disables leasing.
         self._version_leases: dict[str, LeaseCache] = {}
+        #: Optional :class:`repro.obs.Tracer` recording per-leg spans of
+        #: simulated reads in *virtual* clock time.  Assign one built with
+        #: ``Tracer(clock=lambda: deployment.simulator.now)`` (the bench
+        #: ``--trace`` mode does); sim processes interleave as generators
+        #: outside any call context, so :class:`SimClient` emits spans
+        #: retroactively via :meth:`~repro.obs.Tracer.record` rather than
+        #: through the context-local ``span()`` helper.  Survives
+        #: :meth:`reset_timing` — tracing is client state, not NIC state.
+        self.tracer = None
         self.reset_timing()
 
     # -- timing / topology -----------------------------------------------------

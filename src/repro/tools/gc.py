@@ -18,6 +18,7 @@ pages with their ancestors, so collecting "just one blob" is never safe.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
@@ -26,6 +27,8 @@ from ..errors import ConcurrencyError, ProviderUnavailableError, UnknownBlobErro
 from ..metadata.geometry import pages_for_size, span_for_pages
 from ..metadata.node import InnerNode, LeafNode, NodeKey
 from ..version.records import resolve_owner
+
+logger = logging.getLogger("repro.tools.gc")
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,14 @@ def collect_garbage(
             kept_versions += 1
             _mark_version(cluster, record, version, reachable_pages, reachable_nodes)
 
+    logger.debug(
+        "gc mark done: %d kept versions, %d reachable pages, %d reachable "
+        "nodes%s",
+        kept_versions,
+        len(reachable_pages),
+        len(reachable_nodes),
+        " (dry run)" if dry_run else "",
+    )
     deleted_pages = 0
     reclaimed_bytes = 0
     skipped_providers: list[str] = []
@@ -126,7 +137,18 @@ def collect_garbage(
             # Died mid-sweep: keep what this pass already reclaimed and
             # move on to the next provider.
             skipped_providers.append(provider.provider_id)
+            logger.debug(
+                "gc sweep: provider %s died mid-sweep, skipping",
+                provider.provider_id,
+            )
             continue
+    logger.debug(
+        "gc page sweep done: %d pages (%d bytes) reclaimed, %d providers "
+        "skipped",
+        deleted_pages,
+        reclaimed_bytes,
+        len(skipped_providers),
+    )
 
     deleted_nodes = 0
     for bucket_id in cluster.dht.bucket_ids():
@@ -143,6 +165,7 @@ def collect_garbage(
                 # could be wrongly served from memory.
                 cluster.discard_cached_node(NodeKey.from_string(key))
             deleted_nodes += 1
+    logger.debug("gc node sweep done: %d metadata nodes reclaimed", deleted_nodes)
 
     return GarbageCollectionReport(
         kept_versions=kept_versions,

@@ -30,6 +30,7 @@ def load_example(name: str):
         "dataset_curation",
         "version_leases",
         "warm_reads",
+        "metrics_quickstart",
     ],
 )
 def test_example_runs_to_completion(name, capsys):
