@@ -94,7 +94,7 @@ def load_baseline_rows(path: Path, figure: str, scale: str) -> list[dict]:
     except KeyError as error:
         raise SystemExit(
             f"{path}: cannot find rows for {figure}/{scale} ({error} missing)"
-        )
+        ) from error
     if isinstance(section, dict):
         # BENCH_prN.json keeps a before/after pair; the "after" side is the
         # state the PR shipped, i.e. the baseline for the next PR.

@@ -80,6 +80,12 @@ Package layout:
 * :mod:`repro.obs` — observability: span tracing, the process-wide metrics
   registry and its exporters (``python -m repro.obs dump``); opt-in via
   ``BlobSeerConfig(tracing=True)``, bit-identical no-op when off.
+* :mod:`repro.analysis` — the repo's invariant analyzer: an AST lint pass
+  (``python -m repro.analysis src benchmarks``, rules RPR001–RPR005) plus
+  the runtime lock-order/lock-across-await sanitizer used by the test
+  suite.  Contributors: run the lint pass before sending a change — CI's
+  ``static-analysis`` job fails on any unsuppressed finding — and see
+  DESIGN.md §12 for the rule ↔ invariant map and the suppression policy.
 
 Logging: every module logs under the ``repro.*`` hierarchy; the package
 root carries a :class:`logging.NullHandler`, so nothing is printed unless

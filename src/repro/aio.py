@@ -156,7 +156,9 @@ class SyncRuntime:
 
     async def sleep(self, seconds: float) -> None:
         if seconds > 0:
-            time.sleep(seconds)
+            # Blocking inline is SyncRuntime's documented contract: awaits
+            # complete eagerly on the calling thread (no event loop exists).
+            time.sleep(seconds)  # noqa: ASYNC251
 
     async def vm_sync(self, vm, blob_id: str, version: int, timeout=None) -> None:
         vm.sync(blob_id, version, timeout)

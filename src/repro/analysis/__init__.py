@@ -1,0 +1,68 @@
+"""Repo-specific static analysis and runtime concurrency sanitizers.
+
+This package is the machine-checked form of DESIGN.md's invariant prose
+(§12 "Invariants as lint"):
+
+* **The lint pass** — ``python -m repro.analysis [paths]`` — is an
+  AST-based engine (stdlib ``ast`` only) with five repository rules:
+
+  ========  =============================  =====================================
+  RPR001    lock-held-across-await         no threading lock scope spans a
+                                           suspension point (DESIGN.md §8)
+  RPR002    blocking-call-in-coroutine     coroutines never block the loop;
+                                           only the :mod:`repro.aio` seam may
+  RPR003    sans-io-layer-violation        planner modules import no I/O
+                                           engine/backend (layer data in
+                                           :mod:`repro.analysis.layers`)
+  RPR004    ungated-feature-knob           feature knobs are read only via
+                                           ``BlobSeerConfig.feature_enabled``
+  RPR005    undocumented-stats-counter     every ``*Stats``/``WriteResult``
+                                           field carries a ``#:`` docstring
+  ========  =============================  =====================================
+
+  Deliberate exceptions are per-line ``# repro: noqa(RPR00n)`` directives
+  with a justification; blanket suppressions are themselves findings.
+
+* **The runtime sanitizer** — :mod:`repro.analysis.sanitizer` — wraps
+  ``threading`` locks while installed, records per-thread acquisition
+  stacks, maintains the process-wide lock-order graph, and raises on an
+  ordering cycle (potential deadlock) or on a sanitized lock held across
+  an ``await`` that actually suspends.  Off by default and never imported
+  by production code paths; the test suite enables it via the
+  ``lock_sanitizer`` fixture (and ``REPRO_SANITIZE=1`` in the async/chaos
+  CI jobs).
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    RULES,
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    check_module,
+    module_name_for,
+)
+from .layers import LAYER_CONTRACTS, RUNTIME_SEAM_MODULES, LayerContract
+
+# Importing the package registers the rule set: engine.RULES is populated
+# by the @rule decorators at rules.py import time.
+from . import rules as _rules  # noqa: E402,F401  (import for side effect)
+
+__all__ = [
+    "RULES",
+    "AnalysisReport",
+    "Finding",
+    "LAYER_CONTRACTS",
+    "LayerContract",
+    "ModuleContext",
+    "RUNTIME_SEAM_MODULES",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "check_module",
+    "module_name_for",
+]

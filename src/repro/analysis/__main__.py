@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every finding is suppressed (or none exist) and 1
+otherwise, so CI can gate on it directly.  ``--list-rules`` prints the
+rule table with current suppression-directive counts — drift in ``noqa``
+usage shows up in CI logs without failing the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import RULES, analyze_paths
+
+#: Paths scanned when none are given: the package sources and the
+#: benchmark harness (tests intentionally seed violations as fixtures).
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def _list_rules(paths: Sequence[str]) -> int:
+    report = analyze_paths(paths)
+    counts = report.directive_counts()
+    header = f"{'ID':<8}{'NAME':<28}{'SUPPRESSIONS':>12}  DESCRIPTION"
+    print(header)
+    print("-" * len(header))
+    for rule_id, rule_obj in RULES.items():
+        print(
+            f"{rule_id:<8}{rule_obj.name:<28}"
+            f"{counts.get(rule_id, 0):>12}  {rule_obj.description}"
+        )
+    total = sum(counts.values())
+    print("-" * len(header))
+    print(
+        f"{len(RULES)} rules, {total} suppression directive(s) across "
+        f"{report.files_scanned} file(s)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Run the repo-specific invariant lint pass (rules RPR001-RPR005; "
+            "see DESIGN.md §12)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table with current suppression counts and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules(args.paths)
+
+    report = analyze_paths(args.paths)
+    for found in report.findings:
+        print(found.render())
+    suppressed = len(report.suppressed)
+    print(
+        f"{len(report.findings)} finding(s), {suppressed} suppressed, "
+        f"{report.files_scanned} file(s) scanned"
+    )
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""Core of the repo-specific lint pass: contexts, findings, suppressions.
+
+The engine is deliberately tiny and stdlib-only (``ast`` + ``re``): it
+walks Python files, hands each one to every registered :class:`Rule` as a
+:class:`ModuleContext` (source, parsed tree, resolved dotted module name),
+collects :class:`Finding` records, and applies per-line
+``# repro: noqa(RULE)`` suppressions.  Rules live in
+:mod:`repro.analysis.rules`; the layer contracts they consult are plain
+data in :mod:`repro.analysis.layers`.
+
+Suppression policy
+------------------
+A finding is suppressed only by an *exact-rule* directive on the offending
+line::
+
+    self._probe_queue.get()  # repro: noqa(RPR002) -- bounded by poll loop
+
+Blanket directives (``# repro: noqa`` with no rule list) are themselves
+reported as :data:`MALFORMED_SUPPRESSION` findings, so the suppression
+surface stays enumerable: ``python -m repro.analysis --list-rules`` prints
+the per-rule directive counts and CI logs make drift visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+
+#: Rule id reserved for the engine's own finding about unparseable or
+#: blanket ``repro: noqa`` directives (they would silently widen the
+#: suppression surface, so they are an error rather than a no-op).
+MALFORMED_SUPPRESSION = "RPR000"
+
+#: A well-formed directive: a comment carrying ``repro: noqa(<RULE-ID>)``
+#: with one or more comma-separated rule ids, optionally followed by a
+#: free-form justification after ``--``.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*\(\s*(?P<ids>RPR\d{3}(?:\s*,\s*RPR\d{3})*)\s*\)"
+)
+
+#: Any attempt at a ``repro: noqa`` directive, including malformed ones.
+NOQA_ANY_RE = re.compile(r"#\s*repro:\s*noqa\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path of the offending file, as given on the command line.
+    path: str
+    #: 1-indexed source line of the violation.
+    line: int
+    #: 0-indexed column offset (``ast`` convention).
+    col: int
+    #: Stable rule identifier (``RPR001`` … — never renumbered).
+    rule_id: str
+    #: Human-readable one-line description of this specific violation.
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one Python file."""
+
+    #: Path as passed on the command line (kept relative for readability).
+    path: Path
+    #: Resolved dotted module name (``repro.metadata.read_plan``); for
+    #: files outside any package this is just the file's stem.
+    module: str
+    #: Raw source text.
+    source: str
+    #: Parsed module tree.
+    tree: ast.Module
+    #: Source split into lines (1-indexed access via ``lines[lineno - 1]``).
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    #: Lazily computed map of COMMENT lines carrying a ``repro: noqa``
+    #: directive: line → suppressed rule ids, or None for a malformed
+    #: directive.  Token-based, so directives quoted inside strings and
+    #: docstrings are never treated as live suppressions.
+    _noqa: dict[int, tuple[str, ...] | None] | None = None
+
+    def noqa_directives(self) -> dict[int, tuple[str, ...] | None]:
+        if self._noqa is None:
+            self._noqa = _comment_directives(self.source)
+        return self._noqa
+
+    def suppressed_ids(self, lineno: int) -> tuple[str, ...]:
+        ids = self.noqa_directives().get(lineno)
+        return ids if ids else ()
+
+
+def _comment_directives(source: str) -> dict[int, tuple[str, ...] | None]:
+    """Scan *source*'s comment tokens for ``repro: noqa`` directives."""
+    directives: dict[int, tuple[str, ...] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string
+            if NOQA_ANY_RE.search(text) is None:
+                continue
+            match = NOQA_RE.search(text)
+            if match is None:
+                directives[token.start[0]] = None
+            else:
+                directives[token.start[0]] = tuple(
+                    rule_id.strip() for rule_id in match.group("ids").split(",")
+                )
+    except tokenize.TokenError:
+        pass
+    return directives
+
+
+class Rule:
+    """Base class of one lint rule; subclasses register via :func:`rule`."""
+
+    #: Stable identifier, e.g. ``"RPR001"``.
+    id: str = ""
+    #: Short kebab-ish name shown in ``--list-rules``.
+    name: str = ""
+    #: One-line description of the invariant the rule enforces.
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+#: Registry of every known rule, keyed by rule id, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass by its id."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def module_name_for(path: Path) -> str:
+    """Resolve *path* to a dotted module name by walking up ``__init__.py``
+    package directories (``src/repro/util/ids.py`` → ``repro.util.ids``);
+    a file outside any package resolves to its bare stem."""
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts)
+
+
+def is_package_init(path: Path) -> bool:
+    return path.name == "__init__.py"
+
+
+def resolve_import(
+    module: str, *, is_package: bool, level: int, target: str | None
+) -> str:
+    """Resolve an ``ImportFrom`` to an absolute dotted module name.
+
+    ``level`` is the number of leading dots (0 for absolute imports);
+    relative imports resolve against *module*, which must be the importing
+    file's dotted name (``is_package`` says whether it is an
+    ``__init__.py``, whose first dot refers to itself).
+    """
+    if level == 0:
+        return target or ""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[: len(parts) - drop] if drop <= len(parts) else []
+    base = ".".join(parts)
+    if target:
+        return f"{base}.{target}" if base else target
+    return base
+
+
+def covers(prefix: str, module: str) -> bool:
+    """True when *module* is *prefix* itself or nested inside it."""
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@dataclass
+class SuppressionUse:
+    """One ``repro: noqa`` directive found in a scanned file."""
+
+    path: str
+    line: int
+    rule_ids: tuple[str, ...]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of :func:`analyze_paths`."""
+
+    #: Findings NOT covered by a same-line suppression — these fail CI.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings that a well-formed same-line directive suppressed.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Every well-formed directive seen, whether or not it fired.
+    directives: list[SuppressionUse] = field(default_factory=list)
+    #: Number of Python files scanned.
+    files_scanned: int = 0
+
+    def directive_counts(self) -> dict[str, int]:
+        """Per-rule count of ``noqa`` directives present in the scanned
+        tree (the drift signal ``--list-rules`` reports)."""
+        counts: dict[str, int] = {rule_id: 0 for rule_id in RULES}
+        for use in self.directives:
+            for rule_id in use.rule_ids:
+                counts[rule_id] = counts.get(rule_id, 0) + 1
+        return counts
+
+
+def _scan_directives(ctx: ModuleContext) -> tuple[list[SuppressionUse], list[Finding]]:
+    """Collect well-formed directives and flag malformed ones."""
+    uses: list[SuppressionUse] = []
+    malformed: list[Finding] = []
+    for lineno, ids in sorted(ctx.noqa_directives().items()):
+        if ids is None:
+            malformed.append(
+                Finding(
+                    path=str(ctx.path),
+                    line=lineno,
+                    col=max(ctx.line_text(lineno).find("#"), 0),
+                    rule_id=MALFORMED_SUPPRESSION,
+                    message=(
+                        "malformed suppression: use "
+                        "'# repro: noqa(<RULE-ID>)' with an explicit rule list"
+                    ),
+                )
+            )
+        else:
+            uses.append(
+                SuppressionUse(path=str(ctx.path), line=lineno, rule_ids=ids)
+            )
+    return uses, malformed
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* (files pass through,
+    directories recurse) in deterministic sorted order."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_source(
+    source: str, *, path: str | Path = "<snippet>", module: str | None = None
+) -> ModuleContext:
+    """Build a :class:`ModuleContext` for in-memory source (test helper)."""
+    path = Path(path)
+    if module is None:
+        module = module_name_for(path) if path.suffix == ".py" else path.stem
+    return ModuleContext(
+        path=path, module=module, source=source, tree=ast.parse(source)
+    )
+
+
+def check_module(ctx: ModuleContext) -> AnalysisReport:
+    """Run every registered rule over one module and fold in suppressions."""
+    report = AnalysisReport(files_scanned=1)
+    uses, malformed = _scan_directives(ctx)
+    report.directives.extend(uses)
+    report.findings.extend(malformed)
+    raw: list[Finding] = []
+    for rule_obj in RULES.values():
+        raw.extend(rule_obj.check(ctx))
+    for found in raw:
+        if found.rule_id in ctx.suppressed_ids(found.line):
+            report.suppressed.append(found)
+        else:
+            report.findings.append(found)
+    return report
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> AnalysisReport:
+    """Run the full rule set over every Python file under *paths*."""
+    # Import for side effect: registers the rule set exactly once even
+    # when callers use the engine directly.
+    from . import rules as _rules  # noqa: F401
+
+    total = AnalysisReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            total.findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    rule_id=MALFORMED_SUPPRESSION,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            total.files_scanned += 1
+            continue
+        ctx = ModuleContext(
+            path=file_path,
+            module=module_name_for(file_path),
+            source=source,
+            tree=tree,
+        )
+        partial = check_module(ctx)
+        total.findings.extend(partial.findings)
+        total.suppressed.extend(partial.suppressed)
+        total.directives.extend(partial.directives)
+        total.files_scanned += 1
+    total.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return total

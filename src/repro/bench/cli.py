@@ -106,7 +106,7 @@ def _baseline_rows(path: Path, name: str, scale: str) -> list[dict] | None:
     try:
         document = json.loads(path.read_text())
     except (OSError, ValueError) as error:
-        raise SystemExit(f"cannot read baseline {path}: {error}")
+        raise SystemExit(f"cannot read baseline {path}: {error}") from error
     section = document.get("scales", {}).get(scale, {}).get(f"{name}_rows")
     if section is None:
         return None

@@ -36,9 +36,13 @@ class PeerCacheStats:
     count how many a peer served.
     """
 
+    #: Metadata-node lookups sent to the peers (own-cache misses).
     node_probes: int = 0
+    #: Metadata-node probes a peer's cache answered.
     node_hits: int = 0
+    #: Page-range lookups sent to the peers (own-cache misses).
     page_probes: int = 0
+    #: Page-range probes a peer's cache answered.
     page_hits: int = 0
 
     @property

@@ -62,10 +62,15 @@ class CacheStats:
     operation.
     """
 
+    #: Lookups served from the cache (operation-exact on result structs).
     hits: int = 0
+    #: Lookups that fell through to the backend.
     misses: int = 0
+    #: Entries currently resident (snapshot, cache-wide).
     entries: int = 0
+    #: Weighted bytes currently resident (snapshot, cache-wide).
     bytes: int = 0
+    #: Entries evicted to enforce the entry/byte budgets (lifetime).
     evictions: int = 0
 
     @property

@@ -40,6 +40,19 @@ DEFAULT_PAGE_CACHE_ENTRIES = 64 * 1024
 DEFAULT_PAGE_CACHE_BYTES = 256 * MiB
 DEFAULT_PAGE_CACHE_SHARDS = 8
 
+#: Feature knobs of :class:`BlobSeerConfig`: boolean fields that gate an
+#: optional behaviour which must be a provable no-op when off (the
+#: perf-gate's ``--exact-columns`` pins that guarantee).  Reading one of
+#: these fields directly outside this module is a lint violation
+#: (``RPR004 ungated-feature-knob``); every read goes through
+#: :meth:`BlobSeerConfig.feature_enabled` so the gates stay auditable.
+FEATURE_KNOBS: tuple[str, ...] = (
+    "speculative_prefetch",
+    "replica_routing",
+    "peer_caching",
+    "tracing",
+)
+
 #: Defaults of the client-side version-lease cache (see :mod:`repro.vm`).
 #: Publish notifications keep leases coherent in-process; the TTL bounds
 #: staleness when a notification is lost, and the entry budget bounds the
@@ -292,6 +305,21 @@ class BlobSeerConfig:
                      "vm_lease_ttl must be > 0 (None disables leasing)")
         _require(self.vm_lease_entries >= 1,
                  "vm_lease_entries must be >= 1")
+
+    def feature_enabled(self, knob: str) -> bool:
+        """The single chokepoint for reading a feature knob.
+
+        Every optional behaviour (:data:`FEATURE_KNOBS`) must be a provable
+        no-op when its knob is off; funnelling reads through this helper is
+        what lets the lint pass (``RPR004``) enforce that no code path
+        consults a knob outside its gate.  Unknown names raise — a typo'd
+        gate must fail loudly, not silently disable a feature.
+        """
+        if knob not in FEATURE_KNOBS:
+            raise ConfigurationError(
+                f"unknown feature knob {knob!r}; expected one of {FEATURE_KNOBS}"
+            )
+        return bool(getattr(self, knob))
 
     @property
     def uses_default_cache_budgets(self) -> bool:

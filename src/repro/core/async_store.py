@@ -310,7 +310,8 @@ class AsyncBlobStore:
         # ``peer_caching=False`` makes an attached group inert.
         self._peers: PeerCacheMember | None = (
             peer_group.join(node_cache=self._cache, page_cache=self._page_cache)
-            if peer_group is not None and cluster.config.peer_caching
+            if peer_group is not None
+            and cluster.config.feature_enabled("peer_caching")
             else None
         )
         # Observability (DESIGN.md §11): on a traced cluster, operations
@@ -522,7 +523,8 @@ class AsyncBlobStore:
         # attached group.  Both gates leave the default read path intact.
         spec = (
             _Speculation()
-            if self._cluster.config.speculative_prefetch and self._runtime.pipelined
+            if self._cluster.config.feature_enabled("speculative_prefetch")
+            and self._runtime.pipelined
             else None
         )
         peer_tally = CacheTally() if self._peers is not None else None

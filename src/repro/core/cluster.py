@@ -108,7 +108,7 @@ class Cluster:
             strategy,
             retry_policy=self.retry_policy,
             health=self.provider_health,
-            routing=self.config.replica_routing,
+            routing=self.config.feature_enabled("replica_routing"),
         )
         for index in range(self.config.num_data_providers):
             provider_id = f"data-{index:04d}"
@@ -124,7 +124,7 @@ class Cluster:
             strategy=self.config.dht_strategy,
             replication=self.config.metadata_replication,
             retry_policy=self.retry_policy,
-            routing=self.config.replica_routing,
+            routing=self.config.feature_enabled("replica_routing"),
         )
         self.metadata_provider = MetadataProvider(
             self.dht, encode_values=self.config.encode_metadata
@@ -160,7 +160,7 @@ class Cluster:
         # discipline every other knob follows.
         self.tracer: Tracer | None = None
         self.metrics = None
-        if self.config.tracing:
+        if self.config.feature_enabled("tracing"):
             self.tracer = Tracer()
             self.metrics = get_registry()
             self._register_metric_sources()

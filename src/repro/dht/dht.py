@@ -35,14 +35,23 @@ class DHTStats:
     the batched multi-key operations (see :class:`~repro.dht.storage.BucketStats`).
     """
 
+    #: Individual keys written, summed over all buckets.
     puts: int = 0
+    #: Individual keys looked up, summed over all buckets.
     gets: int = 0
+    #: Lookups that found their key.
     hits: int = 0
+    #: Lookups that missed.
     misses: int = 0
+    #: Keys currently stored across the DHT (replicas counted per bucket).
     keys: int = 0
+    #: Number of bucket stores in the ring.
     buckets: int = 0
+    #: Bucket-lock acquisitions made by batched multi-key gets.
     batch_gets: int = 0
+    #: Bucket-lock acquisitions made by batched multi-key puts.
     batch_puts: int = 0
+    #: Largest per-bucket key count — the load-balance figure of merit.
     max_keys_per_bucket: int = 0
 
 

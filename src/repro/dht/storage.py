@@ -26,12 +26,19 @@ class BucketStats:
     counters are unchanged by batching.
     """
 
+    #: Individual keys written into this bucket.
     puts: int = 0
+    #: Individual keys looked up in this bucket.
     gets: int = 0
+    #: Lookups that found their key.
     hits: int = 0
+    #: Lookups that missed.
     misses: int = 0
+    #: Keys currently stored in this bucket.
     keys: int = 0
+    #: Lock acquisitions made by batched multi-key gets.
     batch_gets: int = 0
+    #: Lock acquisitions made by batched multi-key puts.
     batch_puts: int = 0
 
     def snapshot(self) -> "BucketStats":

@@ -404,7 +404,7 @@ class SimClient:
         by_peer: dict = {}  # serving peer SimNode -> [lengths]
         local_lengths: list[int] = []  # replica on this machine: no NIC
         by_provider: dict[str, list[int]] = {}
-        route = dep.config.replica_routing
+        route = dep.config.feature_enabled("replica_routing")
         probe_peers = dep.has_peer_caches(self.node)
         for (descriptor, key), value in zip(requests, cached):
             if value is not None:
@@ -621,7 +621,8 @@ class SimClient:
         """
         dep = self._dep
         if not (
-            dep.config.replica_routing and dep.config.metadata_replication > 1
+            dep.config.feature_enabled("replica_routing")
+            and dep.config.metadata_replication > 1
         ):
             return dep.metadata_node_for_key(key)
         buckets = dep.cluster.dht.buckets_for(key.to_string())
@@ -647,7 +648,10 @@ class SimClient:
         sim = dep.simulator
         net = dep.network
         cfg = dep.sim_config
-        routed = dep.config.replica_routing and dep.config.metadata_replication > 1
+        routed = (
+            dep.config.feature_enabled("replica_routing")
+            and dep.config.metadata_replication > 1
+        )
         by_node: dict = {}
         for key in keys:
             by_node.setdefault(self._meta_server_for_key(key), []).append(key)
@@ -697,7 +701,7 @@ class SimClient:
         tally = CacheTally()
         predictor = (
             plan_walker(version, span, [(page_offset, page_count)])
-            if dep.config.speculative_prefetch and page_count > 0
+            if dep.config.feature_enabled("speculative_prefetch") and page_count > 0
             else None
         )
         inflight: dict = {}  # NodeKey -> running speculative fetch process

@@ -273,7 +273,7 @@ class SimDeployment:
         :class:`~repro.cache.PeerCacheGroup`, a hit legitimately refreshes
         the serving caches' LRU recency and hit counters.
         """
-        if not self.config.peer_caching:
+        if not self.config.feature_enabled("peer_caching"):
             return None
         own = self._page_caches.get(own_node.name)
         holders = []
@@ -292,7 +292,7 @@ class SimDeployment:
 
     def has_peer_caches(self, own_node: SimNode) -> bool:
         """True when some OTHER machine has a page cache worth probing."""
-        if not self.config.peer_caching:
+        if not self.config.feature_enabled("peer_caching"):
             return False
         return any(name != own_node.name for name in self._page_caches)
 

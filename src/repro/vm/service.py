@@ -49,17 +49,29 @@ class VMStats:
     read-side calls the client leases exist to avoid.
     """
 
+    #: Ticket registrations requested by clients.
     register_requests: int = 0
+    #: Group-committed registration batches sent to the core VM.
     register_batches: int = 0
+    #: Largest registration batch group-committed so far.
     register_max_batch: int = 0
+    #: Completion/abort notices requested by clients.
     publish_requests: int = 0
+    #: Group-committed completion batches sent to the core VM.
     publish_batches: int = 0
+    #: Largest completion batch group-committed so far.
     publish_max_batch: int = 0
+    #: GET_RECENT queries answered by the service.
     recent_calls: int = 0
+    #: Combined IS_PUBLISHED+GET_SIZE read preconditions answered.
     check_read_calls: int = 0
+    #: Batched check_read condition acquisitions (one per blob per batch).
     check_read_batches: int = 0
+    #: GET_SIZE queries answered by the service.
     size_calls: int = 0
+    #: Blob-record fetches answered by the service.
     record_calls: int = 0
+    #: Blocking SYNC waits served by the service.
     sync_calls: int = 0
 
     @property

@@ -7,13 +7,55 @@ buffers.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import BlobStore, Cluster
+from repro.analysis.sanitizer import LockSanitizer
 from repro.config import BlobSeerConfig
 
 #: Tiny page size so a few hundred bytes already span many pages/tree levels.
 TEST_PAGE_SIZE = 64
+
+
+@pytest.fixture
+def lock_sanitizer():
+    """Install the runtime concurrency sanitizer for one test.
+
+    Every ``threading.Lock``/``RLock`` (and ``Condition``) created while
+    the test runs is instrumented: inconsistent lock orders and locks held
+    across a real ``await`` raise immediately (see
+    :mod:`repro.analysis.sanitizer`).  Locks created before the test —
+    module-level and process-shared ones — stay unsanitized.
+    """
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_from_env(request):
+    """Sanitize every test when ``REPRO_SANITIZE=1`` (async/chaos CI jobs).
+
+    Tests that already use ``lock_sanitizer`` are skipped here — only one
+    sanitizer may be installed at a time.
+    """
+    if not os.environ.get("REPRO_SANITIZE"):
+        yield
+        return
+    if "lock_sanitizer" in request.fixturenames:
+        yield
+        return
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
 
 
 @pytest.fixture

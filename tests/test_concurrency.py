@@ -10,11 +10,21 @@ metadata (the border-node hand-off).
 import random
 import threading
 
+import pytest
+
 from repro import BlobStore, Cluster
 
 from .conftest import TEST_PAGE_SIZE, make_payload
 
 PAGE = TEST_PAGE_SIZE
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_concurrency(lock_sanitizer):
+    """Run every test in this module under the lock-order sanitizer: any
+    inconsistent lock ordering or lock held across a suspension raises
+    instead of deadlocking flakily (see :mod:`repro.analysis.sanitizer`)."""
+    yield lock_sanitizer
 
 
 def run_threads(workers):
